@@ -1,0 +1,108 @@
+// Micro-benchmarks for the linear-algebra kernels underlying every PCA
+// method in the repository: dense GEMM variants, the broadcast-style
+// row-times-matrix product (Section 3.3's in-memory multiplication),
+// sparse row products, and the small-matrix decompositions the drivers
+// run (Cholesky solve, symmetric eigen, SVD).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+#include "linalg/svd.h"
+#include "workload/synthetic.h"
+
+namespace spca::linalg {
+namespace {
+
+DenseMatrix Random(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return DenseMatrix::GaussianRandom(rows, cols, &rng);
+}
+
+void BM_Multiply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = Random(n, n, 1);
+  const DenseMatrix b = Random(n, n, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(Multiply(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Multiply)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TransposeMultiply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = Random(n, 50, 3);
+  const DenseMatrix b = Random(n, 50, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(TransposeMultiply(a, b));
+}
+BENCHMARK(BM_TransposeMultiply)->Arg(1000)->Arg(4000);
+
+void BM_RowTimesMatrix(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const DenseMatrix b = Random(dim, 50, 5);
+  Rng rng(6);
+  DenseVector row(dim);
+  for (size_t i = 0; i < dim; ++i) row[i] = rng.NextGaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(RowTimesMatrix(row, b));
+}
+BENCHMARK(BM_RowTimesMatrix)->Arg(2000)->Arg(16000);
+
+void BM_SparseRowTimesMatrix(benchmark::State& state) {
+  // A ~10-non-zero row against a D x 50 broadcast matrix: the inner loop
+  // of the on-demand X computation.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const DenseMatrix b = Random(dim, 50, 7);
+  std::vector<SparseEntry> entries;
+  for (uint32_t k = 0; k < 10; ++k) {
+    entries.push_back({static_cast<uint32_t>(k * dim / 10), 1.0});
+  }
+  const SparseVector row(std::move(entries), dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseRowTimesMatrix(row.View(), b));
+  }
+}
+BENCHMARK(BM_SparseRowTimesMatrix)->Arg(2000)->Arg(16000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DenseMatrix a = TransposeMultiply(Random(n, n, 8), Random(n, n, 8));
+  a.AddScaledIdentity(static_cast<double>(n));
+  const DenseMatrix b = Random(n, 10, 9);
+  for (auto _ : state) benchmark::DoNotOptimize(SolveSpd(a, b));
+}
+BENCHMARK(BM_CholeskySolve)->Arg(50)->Arg(100);
+
+void BM_LuInverse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = Random(n, n, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(Inverse(a));
+}
+BENCHMARK(BM_LuInverse)->Arg(50)->Arg(100);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = TransposeMultiply(Random(n, n, 11), Random(n, n, 11));
+  for (auto _ : state) benchmark::DoNotOptimize(SymmetricEigen(a));
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SvdJacobi(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = Random(2 * n, n, 12);
+  for (auto _ : state) benchmark::DoNotOptimize(SvdJacobi(a));
+}
+BENCHMARK(BM_SvdJacobi)->Arg(16)->Arg(48);
+
+void BM_SvdWideViaGram(benchmark::State& state) {
+  // The wide-B SVD finishing step of stochastic SVD: k x D with k = 60.
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const DenseMatrix a = Random(60, dim, 13);
+  for (auto _ : state) benchmark::DoNotOptimize(SvdWideViaGram(a));
+}
+BENCHMARK(BM_SvdWideViaGram)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace spca::linalg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,166 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+#include "core/reconstruction_error.h"
+
+namespace spca::bench {
+
+dist::ClusterSpec PaperSpec() {
+  dist::ClusterSpec spec;  // defaults already mirror the paper's cluster
+  return spec;
+}
+
+double BenchScale() {
+  const char* env = std::getenv("SPCA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+size_t ScaledRows(size_t rows) {
+  const double scaled = static_cast<double>(rows) * BenchScale();
+  return scaled < 2.0 ? 2 : static_cast<size_t>(scaled);
+}
+
+double DatasetIdealError(const dist::DistMatrix& matrix, size_t d) {
+  core::SpcaOptions probe;
+  const auto indices = core::SampleRowIndices(
+      matrix.rows(), probe.error_sample_rows, core::kErrorSampleSeed);
+  const dist::DistMatrix sample = matrix.SampleRows(indices, 1);
+  return core::ConvergedIdealError(PaperSpec(), matrix, d, sample);
+}
+
+RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
+                   size_t d, double target_accuracy, int max_iterations,
+                   bool smart_guess, double ideal_error) {
+  RunOutcome outcome;
+  outcome.algorithm = mode == dist::EngineMode::kMapReduce
+                          ? "sPCA-MapReduce"
+                          : "sPCA-Spark";
+  if (smart_guess) outcome.algorithm = "sPCA-SG";
+
+  dist::Engine engine(PaperSpec(), mode);
+  core::SpcaOptions options;
+  options.num_components = d;
+  options.max_iterations = max_iterations;
+  options.target_accuracy_fraction = target_accuracy;
+  options.smart_guess = smart_guess;
+  options.ideal_error_override = ideal_error;
+  auto result = core::Spca(&engine, options).Fit(matrix);
+  if (!result.ok()) {
+    outcome.failure = result.status().ToString();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.simulated_seconds = result.value().stats.simulated_seconds;
+  outcome.wall_seconds = result.value().stats.wall_seconds;
+  outcome.iterations = result.value().iterations_run;
+  outcome.stats = result.value().stats;
+  outcome.driver_bytes = engine.peak_driver_memory();
+  if (!result.value().trace.empty()) {
+    outcome.accuracy_percent = result.value().trace.back().accuracy_percent;
+  }
+  outcome.model = std::move(result.value().model);
+  return outcome;
+}
+
+RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
+                        double target_accuracy, int max_power_iterations,
+                        double ideal_error) {
+  RunOutcome outcome;
+  outcome.algorithm = "Mahout-PCA";
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+  baselines::SsvdOptions options;
+  options.num_components = d;
+  options.max_power_iterations = max_power_iterations;
+  options.target_accuracy_fraction = target_accuracy;
+  options.ideal_error_override = ideal_error;
+  auto result = baselines::SsvdPca(&engine, options).Fit(matrix);
+  if (!result.ok()) {
+    outcome.failure = result.status().ToString();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.simulated_seconds = result.value().stats.simulated_seconds;
+  outcome.wall_seconds = result.value().stats.wall_seconds;
+  outcome.iterations = result.value().iterations_run;
+  outcome.stats = result.value().stats;
+  if (!result.value().trace.empty()) {
+    outcome.accuracy_percent = result.value().trace.back().accuracy_percent;
+  }
+  outcome.model = std::move(result.value().model);
+  return outcome;
+}
+
+RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d) {
+  RunOutcome outcome;
+  outcome.algorithm = "MLlib-PCA";
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+  baselines::CovEigOptions options;
+  options.num_components = d;
+  // Keep the stand-in subspace iteration affordable on one machine; the
+  // charged simulated cost is the full dense eigendecomposition regardless.
+  options.subspace_iterations = 60;
+  auto result = baselines::CovEigPca(&engine, options).Fit(matrix);
+  if (!result.ok()) {
+    outcome.failure = result.status().code() == StatusCode::kOutOfMemory
+                          ? "Fail (driver OOM)"
+                          : result.status().ToString();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.simulated_seconds = result.value().stats.simulated_seconds;
+  outcome.wall_seconds = result.value().stats.wall_seconds;
+  outcome.stats = result.value().stats;
+  outcome.driver_bytes = result.value().driver_bytes;
+  outcome.model = std::move(result.value().model);
+  return outcome;
+}
+
+std::string SizeLabel(size_t rows, size_t cols) {
+  auto compact = [](size_t v) -> std::string {
+    char buf[32];
+    if (v >= 1000000) {
+      std::snprintf(buf, sizeof(buf), "%.2gM", v / 1e6);
+    } else if (v >= 1000) {
+      std::snprintf(buf, sizeof(buf), "%.3gK", v / 1e3);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%zu", v);
+    }
+    return buf;
+  };
+  return compact(rows) + " x " + compact(cols);
+}
+
+double ReplayAtScale(
+    const std::vector<dist::JobTrace>& traces, const dist::CommStats& stats,
+    const dist::ClusterSpec& spec, dist::EngineMode mode, double row_scale,
+    const std::function<double(const dist::JobTrace&)>&
+        intermediate_row_scale) {
+  double total = 0.0;
+  for (const auto& trace : traces) {
+    dist::ReplayScales scales;
+    scales.flops = row_scale;
+    scales.input_bytes = row_scale;
+    scales.intermediate_bytes = intermediate_row_scale(trace);
+    scales.result_bytes = 1.0;
+    total += dist::ReplayJobSeconds(trace, spec, mode, scales);
+  }
+  // Driver algebra and broadcasts are row-count independent; broadcasts
+  // still pay one copy per node of the replay cluster.
+  total += static_cast<double>(stats.driver_flops) /
+           spec.flops_per_sec_per_core;
+  total += static_cast<double>(stats.broadcast_bytes) * spec.num_nodes /
+           spec.network_bandwidth_per_node;
+  return total;
+}
+
+void PrintHeader(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), subtitle.c_str());
+  std::printf(
+      "(simulated times assume the paper's 8-node/64-core cluster; datasets "
+      "are synthetic, scaled-down analogues — see DESIGN.md)\n\n");
+}
+
+}  // namespace spca::bench

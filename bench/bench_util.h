@@ -1,0 +1,91 @@
+#ifndef SPCA_BENCH_BENCH_UTIL_H_
+#define SPCA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/cov_eig_pca.h"
+#include "baselines/ssvd_pca.h"
+#include "core/spca.h"
+#include "dist/cluster_spec.h"
+#include "dist/engine.h"
+#include "workload/datasets.h"
+
+namespace spca::bench {
+
+/// The paper's testbed (Section 5): 8 EC2 m3.2xlarge nodes, 8 cores and
+/// 32 GB each. All simulated times in the benchmark output assume this
+/// cluster unless a bench says otherwise.
+dist::ClusterSpec PaperSpec();
+
+/// Scale factor for the synthetic datasets, settable via the environment
+/// variable SPCA_BENCH_SCALE (default 1.0). 2.0 doubles row counts.
+double BenchScale();
+
+/// Applies BenchScale() to a row count.
+size_t ScaledRows(size_t rows);
+
+/// One benchmark measurement row.
+struct RunOutcome {
+  std::string algorithm;
+  bool ok = false;
+  std::string failure;          // short reason when !ok
+  double simulated_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double accuracy_percent = 0.0;  // 0 when not measured
+  int iterations = 0;
+  dist::CommStats stats;
+  uint64_t driver_bytes = 0;  // CovEig only
+  core::PcaModel model;
+};
+
+/// Computes the shared ideal-error anchor for a dataset once (a converged
+/// PPCA run on a throwaway engine), so every algorithm in a bench reports
+/// accuracy against the same reference.
+double DatasetIdealError(const dist::DistMatrix& matrix, size_t d);
+
+/// Runs sPCA (the paper's algorithm) on the given engine mode; stops at
+/// `target_accuracy` of ideal (<=1.0) or after `max_iterations`.
+/// `ideal_error` > 0 supplies the shared accuracy anchor.
+RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
+                   size_t d, double target_accuracy = 0.95,
+                   int max_iterations = 10, bool smart_guess = false,
+                   double ideal_error = 0.0);
+
+/// Runs the Mahout-PCA analogue (stochastic SVD on MapReduce).
+RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
+                        double target_accuracy = 0.95,
+                        int max_power_iterations = 10,
+                        double ideal_error = 0.0);
+
+/// Runs the MLlib-PCA analogue (covariance + eigendecomposition on Spark),
+/// including its driver-memory failure mode.
+RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d);
+
+/// Formats "1.26M x 71.5K"-style dataset size labels.
+std::string SizeLabel(size_t rows, size_t cols);
+
+/// Replays a recorded run (its job traces plus driver/broadcast work from
+/// `stats`) under the cluster `spec` with every per-row quantity — task
+/// flops, input bytes — multiplied by `row_scale`. Per-job intermediate
+/// bytes are multiplied by `intermediate_row_scale(job)`: pass row_scale
+/// for N-proportional intermediates (e.g. SSVD's materialized N x k
+/// matrices) and 1.0 for row-count-independent ones (sPCA's D x d mapper
+/// partials). This is how the benchmarks extrapolate laptop-scale
+/// measurements to the paper's billion-row datasets; the extrapolation is
+/// exact under the cost model because every scaled quantity is linear in
+/// the row count.
+double ReplayAtScale(
+    const std::vector<dist::JobTrace>& traces, const dist::CommStats& stats,
+    const dist::ClusterSpec& spec, dist::EngineMode mode, double row_scale,
+    const std::function<double(const dist::JobTrace&)>&
+        intermediate_row_scale);
+
+/// Prints a section header for a bench.
+void PrintHeader(const std::string& title, const std::string& subtitle);
+
+}  // namespace spca::bench
+
+#endif  // SPCA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,117 @@
+// The paper's full motivating pipeline (Sections 1 and 2.1): reduce a
+// high-dimensional sparse corpus with sPCA, then run k-means on the small
+// projected matrix — "the resulting matrix X ... can be used as input to
+// other machine learning algorithms such as k-means clustering."
+//
+// The example also fits a mixture of PPCA models (the Section 2.4
+// extension) on the same corpus and compares the two groupings.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "ml/kmeans.h"
+#include "ml/ppca_mixture.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+/// Pairwise same-cluster agreement between two labelings (sampled).
+double PairwiseAgreement(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); i += 11) {
+    for (size_t j = i + 1; j < a.size(); j += 17) {
+      agree += ((a[i] == a[j]) == (b[i] == b[j])) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spca;
+
+  // A corpus with 6 strong latent topics.
+  workload::BagOfWordsConfig corpus;
+  corpus.rows = 12000;
+  corpus.vocab = 2500;
+  corpus.words_per_row = 14;
+  corpus.num_topics = 6;
+  corpus.topic_weight = 0.85;
+  corpus.seed = 321;
+  const dist::DistMatrix documents = dist::DistMatrix::FromSparse(
+      workload::GenerateBagOfWords(corpus), /*num_partitions=*/8);
+  std::printf("corpus: %zu documents x %zu words\n", documents.rows(),
+              documents.cols());
+
+  dist::Engine engine(dist::ClusterSpec{}, dist::EngineMode::kSpark);
+
+  // Step 1: sPCA to 6 dimensions.
+  core::SpcaOptions pca_options;
+  pca_options.num_components = 6;
+  pca_options.max_iterations = 12;
+  pca_options.target_accuracy_fraction = 0.98;
+  auto pca = core::Spca(&engine, pca_options).Fit(documents);
+  if (!pca.ok()) {
+    std::fprintf(stderr, "sPCA failed: %s\n",
+                 pca.status().ToString().c_str());
+    return 1;
+  }
+  const linalg::DenseMatrix reduced =
+      pca.value().model.Transform(&engine, documents);
+  std::printf("reduced to %zu x %zu (%.0fx smaller than the corpus)\n",
+              reduced.rows(), reduced.cols(),
+              static_cast<double>(documents.cols()) / reduced.cols());
+
+  // Step 2: k-means on the projection.
+  const dist::DistMatrix reduced_dist =
+      dist::DistMatrix::FromDense(reduced, 8);
+  ml::KMeansOptions km_options;
+  km_options.num_clusters = 6;
+  km_options.seed = 5;
+  auto clustered = ml::KMeansFit(&engine, reduced_dist, km_options);
+  if (!clustered.ok()) {
+    std::fprintf(stderr, "k-means failed: %s\n",
+                 clustered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("k-means: %d iterations, inertia %.1f\n",
+              clustered.value().iterations_run, clustered.value().inertia);
+  std::vector<size_t> sizes(km_options.num_clusters, 0);
+  for (const uint32_t c : clustered.value().assignments) ++sizes[c];
+  std::printf("cluster sizes:");
+  for (const size_t s : sizes) std::printf(" %zu", s);
+  std::printf("\n");
+
+  // Alternative: a mixture of PPCA models directly on the sparse corpus.
+  ml::PpcaMixtureOptions mixture_options;
+  mixture_options.num_models = 3;
+  mixture_options.num_components = 4;
+  mixture_options.em_iterations = 12;
+  auto mixture = ml::FitPpcaMixture(&engine, documents, mixture_options);
+  if (!mixture.ok()) {
+    std::fprintf(stderr, "mixture failed: %s\n",
+                 mixture.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mixture of %zu PPCA models: log-likelihood %.1f, weights",
+              mixture.value().components.size(),
+              mixture.value().log_likelihood);
+  for (const auto& component : mixture.value().components) {
+    std::printf(" %.2f", component.weight);
+  }
+  std::printf("\n");
+
+  const double agreement = PairwiseAgreement(
+      clustered.value().assignments, mixture.value().hard_assignments);
+  std::printf("pairwise agreement between the two groupings: %.0f%%\n",
+              100.0 * agreement);
+  std::printf("total simulated cluster time: %.1f s\n",
+              engine.SimulatedSeconds());
+  return 0;
+}

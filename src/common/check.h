@@ -1,0 +1,50 @@
+#ifndef SPCA_COMMON_CHECK_H_
+#define SPCA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace spca::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SPCA_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace spca::internal_check
+
+/// Aborts the process with a diagnostic if `cond` is false. Used for
+/// programmer errors (contract violations); recoverable failures use Status.
+#define SPCA_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::spca::internal_check::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                     \
+  } while (false)
+
+/// SPCA_CHECK with an explanatory message.
+#define SPCA_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::spca::internal_check::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Binary comparison checks; evaluate operands once.
+#define SPCA_CHECK_OP(op, a, b)            \
+  do {                                     \
+    auto _va = (a);                        \
+    auto _vb = (b);                        \
+    SPCA_CHECK_MSG((_va op _vb), #a " " #op " " #b); \
+  } while (false)
+
+#define SPCA_CHECK_EQ(a, b) SPCA_CHECK_OP(==, a, b)
+#define SPCA_CHECK_NE(a, b) SPCA_CHECK_OP(!=, a, b)
+#define SPCA_CHECK_LT(a, b) SPCA_CHECK_OP(<, a, b)
+#define SPCA_CHECK_LE(a, b) SPCA_CHECK_OP(<=, a, b)
+#define SPCA_CHECK_GT(a, b) SPCA_CHECK_OP(>, a, b)
+#define SPCA_CHECK_GE(a, b) SPCA_CHECK_OP(>=, a, b)
+
+#endif  // SPCA_COMMON_CHECK_H_

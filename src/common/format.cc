@@ -1,0 +1,44 @@
+#include "common/format.h"
+
+#include <cstdio>
+
+namespace spca {
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int unit = 0;
+  double value = bytes;
+  while (value >= 1024.0 && unit < 5) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string HumanCount(uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  int pos = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --pos;
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+}  // namespace spca

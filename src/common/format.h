@@ -1,0 +1,20 @@
+#ifndef SPCA_COMMON_FORMAT_H_
+#define SPCA_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spca {
+
+/// Renders a byte count with a human-readable unit, e.g. "131.2 MB".
+std::string HumanBytes(double bytes);
+
+/// Renders a duration in seconds as "12.3 s", "4.5 min", or "1.2 h".
+std::string HumanSeconds(double seconds);
+
+/// Renders a count with thousands grouping, e.g. "1,264,812".
+std::string HumanCount(uint64_t count);
+
+}  // namespace spca
+
+#endif  // SPCA_COMMON_FORMAT_H_

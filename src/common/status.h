@@ -1,0 +1,129 @@
+#ifndef SPCA_COMMON_STATUS_H_
+#define SPCA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace spca {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers almost always branch only on ok()/!ok(), the code exists to make
+/// failure modes (such as the MLlib-PCA driver running out of memory)
+/// distinguishable in benchmarks and tests.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,       // e.g. driver memory budget exceeded (Fig. 7/8)
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "OUT_OF_MEMORY", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight absl::Status-style error carrier. The library does not use
+/// C++ exceptions (per the project style guide); fallible operations return
+/// Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status. Access to value() on an
+/// errored StatusOr aborts the process (consistent with CHECK semantics).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or a (non-OK) Status mirrors
+  /// absl::StatusOr and keeps call sites readable.
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {
+    SPCA_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    SPCA_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    SPCA_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    SPCA_CHECK(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SPCA_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::spca::Status _status = (expr);            \
+    if (!_status.ok()) return _status;          \
+  } while (false)
+
+}  // namespace spca
+
+#endif  // SPCA_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef SPCA_COMMON_STOPWATCH_H_
+#define SPCA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace spca {
+
+/// Wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spca
+
+#endif  // SPCA_COMMON_STOPWATCH_H_

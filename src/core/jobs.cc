@@ -1,0 +1,402 @@
+#include "core/jobs.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace spca::core {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using dist::RowRange;
+using dist::TaskContext;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+namespace {
+
+/// Computes one row of X. With mean propagation, X_i = Y_i*CM - Xm touches
+/// only the stored entries of Y_i; without it, the dense centered row
+/// Yc_i = Y_i - Ym is materialized in `dense_scratch` first and multiplied
+/// densely (the cost the optimization removes). Returns flops spent.
+uint64_t ComputeXRow(const DistMatrix& y, size_t i, const DenseMatrix& cm,
+                     const DenseVector& ym, const DenseVector& xm,
+                     bool mean_propagation, DenseVector* dense_scratch,
+                     DenseVector* x_row) {
+  const size_t d = cm.cols();
+  if (mean_propagation) {
+    y.RowTimesMatrix(i, cm, x_row);
+    x_row->Subtract(xm);
+    return 2ull * y.RowNnz(i) * d + d;
+  }
+  // Densify: Yc_i = Y_i - Ym (a full D-length vector), then Yc_i * CM.
+  const size_t dim = y.cols();
+  for (size_t k = 0; k < dim; ++k) (*dense_scratch)[k] = -ym[k];
+  y.ForEachEntry(i, [&](size_t k, double v) { (*dense_scratch)[k] += v; });
+  x_row->SetZero();
+  for (size_t k = 0; k < dim; ++k) {
+    const double v = (*dense_scratch)[k];
+    if (v == 0.0) continue;
+    for (size_t j = 0; j < d; ++j) (*x_row)[j] += v * cm(k, j);
+  }
+  return 2ull * dim * d + dim;
+}
+
+/// Bytes one partition's YtX/XtX partial results occupy on the wire. On
+/// Spark with sparse input, only the indices of the touched rows of the
+/// YtX partial are passed to the accumulator (Section 4.2); the MapReduce
+/// stateful combiner writes the full dense partial (Section 4.1).
+uint64_t PartialResultBytes(const Engine& engine, const DistMatrix& y,
+                            bool mean_propagation, size_t touched_rows,
+                            size_t d, bool include_xtx) {
+  const size_t dim = y.cols();
+  uint64_t ytx_bytes;
+  if (engine.mode() == EngineMode::kSpark && y.is_sparse() &&
+      mean_propagation) {
+    ytx_bytes = touched_rows * d * (sizeof(double) + sizeof(uint32_t));
+  } else {
+    ytx_bytes = dim * d * sizeof(double);
+  }
+  const uint64_t xtx_bytes = include_xtx ? d * d * sizeof(double) : 0;
+  return ytx_bytes + xtx_bytes;
+}
+
+/// Routes a task's partial-result bytes per platform: MapReduce mapper
+/// output travels through the DFS between the map and reduce phases
+/// (intermediate data), whereas Spark accumulator updates flow straight to
+/// the driver (result data).
+void EmitPartial(const Engine& engine, TaskContext* ctx, uint64_t bytes) {
+  if (engine.mode() == EngineMode::kMapReduce) {
+    ctx->EmitIntermediate(bytes);
+  } else {
+    ctx->EmitResult(bytes);
+  }
+}
+
+}  // namespace
+
+DenseVector MeanJob(Engine* engine, const DistMatrix& y) {
+  const size_t dim = y.cols();
+  auto partials = engine->RunMap<DenseVector>(
+      "meanJob", y, [&](const RowRange& range, TaskContext* ctx) {
+        DenseVector sums(dim);
+        uint64_t entries = 0;
+        for (size_t i = range.begin; i < range.end; ++i) {
+          y.ForEachEntry(i, [&](size_t k, double v) { sums[k] += v; });
+          entries += y.RowNnz(i);
+        }
+        ctx->CountFlops(entries);
+        EmitPartial(*engine, ctx, dim * sizeof(double));
+        return sums;
+      });
+  DenseVector mean(dim);
+  for (const auto& partial : partials) mean.Add(partial);
+  if (y.rows() > 0) mean.Scale(1.0 / static_cast<double>(y.rows()));
+  engine->CountDriverFlops(partials.size() * dim + dim);
+  return mean;
+}
+
+double FrobeniusNormJob(Engine* engine, const DistMatrix& y,
+                        const DenseVector& ym, bool efficient) {
+  SPCA_CHECK_EQ(ym.size(), y.cols());
+  engine->Broadcast(ym.size() * sizeof(double));
+  const size_t dim = y.cols();
+
+  std::vector<double> partials;
+  if (efficient) {
+    // Algorithm 3: msum = ||Ym||^2 once; per row, adjust only at stored
+    // entries: (v - m)^2 replaces the m^2 already counted in msum.
+    const double msum = ym.SquaredNorm();
+    partials = engine->RunMap<double>(
+        "FnormJob", y, [&](const RowRange& range, TaskContext* ctx) {
+          double sum = 0.0;
+          uint64_t entries = 0;
+          for (size_t i = range.begin; i < range.end; ++i) {
+            double row_sum = msum;
+            y.ForEachEntry(i, [&](size_t k, double v) {
+              const double centered = v - ym[k];
+              row_sum += centered * centered - ym[k] * ym[k];
+            });
+            sum += row_sum;
+            entries += y.RowNnz(i);
+          }
+          ctx->CountFlops(4 * entries + range.size());
+          ctx->EmitResult(sizeof(double));
+          return sum;
+        });
+  } else {
+    // Algorithm 2: densify Yc_i = Y_i - Ym and iterate all D entries.
+    partials = engine->RunMap<double>(
+        "FnormJob(simple)", y, [&](const RowRange& range, TaskContext* ctx) {
+          DenseVector dense(dim);
+          double sum = 0.0;
+          for (size_t i = range.begin; i < range.end; ++i) {
+            for (size_t k = 0; k < dim; ++k) dense[k] = -ym[k];
+            y.ForEachEntry(i, [&](size_t k, double v) { dense[k] += v; });
+            for (size_t k = 0; k < dim; ++k) sum += dense[k] * dense[k];
+          }
+          ctx->CountFlops(3ull * dim * range.size());
+          ctx->EmitResult(sizeof(double));
+          return sum;
+        });
+  }
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+DenseMatrix MaterializeXJob(Engine* engine, const DistMatrix& y,
+                            const DenseVector& ym, const DenseVector& xm,
+                            const DenseMatrix& cm, const JobToggles& toggles) {
+  const size_t d = cm.cols();
+  engine->Broadcast(cm.ByteSize() + (ym.size() + xm.size()) * sizeof(double));
+  DenseMatrix x(y.rows(), d);
+  engine->RunMap<int>(
+      "XJob", y, [&](const RowRange& range, TaskContext* ctx) {
+        DenseVector x_row(d);
+        DenseVector dense_scratch(toggles.mean_propagation ? 0 : y.cols());
+        uint64_t flops = 0;
+        for (size_t i = range.begin; i < range.end; ++i) {
+          flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
+                               &dense_scratch, &x_row);
+          for (size_t j = 0; j < d; ++j) x(i, j) = x_row[j];
+        }
+        ctx->CountFlops(flops);
+        // X is intermediate data: written out for the consumer jobs.
+        ctx->EmitIntermediate(range.size() * d * sizeof(double));
+        return 0;
+      });
+  return x;
+}
+
+namespace {
+
+/// Shared per-partition pass accumulating XtX and/or YtX partials.
+struct YtXPartial {
+  DenseMatrix ytx;      // D x d (empty if YtX not requested)
+  DenseMatrix xtx;      // d x d (empty if XtX not requested)
+  DenseVector xc_sum;   // sum of centered X rows (for the -Ym (x) sum term)
+  size_t touched_rows = 0;
+};
+
+YtXPartial RunYtXPartition(const DistMatrix& y, const RowRange& range,
+                           const DenseVector& ym, const DenseVector& xm,
+                           const DenseMatrix& cm,
+                           const DenseMatrix* materialized_x,
+                           const JobToggles& toggles, bool want_xtx,
+                           bool want_ytx, TaskContext* ctx) {
+  const size_t d = cm.cols();
+  const size_t dim = y.cols();
+  YtXPartial partial;
+  partial.xc_sum = DenseVector(d);
+  if (want_xtx) partial.xtx = DenseMatrix(d, d);
+  if (want_ytx) partial.ytx = DenseMatrix(dim, d);
+  std::vector<uint8_t> touched(want_ytx ? dim : 0, 0);
+
+  DenseVector x_row(d);
+  DenseVector dense_scratch(toggles.mean_propagation ? 0 : dim);
+  uint64_t flops = 0;
+  for (size_t i = range.begin; i < range.end; ++i) {
+    if (materialized_x != nullptr) {
+      for (size_t j = 0; j < d; ++j) x_row[j] = (*materialized_x)(i, j);
+    } else {
+      flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
+                           &dense_scratch, &x_row);
+    }
+    partial.xc_sum.Add(x_row);
+    if (want_xtx) {
+      for (size_t a = 0; a < d; ++a) {
+        const double xa = x_row[a];
+        for (size_t b = 0; b < d; ++b) partial.xtx(a, b) += xa * x_row[b];
+      }
+      flops += 2ull * d * d;
+    }
+    if (want_ytx) {
+      if (toggles.mean_propagation) {
+        // Sparse outer product Y_i' (x) x_row; the -Ym (x) sum(Xc) term is
+        // applied once on the driver.
+        y.ForEachEntry(i, [&](size_t k, double v) {
+          touched[k] = 1;
+          for (size_t j = 0; j < d; ++j) partial.ytx(k, j) += v * x_row[j];
+        });
+        flops += 2ull * y.RowNnz(i) * d;
+      } else {
+        // Dense centered row outer product (all D rows touched).
+        for (size_t k = 0; k < dim; ++k) dense_scratch[k] = -ym[k];
+        y.ForEachEntry(i,
+                       [&](size_t k, double v) { dense_scratch[k] += v; });
+        for (size_t k = 0; k < dim; ++k) {
+          const double v = dense_scratch[k];
+          if (v == 0.0) continue;
+          for (size_t j = 0; j < d; ++j) partial.ytx(k, j) += v * x_row[j];
+        }
+        flops += 2ull * dim * d + dim;
+      }
+    }
+  }
+  if (want_ytx) {
+    for (uint8_t t : touched) partial.touched_rows += t;
+    if (!toggles.mean_propagation) partial.touched_rows = dim;
+  }
+  ctx->CountFlops(flops);
+  return partial;
+}
+
+}  // namespace
+
+YtXResult YtXJob(Engine* engine, const DistMatrix& y, const DenseVector& ym,
+                 const DenseVector& xm, const DenseMatrix& cm,
+                 const DenseMatrix* materialized_x,
+                 const JobToggles& toggles) {
+  SPCA_CHECK_EQ(cm.rows(), y.cols());
+  const size_t d = cm.cols();
+  const size_t dim = y.cols();
+
+  // CM, Ym, and Xm are broadcast to every worker (the in-memory matrix
+  // multiplication of Section 3.3).
+  engine->Broadcast(cm.ByteSize() + (ym.size() + xm.size()) * sizeof(double));
+
+  auto run = [&](const char* name, bool want_xtx, bool want_ytx) {
+    return engine->RunMap<std::unique_ptr<YtXPartial>>(
+        name, y, [&](const RowRange& range, TaskContext* ctx) {
+          auto partial = std::make_unique<YtXPartial>(
+              RunYtXPartition(y, range, ym, xm, cm, materialized_x, toggles,
+                              want_xtx, want_ytx, ctx));
+          uint64_t bytes = 0;
+          if (want_ytx) {
+            bytes += PartialResultBytes(*engine, y, toggles.mean_propagation,
+                                        partial->touched_rows, d,
+                                        /*include_xtx=*/false);
+          }
+          if (want_xtx) bytes += d * d * sizeof(double);
+          bytes += d * sizeof(double);  // xc_sum
+          EmitPartial(*engine, ctx, bytes);
+          return partial;
+        });
+  };
+
+  std::vector<std::unique_ptr<YtXPartial>> xtx_partials;
+  std::vector<std::unique_ptr<YtXPartial>> ytx_partials;
+  if (toggles.consolidate_jobs) {
+    auto partials = run("YtXJob", /*want_xtx=*/true, /*want_ytx=*/true);
+    for (auto& p : partials) ytx_partials.push_back(std::move(p));
+  } else {
+    // Unconsolidated: XtX and YtX as two distributed jobs, each generating
+    // (or re-reading) X independently (Figure 2 before consolidation).
+    xtx_partials = run("XtXJob", /*want_xtx=*/true, /*want_ytx=*/false);
+    ytx_partials = run("YtXJob(split)", /*want_xtx=*/false, /*want_ytx=*/true);
+  }
+
+  YtXResult result;
+  result.xtx = DenseMatrix(d, d);
+  result.ytx = DenseMatrix(dim, d);
+  DenseVector xc_sum(d);
+  const auto& xtx_source =
+      toggles.consolidate_jobs ? ytx_partials : xtx_partials;
+  for (const auto& p : xtx_source) result.xtx.Add(p->xtx);
+  for (const auto& p : ytx_partials) {
+    result.ytx.Add(p->ytx);
+    xc_sum.Add(p->xc_sum);
+  }
+  if (toggles.mean_propagation) {
+    // YtX = sum_i Y_i' (x) Xc_i  -  Ym (x) sum_i Xc_i  (mean propagation).
+    for (size_t k = 0; k < dim; ++k) {
+      const double m = ym[k];
+      if (m == 0.0) continue;
+      for (size_t j = 0; j < d; ++j) result.ytx(k, j) -= m * xc_sum[j];
+    }
+    engine->CountDriverFlops(2ull * dim * d);
+  }
+  engine->CountDriverFlops(ytx_partials.size() * (dim * d + d * d));
+  return result;
+}
+
+double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
+              const DenseVector& xm, const DenseMatrix& cm,
+              const DenseMatrix& c, const DenseMatrix* materialized_x,
+              const JobToggles& toggles) {
+  SPCA_CHECK_EQ(c.rows(), y.cols());
+  const size_t d = c.cols();
+  const size_t dim = y.cols();
+  engine->Broadcast(cm.ByteSize() + c.ByteSize() +
+                    (ym.size() + xm.size()) * sizeof(double));
+
+  // Driver precomputes C' * Ym (mean propagation of the C' * Yc_n' term).
+  DenseVector ctym(d);
+  if (toggles.mean_propagation) {
+    for (size_t k = 0; k < dim; ++k) {
+      const double m = ym[k];
+      if (m == 0.0) continue;
+      for (size_t j = 0; j < d; ++j) ctym[j] += m * c(k, j);
+    }
+    engine->CountDriverFlops(2ull * dim * d);
+  }
+
+  auto partials = engine->RunMap<double>(
+      "ss3Job", y, [&](const RowRange& range, TaskContext* ctx) {
+        DenseVector x_row(d);
+        DenseVector v(d);
+        DenseVector dense_scratch(toggles.mean_propagation ? 0 : dim);
+        DenseVector u(toggles.ss3_associativity ? 0 : dim);
+        double sum = 0.0;
+        uint64_t flops = 0;
+        for (size_t i = range.begin; i < range.end; ++i) {
+          if (materialized_x != nullptr) {
+            for (size_t j = 0; j < d; ++j) x_row[j] = (*materialized_x)(i, j);
+          } else {
+            flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
+                                 &dense_scratch, &x_row);
+          }
+          if (toggles.ss3_associativity) {
+            // Efficient order (Equation 3): v = C' * Yc_i', then X_i . v.
+            if (toggles.mean_propagation) {
+              v.SetZero();
+              y.ForEachEntry(i, [&](size_t k, double val) {
+                for (size_t j = 0; j < d; ++j) v[j] += val * c(k, j);
+              });
+              v.Subtract(ctym);
+              flops += 2ull * y.RowNnz(i) * d + d;
+            } else {
+              for (size_t k = 0; k < dim; ++k) dense_scratch[k] = -ym[k];
+              y.ForEachEntry(
+                  i, [&](size_t k, double val) { dense_scratch[k] += val; });
+              v.SetZero();
+              for (size_t k = 0; k < dim; ++k) {
+                const double val = dense_scratch[k];
+                if (val == 0.0) continue;
+                for (size_t j = 0; j < d; ++j) v[j] += val * c(k, j);
+              }
+              flops += 2ull * dim * d + dim;
+            }
+            sum += x_row.Dot(v);
+            flops += 2ull * d;
+          } else {
+            // Inefficient order: u = X_i * C' (a dense D-vector) first.
+            for (size_t k = 0; k < dim; ++k) {
+              double value = 0.0;
+              for (size_t j = 0; j < d; ++j) value += x_row[j] * c(k, j);
+              u[k] = value;
+            }
+            flops += 2ull * dim * d;
+            // Then u . Yc_i' (mean-propagated or dense).
+            double dot = 0.0;
+            y.ForEachEntry(i, [&](size_t k, double val) { dot += u[k] * val; });
+            for (size_t k = 0; k < dim; ++k) dot -= u[k] * ym[k];
+            flops += 2ull * (y.RowNnz(i) + dim);
+            sum += dot;
+          }
+        }
+        ctx->CountFlops(flops);
+        ctx->EmitResult(sizeof(double));
+        return sum;
+      });
+
+  double ss3 = 0.0;
+  for (double p : partials) ss3 += p;
+  return ss3;
+}
+
+}  // namespace spca::core

@@ -1,0 +1,56 @@
+#ifndef SPCA_CORE_PCA_MODEL_H_
+#define SPCA_CORE_PCA_MODEL_H_
+
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::core {
+
+/// A fitted PCA model: the principal components (as columns of a D x d
+/// matrix), the column mean of the training data, and — for probabilistic
+/// models — the isotropic noise variance ss.
+///
+/// Note that PPCA recovers the principal subspace up to rotation (Section
+/// 2.4: "up to an arbitrary rotation matrix"); use OrthonormalBasis() when
+/// comparing against other PCA implementations or reconstructing data.
+struct PcaModel {
+  /// D x d; column j is the j-th component direction (the paper's C).
+  linalg::DenseMatrix components;
+  /// Column means of the training matrix (the paper's Ym).
+  linalg::DenseVector mean;
+  /// PPCA isotropic noise variance (the paper's ss); 0 for exact methods.
+  double noise_variance = 0.0;
+
+  size_t input_dim() const { return components.rows(); }
+  size_t num_components() const { return components.cols(); }
+
+  /// Orthonormalized copy of `components` (Gram–Schmidt on columns).
+  linalg::DenseMatrix OrthonormalBasis() const;
+
+  /// The data variance along each principal direction within the model's
+  /// subspace, sorted descending (scree-plot data): one distributed,
+  /// mean-propagated pass accumulates the d x d covariance of the
+  /// projections, which the driver eigendecomposes. Defined for any model
+  /// regardless of how its raw `components` are scaled or rotated (the
+  /// paper's literal Algorithm 4 leaves C's scale uncalibrated and PPCA
+  /// recovers the subspace only up to rotation).
+  linalg::DenseVector ExplainedVariances(dist::Engine* engine,
+                                         const dist::DistMatrix& y) const;
+
+  /// Projects the rows of `y` onto the orthonormalized components,
+  /// returning the N x d reduced matrix X = (Y - mean) * B. This is the
+  /// dimensionality-reduction output fed to downstream algorithms such as
+  /// k-means (Section 2.1). Runs as one distributed job on `engine`.
+  linalg::DenseMatrix Transform(dist::Engine* engine,
+                                const dist::DistMatrix& y) const;
+
+  /// Reconstructs one data row from its projection: mean + x * B'.
+  /// `basis` must be OrthonormalBasis(); `x` has d elements.
+  linalg::DenseVector ReconstructRow(const linalg::DenseMatrix& basis,
+                                     const linalg::DenseVector& x) const;
+};
+
+}  // namespace spca::core
+
+#endif  // SPCA_CORE_PCA_MODEL_H_

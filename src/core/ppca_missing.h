@@ -1,0 +1,52 @@
+#ifndef SPCA_CORE_PPCA_MISSING_H_
+#define SPCA_CORE_PPCA_MISSING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "core/spca_options.h"
+#include "dist/engine.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::core {
+
+/// Options for FitWithMissing.
+struct MissingValueOptions {
+  /// Inner PPCA fit configuration (num_components, iterations, seed, ...).
+  SpcaOptions spca;
+  /// Outer impute-refit rounds.
+  int outer_iterations = 5;
+  /// Partitions for the inner distributed fits.
+  size_t num_partitions = 4;
+};
+
+/// Result of a missing-value PPCA fit.
+struct MissingValueResult {
+  PcaModel model;
+  /// The input matrix with missing entries replaced by their model
+  /// reconstructions.
+  linalg::DenseMatrix imputed;
+  /// RMS change of the imputed entries in the final round (convergence
+  /// indicator).
+  double final_delta = 0.0;
+};
+
+/// PPCA in the presence of missing values — the property the paper calls
+/// out in Section 2.4 ("Since PPCA uses expectation maximization, the
+/// projections of principal components can be obtained even when some data
+/// values are missing").
+///
+/// Implementation: EM-style iterative imputation. Missing entries start at
+/// the column means of the observed entries; each round fits PPCA (via
+/// Spca) on the completed matrix and re-imputes the missing entries from
+/// the model reconstruction. `observed` is row-major, one flag per cell of
+/// `y`; unobserved cells of `y` are ignored.
+StatusOr<MissingValueResult> FitWithMissing(
+    dist::Engine* engine, const linalg::DenseMatrix& y,
+    const std::vector<uint8_t>& observed, const MissingValueOptions& options);
+
+}  // namespace spca::core
+
+#endif  // SPCA_CORE_PPCA_MISSING_H_

@@ -1,0 +1,230 @@
+#include "core/spca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/jobs.h"
+#include "core/reconstruction_error.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace spca::core {
+
+using dist::CommStats;
+using dist::DistMatrix;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y) const {
+  if (options_.num_components == 0) {
+    return Status::InvalidArgument("num_components must be positive");
+  }
+  if (y.cols() < options_.num_components) {
+    return Status::InvalidArgument(
+        "num_components exceeds the input dimensionality");
+  }
+  if (y.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 rows");
+  }
+
+  Rng rng(options_.seed);
+  DenseMatrix c = DenseMatrix::GaussianRandom(y.cols(),
+                                              options_.num_components, &rng);
+  // ss = normrnd(1,1), made positive (a variance).
+  double ss = std::fabs(rng.NextGaussian(1.0, 1.0)) + 1e-3;
+
+  CommStats guess_stats;
+  if (options_.smart_guess && y.rows() > options_.smart_guess_rows * 2) {
+    // sPCA-SG (Section 5.2): fit on a small random row sample first; its
+    // C and ss seed the full run. Works because C is D x d — independent
+    // of the number of rows (unlike Mahout-PCA's N-row random matrix).
+    const auto indices = SampleRowIndices(y.rows(), options_.smart_guess_rows,
+                                          options_.seed + 101);
+    const DistMatrix sample =
+        y.SampleRows(indices, std::max<size_t>(1, y.num_partitions() / 4));
+    SpcaOptions sample_options = options_;
+    sample_options.smart_guess = false;
+    sample_options.max_iterations = options_.smart_guess_iterations;
+    sample_options.compute_accuracy_trace = false;
+    sample_options.target_accuracy_fraction = 2.0;  // run all iterations
+    Spca sample_fit(engine_, sample_options);
+    auto guess = sample_fit.FitWithInit(sample, std::move(c), ss);
+    if (!guess.ok()) return guess.status();
+    c = std::move(guess.value().model.components);
+    ss = guess.value().model.noise_variance;
+    guess_stats = guess.value().stats;
+  }
+
+  auto result = FitWithInit(y, std::move(c), ss);
+  if (result.ok() && guess_stats.simulated_seconds > 0.0) {
+    // The sample pre-fit is part of sPCA-SG's cost: shift the trace so
+    // accuracy-vs-time curves (Figure 5) include the initialization delay.
+    for (auto& point : result.value().trace) {
+      point.simulated_seconds += guess_stats.simulated_seconds;
+      point.wall_seconds += guess_stats.wall_seconds;
+    }
+    result.value().stats.Add(guess_stats);
+  }
+  return result;
+}
+
+StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
+                                       DenseMatrix initial_components,
+                                       double initial_ss) const {
+  const size_t d = options_.num_components;
+  const size_t dim = y.cols();
+  const size_t n = y.rows();
+  if (initial_components.rows() != dim || initial_components.cols() != d) {
+    return Status::InvalidArgument("initial components have the wrong shape");
+  }
+  if (!(initial_ss > 0.0)) {
+    return Status::InvalidArgument("initial ss must be positive");
+  }
+
+  // Driver-resident working set: the runtime baseline plus the D x d
+  // matrices the driver holds (C, CM, YtX, and the merged partials), with
+  // a JVM-style object overhead factor. Unlike MLlib-PCA's D x D
+  // covariance, this is linear in D — the reason sPCA's driver memory stays
+  // nearly flat in Figure 8.
+  constexpr double kDriverObjectOverhead = 10.0;
+  const uint64_t driver_bytes =
+      static_cast<uint64_t>(engine_->spec().driver_baseline_bytes) +
+      static_cast<uint64_t>(kDriverObjectOverhead * 4.0 *
+                            static_cast<double>(dim) * d * sizeof(double));
+  SPCA_RETURN_IF_ERROR(
+      engine_->AllocateDriverMemory("sPCA driver state", driver_bytes));
+  struct DriverMemoryGuard {
+    dist::Engine* engine;
+    uint64_t bytes;
+    ~DriverMemoryGuard() { engine->ReleaseDriverMemory(bytes); }
+  } driver_memory_guard{engine_, driver_bytes};
+
+  const CommStats stats_before = engine_->stats();
+  const double sim_before = engine_->SimulatedSeconds();
+  Stopwatch wall;
+
+  JobToggles toggles;
+  toggles.mean_propagation = options_.mean_propagation;
+  toggles.minimize_intermediate_data = options_.minimize_intermediate_data;
+  toggles.consolidate_jobs = options_.consolidate_jobs;
+  toggles.ss3_associativity = options_.ss3_associativity;
+
+  SpcaResult result;
+  result.first_job_index = engine_->traces().size();
+  result.model.components = std::move(initial_components);
+  result.model.noise_variance = initial_ss;
+
+  // The two lightweight pre-loop jobs (Algorithm 4 lines 3-4).
+  result.model.mean = MeanJob(engine_, y);
+  const double ss1 =
+      FrobeniusNormJob(engine_, y, result.model.mean, options_.efficient_frobenius);
+  if (!(ss1 > 0.0)) {
+    return Status::FailedPrecondition(
+        "input matrix is constant (zero variance)");
+  }
+
+  // Evaluation sample for the stop condition / accuracy trace.
+  const bool needs_errors = options_.compute_accuracy_trace ||
+                            options_.target_accuracy_fraction <= 1.0;
+  DistMatrix sample;
+  if (needs_errors) {
+    const auto indices =
+        SampleRowIndices(n, options_.error_sample_rows, kErrorSampleSeed);
+    sample = y.SampleRows(indices, 1);
+    result.ideal_error =
+        options_.ideal_error_override > 0.0
+            ? options_.ideal_error_override
+            : ConvergedIdealError(engine_->spec(), y, d, sample,
+                                  options_.ideal_fit_iterations,
+                                  options_.seed);
+  }
+
+  DenseMatrix& c = result.model.components;
+  double& ss = result.model.noise_variance;
+  const DenseVector& ym = result.model.mean;
+
+  for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    // Driver-side small algebra (Algorithm 4 lines 6-8).
+    DenseMatrix m = linalg::TransposeMultiply(c, c);  // d x d
+    m.AddScaledIdentity(ss);
+    auto m_inverse = linalg::Inverse(m);
+    if (!m_inverse.ok()) return m_inverse.status();
+    const DenseMatrix cm = linalg::Multiply(c, m_inverse.value());  // D x d
+    DenseVector xm(d);
+    for (size_t k = 0; k < dim; ++k) {
+      const double mk = ym[k];
+      if (mk == 0.0) continue;
+      for (size_t j = 0; j < d; ++j) xm[j] += mk * cm(k, j);
+    }
+    engine_->CountDriverFlops(2ull * dim * d * d +  // C'C
+                              2ull * d * d * d +    // inverse
+                              2ull * dim * d * d +  // C * M^-1
+                              2ull * dim * d);      // Xm
+
+    // The unoptimized path materializes X once per iteration and feeds it
+    // to the consumer jobs (Figure 1); the optimized path regenerates X on
+    // demand inside each job (Figure 3).
+    DenseMatrix materialized_x;
+    const DenseMatrix* x_ptr = nullptr;
+    if (!toggles.minimize_intermediate_data) {
+      materialized_x = MaterializeXJob(engine_, y, ym, xm, cm, toggles);
+      x_ptr = &materialized_x;
+    }
+
+    // Distributed YtXJob (computes XtX and YtX; Algorithm 4 line 9).
+    YtXResult ytx_result = YtXJob(engine_, y, ym, xm, cm, x_ptr, toggles);
+
+    // XtX += ss * M^-1 (line 10), then C = YtX / XtX (line 11).
+    ytx_result.xtx.AddScaled(ss, m_inverse.value());
+    auto c_new = linalg::SolveRight(ytx_result.ytx, ytx_result.xtx);
+    if (!c_new.ok()) return c_new.status();
+    engine_->CountDriverFlops(2ull * d * d * d + 2ull * dim * d * d);
+
+    // ss2 = trace(XtX * C' * C) (line 12).
+    const DenseMatrix ctc = linalg::TransposeMultiply(c_new.value(),
+                                                      c_new.value());
+    double ss2 = 0.0;
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) ss2 += ytx_result.xtx(a, b) * ctc(b, a);
+    }
+    engine_->CountDriverFlops(2ull * dim * d * d + 2ull * d * d);
+
+    // Distributed ss3 job (line 13), then the variance update (line 14).
+    const double ss3 =
+        Ss3Job(engine_, y, ym, xm, cm, c_new.value(), x_ptr, toggles);
+    const double ss_new =
+        (ss1 + ss2 - 2.0 * ss3) / static_cast<double>(n) /
+        static_cast<double>(dim);
+
+    c = std::move(c_new.value());
+    ss = std::max(ss_new, 1e-12);
+    result.iterations_run = iteration;
+
+    if (needs_errors) {
+      IterationTrace trace;
+      trace.iteration = iteration;
+      trace.error = SampledReconstructionError(sample, c, ym);
+      trace.accuracy_percent = AccuracyPercent(trace.error, result.ideal_error);
+      trace.simulated_seconds = engine_->SimulatedSeconds() - sim_before;
+      trace.wall_seconds = wall.ElapsedSeconds();
+      trace.ss = ss;
+      trace.jobs_completed = engine_->traces().size();
+      result.trace.push_back(trace);
+      if (options_.target_accuracy_fraction <= 1.0 &&
+          trace.accuracy_percent >=
+              options_.target_accuracy_fraction * 100.0) {
+        result.reached_target = true;
+        break;
+      }
+    }
+  }
+
+  CommStats stats_after = engine_->stats();
+  stats_after.wall_seconds = wall.ElapsedSeconds() + stats_before.wall_seconds;
+  result.stats = dist::StatsDiff(stats_after, stats_before);
+  return result;
+}
+
+}  // namespace spca::core

@@ -1,0 +1,88 @@
+#ifndef SPCA_CORE_SPCA_H_
+#define SPCA_CORE_SPCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "core/spca_options.h"
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+
+namespace spca::core {
+
+/// One EM iteration's worth of progress measurements.
+struct IterationTrace {
+  int iteration = 0;
+  /// Sampled relative 1-norm reconstruction error after this iteration.
+  double error = 0.0;
+  /// Percentage of the ideal accuracy achieved (the paper's y-axis in
+  /// Figures 4 and 5).
+  double accuracy_percent = 0.0;
+  /// Cumulative simulated cluster seconds when this iteration finished.
+  double simulated_seconds = 0.0;
+  /// Cumulative wall-clock seconds in this process.
+  double wall_seconds = 0.0;
+  /// Noise variance ss after this iteration.
+  double ss = 0.0;
+  /// Number of engine job traces recorded when this iteration finished
+  /// (lets benchmarks replay per-iteration timings under other cluster
+  /// specs or data scales).
+  size_t jobs_completed = 0;
+};
+
+/// The outcome of Spca::Fit.
+struct SpcaResult {
+  PcaModel model;
+  std::vector<IterationTrace> trace;
+  /// Best achievable error on the evaluation sample with d components.
+  double ideal_error = 0.0;
+  int iterations_run = 0;
+  bool reached_target = false;
+  /// Engine statistics accumulated by this fit only.
+  dist::CommStats stats;
+  /// Number of engine job traces that existed when the (final, full-data)
+  /// fit started; with smart-guess initialization, traces before this
+  /// index belong to the sample pre-fit.
+  size_t first_job_index = 0;
+};
+
+/// sPCA: scalable distributed Probabilistic PCA (the paper's Algorithm 4).
+///
+/// The driver program runs on a single machine and launches distributed
+/// jobs for the three operations that touch the full data — the mean job,
+/// the Frobenius-norm job, and the per-iteration consolidated YtX job and
+/// ss3 job — exactly the decomposition of Figure 3. All other algebra is
+/// d x d or D x d and executes on the driver.
+///
+/// Typical use:
+///   dist::Engine engine(spec, dist::EngineMode::kSpark);
+///   core::Spca spca(&engine, options);
+///   auto result = spca.Fit(matrix);
+///   result->model.components;  // D x d principal components
+class Spca {
+ public:
+  /// `engine` must outlive this object.
+  Spca(dist::Engine* engine, const SpcaOptions& options)
+      : engine_(engine), options_(options) {}
+
+  /// Fits a PPCA model to the rows of `y`. Fails on degenerate input
+  /// (fewer columns than components, an all-zero matrix, ...).
+  StatusOr<SpcaResult> Fit(const dist::DistMatrix& y) const;
+
+  /// Fit with explicitly provided initial C (D x d) and ss — the hook used
+  /// by smart-guess initialization and by warm-started re-fits.
+  StatusOr<SpcaResult> FitWithInit(const dist::DistMatrix& y,
+                                   linalg::DenseMatrix initial_components,
+                                   double initial_ss) const;
+
+  const SpcaOptions& options() const { return options_; }
+
+ private:
+  dist::Engine* engine_;
+  SpcaOptions options_;
+};
+
+}  // namespace spca::core
+
+#endif  // SPCA_CORE_SPCA_H_

@@ -1,0 +1,37 @@
+#include "dist/comm_stats.h"
+
+#include <cstdio>
+
+#include "common/format.h"
+
+namespace spca::dist {
+
+std::string CommStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "jobs=%llu sim=%s wall=%.2fs intermediate=%s broadcast=%s "
+                "result=%s flops=%s",
+                static_cast<unsigned long long>(jobs_launched),
+                HumanSeconds(simulated_seconds).c_str(), wall_seconds,
+                HumanBytes(static_cast<double>(intermediate_bytes)).c_str(),
+                HumanBytes(static_cast<double>(broadcast_bytes)).c_str(),
+                HumanBytes(static_cast<double>(result_bytes)).c_str(),
+                HumanCount(task_flops + driver_flops).c_str());
+  return buf;
+}
+
+CommStats StatsDiff(const CommStats& after, const CommStats& before) {
+  CommStats diff;
+  diff.intermediate_bytes =
+      after.intermediate_bytes - before.intermediate_bytes;
+  diff.broadcast_bytes = after.broadcast_bytes - before.broadcast_bytes;
+  diff.result_bytes = after.result_bytes - before.result_bytes;
+  diff.task_flops = after.task_flops - before.task_flops;
+  diff.driver_flops = after.driver_flops - before.driver_flops;
+  diff.jobs_launched = after.jobs_launched - before.jobs_launched;
+  diff.simulated_seconds = after.simulated_seconds - before.simulated_seconds;
+  diff.wall_seconds = after.wall_seconds - before.wall_seconds;
+  return diff;
+}
+
+}  // namespace spca::dist

@@ -1,0 +1,62 @@
+#ifndef SPCA_DIST_COMM_STATS_H_
+#define SPCA_DIST_COMM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spca::dist {
+
+/// Communication and compute accounting for one job or one whole algorithm
+/// run. "Intermediate data" matches the paper's definition (Section 2):
+/// bytes that must be exchanged between computing nodes / phases — the
+/// quantity the paper shows exploding to 961 GB for Mahout-PCA while sPCA
+/// stays at 131 MB.
+struct CommStats {
+  /// Mapper/stage output that is materialized between phases (MapReduce:
+  /// written to and re-read from the DFS; Spark: shuffled through memory).
+  uint64_t intermediate_bytes = 0;
+  /// Small matrices broadcast from the driver to every worker (C*M^-1 ...).
+  uint64_t broadcast_bytes = 0;
+  /// Per-task results returned to the driver (accumulator partials).
+  uint64_t result_bytes = 0;
+  /// Floating point operations executed by worker tasks.
+  uint64_t task_flops = 0;
+  /// Floating point operations executed by the driver program.
+  uint64_t driver_flops = 0;
+  /// Number of distributed jobs launched.
+  uint64_t jobs_launched = 0;
+
+  /// Modeled cluster time (seconds) — see dist::Engine for the model.
+  double simulated_seconds = 0.0;
+  /// Actual wall-clock seconds spent executing the tasks in this process.
+  double wall_seconds = 0.0;
+
+  /// Total bytes that cross node boundaries or phases.
+  uint64_t TotalCommunicatedBytes() const {
+    return intermediate_bytes + broadcast_bytes + result_bytes;
+  }
+
+  void Add(const CommStats& other) {
+    intermediate_bytes += other.intermediate_bytes;
+    broadcast_bytes += other.broadcast_bytes;
+    result_bytes += other.result_bytes;
+    task_flops += other.task_flops;
+    driver_flops += other.driver_flops;
+    jobs_launched += other.jobs_launched;
+    simulated_seconds += other.simulated_seconds;
+    wall_seconds += other.wall_seconds;
+  }
+
+  void Reset() { *this = CommStats(); }
+
+  /// One-line summary for logs and benchmark output.
+  std::string ToString() const;
+};
+
+/// Field-wise `after - before`; used to attribute engine statistics to one
+/// algorithm run. `after` must have been accumulated from `before`.
+CommStats StatsDiff(const CommStats& after, const CommStats& before);
+
+}  // namespace spca::dist
+
+#endif  // SPCA_DIST_COMM_STATS_H_

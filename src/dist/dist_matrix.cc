@@ -1,0 +1,181 @@
+#include "dist/dist_matrix.h"
+
+#include <algorithm>
+
+#include "linalg/ops.h"
+
+namespace spca::dist {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseEntry;
+using linalg::SparseMatrix;
+
+std::vector<RowRange> DistMatrix::MakePartitions(size_t rows,
+                                                 size_t num_partitions) {
+  SPCA_CHECK_GT(num_partitions, 0u);
+  num_partitions = std::min(num_partitions, std::max<size_t>(rows, 1));
+  std::vector<RowRange> partitions;
+  const size_t base = rows / num_partitions;
+  const size_t extra = rows % num_partitions;
+  size_t begin = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const size_t size = base + (p < extra ? 1 : 0);
+    partitions.push_back(RowRange{begin, begin + size, p});
+    begin += size;
+  }
+  SPCA_CHECK_EQ(begin, rows);
+  return partitions;
+}
+
+DistMatrix DistMatrix::FromSparse(SparseMatrix matrix, size_t num_partitions) {
+  DistMatrix dm;
+  dm.storage_ = Storage::kSparse;
+  dm.rows_ = matrix.rows();
+  dm.cols_ = matrix.cols();
+  dm.sparse_ = std::make_shared<const SparseMatrix>(std::move(matrix));
+  dm.partitions_ = MakePartitions(dm.rows_, num_partitions);
+  return dm;
+}
+
+DistMatrix DistMatrix::FromDense(DenseMatrix matrix, size_t num_partitions) {
+  DistMatrix dm;
+  dm.storage_ = Storage::kDense;
+  dm.rows_ = matrix.rows();
+  dm.cols_ = matrix.cols();
+  dm.dense_ = std::make_shared<const DenseMatrix>(std::move(matrix));
+  dm.partitions_ = MakePartitions(dm.rows_, num_partitions);
+  return dm;
+}
+
+size_t DistMatrix::StoredEntries() const {
+  return is_sparse() ? sparse_->nnz() : dense_->size();
+}
+
+size_t DistMatrix::ByteSize() const {
+  return is_sparse() ? sparse_->ByteSize() : dense_->ByteSize();
+}
+
+const SparseMatrix& DistMatrix::sparse() const {
+  SPCA_CHECK(is_sparse());
+  return *sparse_;
+}
+
+const DenseMatrix& DistMatrix::dense() const {
+  SPCA_CHECK(!is_sparse());
+  return *dense_;
+}
+
+size_t DistMatrix::RowNnz(size_t i) const {
+  return is_sparse() ? sparse_->Row(i).nnz() : cols_;
+}
+
+void DistMatrix::RowTimesMatrix(size_t i, const DenseMatrix& b,
+                                DenseVector* out) const {
+  SPCA_CHECK_EQ(b.rows(), cols_);
+  SPCA_CHECK_EQ(out->size(), b.cols());
+  out->SetZero();
+  if (is_sparse()) {
+    for (const auto& e : sparse_->Row(i)) {
+      for (size_t j = 0; j < b.cols(); ++j) {
+        (*out)[j] += e.value * b(e.index, j);
+      }
+    }
+  } else {
+    const auto row = dense_->Row(i);
+    for (size_t k = 0; k < row.size(); ++k) {
+      const double v = row[k];
+      if (v == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) (*out)[j] += v * b(k, j);
+    }
+  }
+}
+
+void DistMatrix::AddRowOuterProduct(size_t i, const DenseVector& x,
+                                    DenseMatrix* out) const {
+  SPCA_CHECK_EQ(out->rows(), cols_);
+  SPCA_CHECK_EQ(out->cols(), x.size());
+  if (is_sparse()) {
+    for (const auto& e : sparse_->Row(i)) {
+      for (size_t j = 0; j < x.size(); ++j) {
+        (*out)(e.index, j) += e.value * x[j];
+      }
+    }
+  } else {
+    const auto row = dense_->Row(i);
+    for (size_t k = 0; k < row.size(); ++k) {
+      const double v = row[k];
+      if (v == 0.0) continue;
+      for (size_t j = 0; j < x.size(); ++j) (*out)(k, j) += v * x[j];
+    }
+  }
+}
+
+double DistMatrix::RowDot(size_t i, const DenseVector& v) const {
+  SPCA_CHECK_EQ(v.size(), cols_);
+  if (is_sparse()) return sparse_->Row(i).Dot(v);
+  const auto row = dense_->Row(i);
+  double sum = 0.0;
+  for (size_t j = 0; j < row.size(); ++j) sum += row[j] * v[j];
+  return sum;
+}
+
+double DistMatrix::RowSquaredNorm(size_t i) const {
+  if (is_sparse()) return sparse_->Row(i).SquaredNorm();
+  const auto row = dense_->Row(i);
+  double sum = 0.0;
+  for (double v : row) sum += v * v;
+  return sum;
+}
+
+double DistMatrix::RowSum(size_t i) const {
+  if (is_sparse()) return sparse_->Row(i).Sum();
+  const auto row = dense_->Row(i);
+  double sum = 0.0;
+  for (double v : row) sum += v;
+  return sum;
+}
+
+DenseVector DistMatrix::ColumnMeans() const {
+  return is_sparse() ? sparse_->ColumnMeans() : linalg::ColumnMeans(*dense_);
+}
+
+double DistMatrix::FrobeniusNorm2() const {
+  return is_sparse() ? sparse_->FrobeniusNorm2() : dense_->FrobeniusNorm2();
+}
+
+DenseMatrix DistMatrix::ToDenseSlice(size_t begin, size_t end) const {
+  SPCA_CHECK_LE(begin, end);
+  SPCA_CHECK_LE(end, rows_);
+  DenseMatrix slice(end - begin, cols_);
+  for (size_t i = begin; i < end; ++i) {
+    ForEachEntry(i, [&](size_t j, double v) { slice(i - begin, j) = v; });
+  }
+  return slice;
+}
+
+DistMatrix DistMatrix::SampleRows(std::span<const size_t> row_indices,
+                                  size_t num_partitions) const {
+  if (is_sparse()) {
+    SparseMatrix sample(row_indices.size(), cols_);
+    std::vector<SparseEntry> row;
+    for (size_t out = 0; out < row_indices.size(); ++out) {
+      const size_t i = row_indices[out];
+      SPCA_CHECK_LT(i, rows_);
+      const auto view = sparse_->Row(i);
+      row.assign(view.begin(), view.end());
+      sample.AppendRow(out, row);
+    }
+    return FromSparse(std::move(sample), num_partitions);
+  }
+  DenseMatrix sample(row_indices.size(), cols_);
+  for (size_t out = 0; out < row_indices.size(); ++out) {
+    const size_t i = row_indices[out];
+    SPCA_CHECK_LT(i, rows_);
+    const auto row = dense_->Row(i);
+    for (size_t j = 0; j < cols_; ++j) sample(out, j) = row[j];
+  }
+  return FromDense(std::move(sample), num_partitions);
+}
+
+}  // namespace spca::dist

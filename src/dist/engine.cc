@@ -1,0 +1,176 @@
+#include "dist/engine.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+#include "common/rng.h"
+
+namespace spca::dist {
+
+const char* EngineModeToString(EngineMode mode) {
+  return mode == EngineMode::kMapReduce ? "MapReduce" : "Spark";
+}
+
+void Engine::ResetStats() {
+  stats_.Reset();
+  traces_.clear();
+  driver_memory_ = 0;
+  peak_driver_memory_ = 0;
+  cached_inputs_.clear();
+}
+
+void Engine::Broadcast(uint64_t bytes) {
+  stats_.broadcast_bytes += bytes;
+  // The driver pushes one copy to each node over its own uplink.
+  stats_.simulated_seconds += static_cast<double>(bytes) * spec_.num_nodes /
+                              spec_.network_bandwidth_per_node;
+}
+
+void Engine::CountDriverFlops(uint64_t flops) {
+  stats_.driver_flops += flops;
+  stats_.simulated_seconds +=
+      static_cast<double>(flops) / spec_.flops_per_sec_per_core;
+}
+
+Status Engine::AllocateDriverMemory(const std::string& what, uint64_t bytes) {
+  if (static_cast<double>(driver_memory_) + static_cast<double>(bytes) >
+      spec_.driver_memory_bytes) {
+    return Status::OutOfMemory(
+        what + " needs " + HumanBytes(static_cast<double>(bytes)) +
+        " but the driver has " +
+        HumanBytes(spec_.driver_memory_bytes -
+                   static_cast<double>(driver_memory_)) +
+        " free of " + HumanBytes(spec_.driver_memory_bytes));
+  }
+  driver_memory_ += bytes;
+  peak_driver_memory_ = std::max(peak_driver_memory_, driver_memory_);
+  return Status::Ok();
+}
+
+void Engine::ReleaseDriverMemory(uint64_t bytes) {
+  SPCA_CHECK_LE(bytes, driver_memory_);
+  driver_memory_ -= bytes;
+}
+
+namespace {
+
+struct JobCost {
+  double launch_sec = 0.0;
+  double compute_sec = 0.0;
+  double data_sec = 0.0;
+
+  double Total() const { return launch_sec + compute_sec + data_sec; }
+};
+
+// The cluster cost model, shared by live accounting and trace replay.
+JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
+                       const std::vector<uint64_t>& task_flops,
+                       double flop_scale, double input_bytes,
+                       double intermediate_bytes, double result_bytes) {
+  JobCost cost;
+  cost.launch_sec = spec.job_launch_sec(mode);
+
+  // Schedule tasks onto cores (in-order greedy onto the least-loaded core;
+  // deterministic and close to LPT for near-equal tasks).
+  std::vector<double> core_load(std::max(1, spec.total_cores()), 0.0);
+  for (const uint64_t flops : task_flops) {
+    auto min_it = std::min_element(core_load.begin(), core_load.end());
+    *min_it += static_cast<double>(flops) * flop_scale /
+               spec.flops_per_sec_per_core;
+  }
+  cost.compute_sec = *std::max_element(core_load.begin(), core_load.end());
+
+  // Input is read from the DFS at aggregate disk bandwidth (0 bytes when
+  // the RDD is cached). Intermediate data goes through the DFS (write then
+  // read) on MapReduce and through memory/network on Spark. Results flow
+  // to the driver over its single node's link either way.
+  const double input_sec = input_bytes / spec.total_disk_bandwidth();
+  double intermediate_sec;
+  if (mode == EngineMode::kMapReduce) {
+    intermediate_sec =
+        2.0 * intermediate_bytes / spec.total_disk_bandwidth() +
+        intermediate_bytes / spec.total_network_bandwidth();
+  } else {
+    intermediate_sec = intermediate_bytes / spec.total_network_bandwidth();
+  }
+  const double result_sec = result_bytes / spec.network_bandwidth_per_node;
+  cost.data_sec = input_sec + intermediate_sec + result_sec;
+  return cost;
+}
+
+}  // namespace
+
+double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
+                        EngineMode mode, const ReplayScales& scales) {
+  const JobCost cost = ComputeJobCost(
+      spec, mode, trace.task_flops, scales.flops,
+      trace.charged_input_bytes * scales.input_bytes,
+      static_cast<double>(trace.stats.intermediate_bytes) *
+          scales.intermediate_bytes,
+      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes);
+  return cost.Total();
+}
+
+void Engine::FinishJob(const std::string& name, const DistMatrix& matrix,
+                       const std::vector<TaskContext>& contexts,
+                       double wall_seconds) {
+  JobTrace trace;
+  trace.name = name;
+  trace.num_tasks = contexts.size();
+
+  uint64_t total_flops = 0;
+  uint64_t intermediate = 0;
+  uint64_t result = 0;
+  trace.task_flops.reserve(contexts.size());
+  for (size_t task = 0; task < contexts.size(); ++task) {
+    const auto& ctx = contexts[task];
+    // Fault injection: failed attempts are transparently re-executed by
+    // the platform; every retry re-pays the task's compute. The draw is
+    // deterministic in (job index, task index) so runs are reproducible.
+    uint64_t charged_flops = ctx.flops();
+    if (spec_.task_failure_probability > 0.0) {
+      Rng task_rng(0x5ca1ab1eULL ^ (traces_.size() * 0x9e3779b97f4a7c15ULL) ^
+                   task);
+      int attempts = 1;
+      while (attempts < std::max(1, spec_.max_task_attempts) &&
+             task_rng.NextDouble() < spec_.task_failure_probability) {
+        ++attempts;
+      }
+      charged_flops *= attempts;
+      trace.task_retries += attempts - 1;
+    }
+    trace.task_flops.push_back(charged_flops);
+    total_flops += charged_flops;
+    intermediate += ctx.intermediate_bytes();
+    result += ctx.result_bytes();
+  }
+
+  // MapReduce re-reads the input from the DFS every job; Spark caches the
+  // RDD in cluster memory after the first job touches it.
+  if (mode_ == EngineMode::kMapReduce) {
+    trace.charged_input_bytes = static_cast<double>(matrix.ByteSize());
+  } else if (!cached_inputs_.contains(matrix.StorageKey())) {
+    cached_inputs_.insert(matrix.StorageKey());
+    trace.charged_input_bytes = static_cast<double>(matrix.ByteSize());
+  }
+
+  const JobCost cost = ComputeJobCost(
+      spec_, mode_, trace.task_flops, /*flop_scale=*/1.0,
+      trace.charged_input_bytes, static_cast<double>(intermediate),
+      static_cast<double>(result));
+  trace.launch_sec = cost.launch_sec;
+  trace.compute_sec = cost.compute_sec;
+  trace.data_sec = cost.data_sec;
+
+  trace.stats.jobs_launched = 1;
+  trace.stats.task_flops = total_flops;
+  trace.stats.intermediate_bytes = intermediate;
+  trace.stats.result_bytes = result;
+  trace.stats.wall_seconds = wall_seconds;
+  trace.stats.simulated_seconds = cost.Total();
+
+  stats_.Add(trace.stats);
+  traces_.push_back(std::move(trace));
+}
+
+}  // namespace spca::dist

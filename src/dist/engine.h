@@ -1,0 +1,182 @@
+#ifndef SPCA_DIST_ENGINE_H_
+#define SPCA_DIST_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "dist/cluster_spec.h"
+#include "dist/comm_stats.h"
+#include "dist/dist_matrix.h"
+
+namespace spca::dist {
+
+/// Per-task accounting handle passed to every map function. Tasks report
+/// the work they do and the data they emit; the engine converts these into
+/// simulated cluster time using the ClusterSpec.
+class TaskContext {
+ public:
+  /// Records floating-point work executed by this task.
+  void CountFlops(uint64_t flops) { flops_ += flops; }
+
+  /// Records mapper/stage output that must be materialized between phases
+  /// (the paper's "intermediate data"). On MapReduce this goes through the
+  /// DFS (disk write + read); on Spark through memory/network.
+  void EmitIntermediate(uint64_t bytes) { intermediate_bytes_ += bytes; }
+
+  /// Records bytes returned to the driver (accumulator partials / reducer
+  /// output), e.g. the stateful combiner's XtX-p and YtX-p matrices.
+  void EmitResult(uint64_t bytes) { result_bytes_ += bytes; }
+
+  uint64_t flops() const { return flops_; }
+  uint64_t intermediate_bytes() const { return intermediate_bytes_; }
+  uint64_t result_bytes() const { return result_bytes_; }
+
+ private:
+  uint64_t flops_ = 0;
+  uint64_t intermediate_bytes_ = 0;
+  uint64_t result_bytes_ = 0;
+};
+
+/// Record of one executed distributed job (for per-job analysis, Section
+/// 5.2 "Analysis of sPCA and Mahout-PCA Jobs", and for cost-model replay).
+struct JobTrace {
+  std::string name;
+  size_t num_tasks = 0;
+  CommStats stats;       // this job only
+  double launch_sec = 0.0;
+  double compute_sec = 0.0;  // max-over-cores task compute time
+  double data_sec = 0.0;     // input + intermediate + result movement
+  /// Per-task *charged* flop counts (including fault-injection retries),
+  /// for replaying the job under a different ClusterSpec or data scale.
+  std::vector<uint64_t> task_flops;
+  /// Number of re-executed task attempts injected by the failure model.
+  size_t task_retries = 0;
+  /// Input bytes actually charged for this job (0 when the input RDD was
+  /// already cached in cluster memory).
+  double charged_input_bytes = 0.0;
+};
+
+/// Multipliers applied to a recorded job when replaying it at a different
+/// data scale: per-row work and N-proportional data volumes scale linearly
+/// with the row count, while broadcasts and D x d partials do not. Used by
+/// the benchmarks to extrapolate laptop-scale measurements to the paper's
+/// billion-row datasets (see EXPERIMENTS.md).
+struct ReplayScales {
+  double flops = 1.0;
+  double input_bytes = 1.0;
+  double intermediate_bytes = 1.0;
+  double result_bytes = 1.0;
+};
+
+/// Recomputes one recorded job's simulated seconds under a (possibly
+/// different) cluster and engine mode, with the given scale multipliers.
+/// Uses exactly the same cost model as Engine::FinishJob.
+double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
+                        EngineMode mode, const ReplayScales& scales);
+
+/// The distributed-execution engine: runs map jobs over the partitions of a
+/// DistMatrix, really executing the task functions in this process (so all
+/// numerical results are exact) while accounting simulated cluster time and
+/// communication volume per the ClusterSpec and EngineMode.
+///
+/// This is the repository's substitute for Hadoop MapReduce / Spark (see
+/// DESIGN.md): the paper's performance story is (compute, intermediate
+/// data, platform overheads), all of which are modeled explicitly.
+class Engine {
+ public:
+  Engine(const ClusterSpec& spec, EngineMode mode)
+      : spec_(spec), mode_(mode) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const ClusterSpec& spec() const { return spec_; }
+  EngineMode mode() const { return mode_; }
+
+  /// Cumulative statistics since construction or the last ResetStats().
+  const CommStats& stats() const { return stats_; }
+  const std::vector<JobTrace>& traces() const { return traces_; }
+  void ResetStats();
+
+  /// Runs `fn(range, ctx)` once per partition of `matrix` and returns the
+  /// per-partition results in partition order (deterministic regardless of
+  /// thread scheduling). Fn: (const RowRange&, TaskContext*) -> T.
+  template <typename T, typename Fn>
+  std::vector<T> RunMap(const std::string& name, const DistMatrix& matrix,
+                        Fn&& fn) {
+    const size_t num_tasks = matrix.num_partitions();
+    std::vector<T> results(num_tasks);
+    std::vector<TaskContext> contexts(num_tasks);
+
+    Stopwatch wall;
+    const size_t hardware = std::max<unsigned>(
+        1, std::thread::hardware_concurrency());
+    const size_t num_workers = std::min(num_tasks, hardware);
+    if (num_workers <= 1) {
+      for (size_t p = 0; p < num_tasks; ++p) {
+        results[p] = fn(matrix.partition(p), &contexts[p]);
+      }
+    } else {
+      std::atomic<size_t> next{0};
+      auto worker = [&]() {
+        for (;;) {
+          const size_t p = next.fetch_add(1);
+          if (p >= num_tasks) return;
+          results[p] = fn(matrix.partition(p), &contexts[p]);
+        }
+      };
+      std::vector<std::thread> threads;
+      threads.reserve(num_workers);
+      for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker);
+      for (auto& t : threads) t.join();
+    }
+
+    FinishJob(name, matrix, contexts, wall.ElapsedSeconds());
+    return results;
+  }
+
+  /// Accounts a broadcast of `bytes` from the driver to every node (the
+  /// in-memory matrix CM, the mean vector, ...).
+  void Broadcast(uint64_t bytes);
+
+  /// Records driver-side floating point work (the small d x d algebra).
+  void CountDriverFlops(uint64_t flops);
+
+  /// Reserves driver memory; fails with OUT_OF_MEMORY when the driver's
+  /// budget would be exceeded (this is how the MLlib-PCA baseline fails for
+  /// D > ~6,000 in Figures 7/8). `what` names the allocation for the error
+  /// message.
+  Status AllocateDriverMemory(const std::string& what, uint64_t bytes);
+  void ReleaseDriverMemory(uint64_t bytes);
+  uint64_t current_driver_memory() const { return driver_memory_; }
+  uint64_t peak_driver_memory() const { return peak_driver_memory_; }
+
+  /// Total modeled cluster seconds accumulated so far.
+  double SimulatedSeconds() const { return stats_.simulated_seconds; }
+
+ private:
+  /// Converts per-task accounting into simulated time and merges stats.
+  void FinishJob(const std::string& name, const DistMatrix& matrix,
+                 const std::vector<TaskContext>& contexts,
+                 double wall_seconds);
+
+  ClusterSpec spec_;
+  EngineMode mode_;
+  CommStats stats_;
+  std::vector<JobTrace> traces_;
+  uint64_t driver_memory_ = 0;
+  uint64_t peak_driver_memory_ = 0;
+  // Matrices already resident in cluster memory (Spark caches the input RDD
+  // after the first job; MapReduce re-reads from the DFS every job).
+  std::set<const void*> cached_inputs_;
+};
+
+}  // namespace spca::dist
+
+#endif  // SPCA_DIST_ENGINE_H_

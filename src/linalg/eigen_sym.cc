@@ -1,0 +1,245 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace spca::linalg {
+
+StatusOr<SymmetricEigenResult> SymmetricEigen(const DenseMatrix& a,
+                                              int max_sweeps) {
+  // Jacobi is unbeatably robust but does several O(n^3) sweeps; the
+  // tridiagonal path wins clearly beyond small sizes.
+  constexpr size_t kJacobiCutoff = 48;
+  if (a.rows() > kJacobiCutoff) return SymmetricEigenTridiagonal(a);
+  return SymmetricEigenJacobi(a, max_sweeps);
+}
+
+StatusOr<SymmetricEigenResult> SymmetricEigenJacobi(const DenseMatrix& a,
+                                                    int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix m = a;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  // Cyclic Jacobi sweeps: zero each off-diagonal pair (p, q) with a Givens
+  // rotation until the off-diagonal mass is negligible.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    }
+    if (off < 1e-24 * std::max(1.0, m.FrobeniusNorm2())) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        // tan of the rotation angle, smaller root for stability.
+        double t;
+        if (tau >= 0.0) {
+          t = 1.0 / (tau + std::sqrt(1.0 + tau * tau));
+        } else {
+          t = -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Update rows/cols p and q of m (symmetric update).
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&m](size_t i, size_t j) { return m(i, i) > m(j, j); });
+
+  SymmetricEigenResult result;
+  result.values = DenseVector(n);
+  result.vectors = DenseMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = m(order[j], order[j]);
+    for (size_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+StatusOr<SymmetricEigenResult> SymmetricEigenTridiagonal(
+    const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const size_t n = a.rows();
+  if (n == 0) {
+    return SymmetricEigenResult{DenseVector(0), DenseMatrix(0, 0)};
+  }
+
+  // --- Householder tridiagonalization (tred2). `z` accumulates the
+  // orthogonal similarity transform; `diag`/`sub` hold the tridiagonal
+  // bands at the end.
+  DenseMatrix z = a;
+  std::vector<double> diag(n, 0.0);
+  std::vector<double> sub(n, 0.0);
+
+  for (size_t i = n - 1; i >= 1; --i) {
+    const size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (i > 1) {
+      for (size_t k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        sub[i] = z(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        sub[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          sub[j] = g / h;
+          f += sub[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          sub[j] = g = sub[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * sub[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      sub[i] = z(i, l);
+    }
+    diag[i] = h;
+  }
+  diag[0] = 0.0;
+  sub[0] = 0.0;
+  // Accumulate the transformation.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t l = i;  // columns [0, i)
+    if (diag[i] != 0.0) {
+      for (size_t j = 0; j < l; ++j) {
+        double g = 0.0;
+        for (size_t k = 0; k < l; ++k) g += z(i, k) * z(k, j);
+        for (size_t k = 0; k < l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    diag[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (size_t j = 0; j < l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+
+  // --- Implicit-shift QL iteration on the tridiagonal (tql2).
+  for (size_t i = 1; i < n; ++i) sub[i - 1] = sub[i];
+  sub[n - 1] = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    for (;;) {
+      size_t m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::fabs(diag[m]) + std::fabs(diag[m + 1]);
+        if (std::fabs(sub[m]) <= 1e-15 * dd) break;
+      }
+      if (m == l) break;
+      if (++iterations > 50) {
+        return Status::Internal("tql2 failed to converge");
+      }
+      double g = (diag[l + 1] - diag[l]) / (2.0 * sub[l]);
+      double r = std::hypot(g, 1.0);
+      g = diag[m] - diag[l] +
+          sub[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow_restart = false;
+      for (size_t i = m; i-- > l;) {
+        double f = s * sub[i];
+        const double b = c * sub[i];
+        r = std::hypot(f, g);
+        sub[i + 1] = r;
+        if (r == 0.0) {
+          // Recover from underflow: deflate and restart this eigenvalue.
+          diag[i + 1] -= p;
+          sub[m] = 0.0;
+          underflow_restart = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = diag[i + 1] - p;
+        r = (diag[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        diag[i + 1] = g + p;
+        g = c * r - b;
+        for (size_t k = 0; k < n; ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (underflow_restart) continue;
+      diag[l] -= p;
+      sub[l] = g;
+      sub[m] = 0.0;
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&diag](size_t i, size_t j) { return diag[i] > diag[j]; });
+
+  SymmetricEigenResult result;
+  result.values = DenseVector(n);
+  result.vectors = DenseMatrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = diag[order[j]];
+    for (size_t i = 0; i < n; ++i) {
+      result.vectors(i, j) = z(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace spca::linalg

@@ -1,0 +1,36 @@
+#ifndef SPCA_LINALG_EIGEN_SYM_H_
+#define SPCA_LINALG_EIGEN_SYM_H_
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::linalg {
+
+/// Result of a symmetric eigendecomposition: A = V * diag(values) * V'.
+struct SymmetricEigenResult {
+  /// Eigenvalues sorted in descending order.
+  DenseVector values;
+  /// Orthonormal eigenvectors as *columns*, in the same order as `values`.
+  DenseMatrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix. Dispatches between the two
+/// implementations below: cyclic Jacobi for small matrices (most robust),
+/// Householder tridiagonalization + implicit QL for larger ones (O(n^3)
+/// with a much smaller constant than Jacobi's sweeps). Fails on
+/// non-square input.
+StatusOr<SymmetricEigenResult> SymmetricEigen(const DenseMatrix& a,
+                                              int max_sweeps = 64);
+
+/// Cyclic Jacobi eigendecomposition (exposed for tests/benchmarks).
+StatusOr<SymmetricEigenResult> SymmetricEigenJacobi(const DenseMatrix& a,
+                                                    int max_sweeps = 64);
+
+/// Householder tridiagonalization followed by the implicit-shift QL
+/// iteration (the classic tred2/tql2 pair). Exposed for tests/benchmarks.
+StatusOr<SymmetricEigenResult> SymmetricEigenTridiagonal(
+    const DenseMatrix& a);
+
+}  // namespace spca::linalg
+
+#endif  // SPCA_LINALG_EIGEN_SYM_H_

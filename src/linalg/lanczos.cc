@@ -1,0 +1,115 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spca::linalg {
+
+namespace {
+
+// Removes from `v` its projections onto the first `count` columns of `basis`
+// (two passes for numerical robustness).
+void Reorthogonalize(const std::vector<DenseVector>& basis, size_t count,
+                     DenseVector* v) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t j = 0; j < count; ++j) {
+      const double dot = basis[j].Dot(*v);
+      v->AddScaled(-dot, basis[j]);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<SvdResult> LanczosSvd(const LinearOperator& op, size_t k,
+                               size_t steps, uint64_t seed) {
+  const size_t n = op.rows();
+  const size_t m = op.cols();
+  if (k == 0 || k > std::min(n, m)) {
+    return Status::InvalidArgument("LanczosSvd: invalid rank k");
+  }
+  steps = std::min(steps, std::min(n, m));
+  if (steps < k) {
+    return Status::InvalidArgument("LanczosSvd: steps must be >= k");
+  }
+
+  // Golub–Kahan–Lanczos: build orthonormal bases {u_i} (dim n) and {v_i}
+  // (dim m) with A*v_i = alpha_i*u_i + beta_{i-1}*u_{i-1}, etc., producing a
+  // (steps x steps) lower bidiagonal projection.
+  std::vector<DenseVector> us;
+  std::vector<DenseVector> vs;
+  std::vector<double> alphas;
+  std::vector<double> betas;  // betas[i] couples step i to step i+1
+
+  Rng rng(seed);
+  DenseVector v(m);
+  for (size_t i = 0; i < m; ++i) v[i] = rng.NextGaussian();
+  v.Scale(1.0 / std::max(v.Norm2(), 1e-300));
+
+  DenseVector u(n);
+  size_t actual_steps = 0;
+  for (size_t step = 0; step < steps; ++step) {
+    // u = A*v - beta_{step-1} * u_{step-1}
+    u = op.Apply(v);
+    if (step > 0) u.AddScaled(-betas.back(), us.back());
+    Reorthogonalize(us, us.size(), &u);
+    const double alpha = u.Norm2();
+    if (alpha < 1e-12) break;
+    u.Scale(1.0 / alpha);
+
+    us.push_back(u);
+    vs.push_back(v);
+    alphas.push_back(alpha);
+    ++actual_steps;
+
+    // v_next = A'*u - alpha * v
+    DenseVector v_next = op.ApplyTranspose(u);
+    v_next.AddScaled(-alpha, v);
+    Reorthogonalize(vs, vs.size(), &v_next);
+    const double beta = v_next.Norm2();
+    if (beta < 1e-12) break;
+    v_next.Scale(1.0 / beta);
+    betas.push_back(beta);
+    v = std::move(v_next);
+  }
+  if (actual_steps == 0) {
+    return Status::FailedPrecondition("LanczosSvd: operator is zero");
+  }
+  betas.resize(actual_steps > 0 ? actual_steps - 1 : 0);
+
+  // With this recurrence A*V_s = U_s*T where T is *upper* bidiagonal:
+  // diagonal = alphas, superdiagonal = betas. SVD the small projection.
+  DenseMatrix t(actual_steps, actual_steps);
+  for (size_t i = 0; i < actual_steps; ++i) t(i, i) = alphas[i];
+  for (size_t i = 0; i + 1 < actual_steps; ++i) t(i, i + 1) = betas[i];
+  auto small = SvdJacobi(t);
+  if (!small.ok()) return small.status();
+
+  const size_t out_k = std::min(k, actual_steps);
+  SvdResult result;
+  result.singular_values = DenseVector(out_k);
+  result.u = DenseMatrix(n, out_k);
+  result.v = DenseMatrix(m, out_k);
+
+  // A ≈ U_s * T * V_s'. T = P * S * Q' => left singular vectors
+  // U = U_s * P, right singular vectors V = V_s * Q.
+  for (size_t j = 0; j < out_k; ++j) {
+    result.singular_values[j] = small.value().singular_values[j];
+    for (size_t s = 0; s < actual_steps; ++s) {
+      const double pj = small.value().u(s, j);
+      if (pj != 0.0) {
+        for (size_t i = 0; i < n; ++i) result.u(i, j) += pj * us[s][i];
+      }
+      const double qj = small.value().v(s, j);
+      if (qj != 0.0) {
+        for (size_t i = 0; i < m; ++i) result.v(i, j) += qj * vs[s][i];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spca::linalg

@@ -1,0 +1,40 @@
+#ifndef SPCA_LINALG_LANCZOS_H_
+#define SPCA_LINALG_LANCZOS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/svd.h"
+
+namespace spca::linalg {
+
+/// Abstract matrix-free linear operator: all a Lanczos solver needs is
+/// matrix-vector products with A and A'. Implementations include the
+/// implicitly mean-centered sparse matrix used by the SVD-Lanczos baseline
+/// (the point of §2.2: explicit centering would destroy sparsity, so the
+/// operator propagates the mean instead).
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+
+  /// y = A * x; x has cols() elements, result has rows().
+  virtual DenseVector Apply(const DenseVector& x) const = 0;
+  /// y = A' * x; x has rows() elements, result has cols().
+  virtual DenseVector ApplyTranspose(const DenseVector& x) const = 0;
+};
+
+/// Golub–Kahan–Lanczos bidiagonalization with full reorthogonalization,
+/// followed by an SVD of the small bidiagonal matrix. Returns the top-k
+/// singular triplets of the operator. `steps` controls the Krylov subspace
+/// size (steps >= k; more steps = better accuracy). Deterministic given
+/// `seed` (which seeds the start vector).
+StatusOr<SvdResult> LanczosSvd(const LinearOperator& op, size_t k,
+                               size_t steps, uint64_t seed);
+
+}  // namespace spca::linalg
+
+#endif  // SPCA_LINALG_LANCZOS_H_

@@ -1,0 +1,145 @@
+#include "linalg/ops.h"
+
+namespace spca::linalg {
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  SPCA_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix TransposeMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  SPCA_CHECK_EQ(a.rows(), b.rows());
+  DenseMatrix c(a.cols(), b.cols());
+  // sum_r (A_r)' * B_r: stream one row of each operand at a time.
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double ari = a(r, i);
+      if (ari == 0.0) continue;
+      for (size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += ari * b(r, j);
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix MultiplyTranspose(const DenseMatrix& a, const DenseMatrix& b) {
+  SPCA_CHECK_EQ(a.cols(), b.cols());
+  DenseMatrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+DenseVector MultiplyVector(const DenseMatrix& a, const DenseVector& x) {
+  SPCA_CHECK_EQ(a.cols(), x.size());
+  DenseVector y(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+DenseVector TransposeMultiplyVector(const DenseMatrix& a,
+                                    const DenseVector& x) {
+  SPCA_CHECK_EQ(a.rows(), x.size());
+  DenseVector y(a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
+  }
+  return y;
+}
+
+DenseVector RowTimesMatrix(const DenseVector& row, const DenseMatrix& b) {
+  SPCA_CHECK_EQ(row.size(), b.rows());
+  DenseVector out(b.cols());
+  for (size_t k = 0; k < b.rows(); ++k) {
+    const double v = row[k];
+    if (v == 0.0) continue;
+    for (size_t j = 0; j < b.cols(); ++j) out[j] += v * b(k, j);
+  }
+  return out;
+}
+
+DenseVector SparseRowTimesMatrix(const SparseRowView& row,
+                                 const DenseMatrix& b) {
+  SPCA_CHECK_EQ(row.dim(), b.rows());
+  DenseVector out(b.cols());
+  for (const auto& e : row) {
+    for (size_t j = 0; j < b.cols(); ++j) out[j] += e.value * b(e.index, j);
+  }
+  return out;
+}
+
+void AddOuterProduct(const DenseVector& a, const DenseVector& b,
+                     DenseMatrix* out) {
+  SPCA_CHECK_EQ(out->rows(), a.size());
+  SPCA_CHECK_EQ(out->cols(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (size_t j = 0; j < b.size(); ++j) (*out)(i, j) += ai * b[j];
+  }
+}
+
+void AddSparseOuterProduct(const SparseRowView& row, const DenseVector& b,
+                           DenseMatrix* out) {
+  SPCA_CHECK_EQ(out->rows(), row.dim());
+  SPCA_CHECK_EQ(out->cols(), b.size());
+  for (const auto& e : row) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      (*out)(e.index, j) += e.value * b[j];
+    }
+  }
+}
+
+DenseMatrix SparseTimesDense(const SparseMatrix& y, const DenseMatrix& b) {
+  SPCA_CHECK_EQ(y.cols(), b.rows());
+  DenseMatrix c(y.rows(), b.cols());
+  for (size_t i = 0; i < y.rows(); ++i) {
+    auto out = c.Row(i);
+    for (const auto& e : y.Row(i)) {
+      for (size_t j = 0; j < b.cols(); ++j) out[j] += e.value * b(e.index, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix MeanCenter(const DenseMatrix& a, const DenseVector& mean) {
+  SPCA_CHECK_EQ(a.cols(), mean.size());
+  DenseMatrix c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) - mean[j];
+  }
+  return c;
+}
+
+DenseVector ColumnMeans(const DenseMatrix& a) {
+  DenseVector means(a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) means[j] += a(i, j);
+  }
+  if (a.rows() > 0) means.Scale(1.0 / static_cast<double>(a.rows()));
+  return means;
+}
+
+}  // namespace spca::linalg

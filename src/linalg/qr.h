@@ -1,0 +1,27 @@
+#ifndef SPCA_LINALG_QR_H_
+#define SPCA_LINALG_QR_H_
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::linalg {
+
+/// Thin QR decomposition A = Q * R for A (n x m), n >= m: Q is (n x m) with
+/// orthonormal columns, R is (m x m) upper triangular.
+struct QrResult {
+  DenseMatrix q;
+  DenseMatrix r;
+};
+
+/// Householder QR (thin). Fails if n < m.
+StatusOr<QrResult> QrDecompose(const DenseMatrix& a);
+
+/// In-place Gram–Schmidt orthonormalization of the *columns* of A (with
+/// re-orthogonalization for stability). Returns the orthonormalized matrix.
+/// Rank-deficient columns are replaced with zeros. Used for orthonormalizing
+/// the principal-component basis C before computing reconstruction error.
+DenseMatrix OrthonormalizeColumns(const DenseMatrix& a);
+
+}  // namespace spca::linalg
+
+#endif  // SPCA_LINALG_QR_H_

@@ -1,0 +1,29 @@
+#ifndef SPCA_LINALG_SOLVE_H_
+#define SPCA_LINALG_SOLVE_H_
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::linalg {
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// A = L * L' with L lower triangular. Fails if A is not SPD (within
+/// numerical tolerance). Used for the d x d matrices M and XtX in PPCA.
+StatusOr<DenseMatrix> CholeskyFactor(const DenseMatrix& a);
+
+/// Solves A * X = B for SPD A using Cholesky. B may have multiple columns.
+StatusOr<DenseMatrix> SolveSpd(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Solves A * X = B using LU with partial pivoting (general square A).
+StatusOr<DenseMatrix> SolveLu(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Inverse of a square matrix via LU. Fails on (numerically) singular input.
+StatusOr<DenseMatrix> Inverse(const DenseMatrix& a);
+
+/// Solves X * A = B, i.e. X = B * A^{-1} — the paper's `B / A` notation
+/// (line "C = YtX / XtX" in Algorithm 1). A is square (d x d); B is (n x d).
+StatusOr<DenseMatrix> SolveRight(const DenseMatrix& b, const DenseMatrix& a);
+
+}  // namespace spca::linalg
+
+#endif  // SPCA_LINALG_SOLVE_H_

@@ -1,0 +1,232 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/ops.h"
+
+namespace spca::linalg {
+
+StatusOr<BidiagonalizeResult> Bidiagonalize(const DenseMatrix& a) {
+  const size_t n = a.rows();
+  const size_t m = a.cols();
+  if (n < m) {
+    return Status::InvalidArgument("Bidiagonalize requires rows >= cols");
+  }
+
+  DenseMatrix work = a;
+  DenseMatrix u = DenseMatrix::Identity(n);  // full for simplicity; thinned below
+  DenseMatrix v = DenseMatrix::Identity(m);
+
+  auto apply_left_householder = [&](size_t k) {
+    // Reflector zeroing work(k+1.., k); applied to work and accumulated in U.
+    double norm2 = 0.0;
+    for (size_t i = k; i < n; ++i) norm2 += work(i, k) * work(i, k);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) return;
+    const double alpha = (work(k, k) >= 0.0) ? -norm : norm;
+    std::vector<double> hv(n, 0.0);
+    hv[k] = work(k, k) - alpha;
+    for (size_t i = k + 1; i < n; ++i) hv[i] = work(i, k);
+    double vtv = 0.0;
+    for (size_t i = k; i < n; ++i) vtv += hv[i] * hv[i];
+    if (vtv == 0.0) return;
+    const double beta = 2.0 / vtv;
+    for (size_t j = k; j < m; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < n; ++i) dot += hv[i] * work(i, j);
+      const double scale = beta * dot;
+      for (size_t i = k; i < n; ++i) work(i, j) -= scale * hv[i];
+    }
+    // U = U * H (H symmetric), i.e. each row of U gets reflected.
+    for (size_t r = 0; r < n; ++r) {
+      double dot = 0.0;
+      for (size_t i = k; i < n; ++i) dot += u(r, i) * hv[i];
+      const double scale = beta * dot;
+      for (size_t i = k; i < n; ++i) u(r, i) -= scale * hv[i];
+    }
+  };
+
+  auto apply_right_householder = [&](size_t k) {
+    // Reflector zeroing work(k, k+2..); applied from the right, accumulated
+    // in V.
+    const size_t start = k + 1;
+    double norm2 = 0.0;
+    for (size_t j = start; j < m; ++j) norm2 += work(k, j) * work(k, j);
+    const double norm = std::sqrt(norm2);
+    if (norm == 0.0) return;
+    const double alpha = (work(k, start) >= 0.0) ? -norm : norm;
+    std::vector<double> hv(m, 0.0);
+    hv[start] = work(k, start) - alpha;
+    for (size_t j = start + 1; j < m; ++j) hv[j] = work(k, j);
+    double vtv = 0.0;
+    for (size_t j = start; j < m; ++j) vtv += hv[j] * hv[j];
+    if (vtv == 0.0) return;
+    const double beta = 2.0 / vtv;
+    for (size_t i = k; i < n; ++i) {
+      double dot = 0.0;
+      for (size_t j = start; j < m; ++j) dot += work(i, j) * hv[j];
+      const double scale = beta * dot;
+      for (size_t j = start; j < m; ++j) work(i, j) -= scale * hv[j];
+    }
+    for (size_t r = 0; r < m; ++r) {
+      double dot = 0.0;
+      for (size_t j = start; j < m; ++j) dot += v(r, j) * hv[j];
+      const double scale = beta * dot;
+      for (size_t j = start; j < m; ++j) v(r, j) -= scale * hv[j];
+    }
+  };
+
+  for (size_t k = 0; k < m; ++k) {
+    apply_left_householder(k);
+    if (k + 2 < m + 1 && k + 1 < m) apply_right_householder(k);
+  }
+
+  BidiagonalizeResult result;
+  result.diag = DenseVector(m);
+  result.superdiag = DenseVector(m > 0 ? m - 1 : 0);
+  for (size_t i = 0; i < m; ++i) result.diag[i] = work(i, i);
+  for (size_t i = 0; i + 1 < m; ++i) result.superdiag[i] = work(i, i + 1);
+  // Thin U: first m columns.
+  result.u = DenseMatrix(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) result.u(i, j) = u(i, j);
+  }
+  result.v = std::move(v);
+  return result;
+}
+
+DenseMatrix BidiagonalToDense(const DenseVector& diag,
+                              const DenseVector& superdiag) {
+  const size_t m = diag.size();
+  DenseMatrix b(m, m);
+  for (size_t i = 0; i < m; ++i) b(i, i) = diag[i];
+  for (size_t i = 0; i + 1 < m; ++i) b(i, i + 1) = superdiag[i];
+  return b;
+}
+
+StatusOr<SvdResult> SvdJacobi(const DenseMatrix& a, int max_sweeps) {
+  const size_t n = a.rows();
+  const size_t m = a.cols();
+  if (n < m) {
+    return Status::InvalidArgument("SvdJacobi requires rows >= cols");
+  }
+  DenseMatrix u = a;  // becomes U * diag(s)
+  DenseMatrix v = DenseMatrix::Identity(m);
+
+  // One-sided Jacobi: orthogonalize every pair of columns of U.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (size_t p = 0; p < m; ++p) {
+      for (size_t q = p + 1; q < m; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          app += u(i, p) * u(i, p);
+          aqq += u(i, q) * u(i, q);
+          apq += u(i, p) * u(i, q);
+        }
+        if (std::fabs(apq) <= 1e-15 * std::sqrt(app * aqq) ||
+            (app == 0.0 && aqq == 0.0)) {
+          continue;
+        }
+        converged = false;
+        const double tau = (aqq - app) / (2.0 * apq);
+        double t;
+        if (tau >= 0.0) {
+          t = 1.0 / (tau + std::sqrt(1.0 + tau * tau));
+        } else {
+          t = -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (size_t i = 0; i < n; ++i) {
+          const double uip = u(i, p);
+          const double uiq = u(i, q);
+          u(i, p) = c * uip - s * uiq;
+          u(i, q) = s * uip + c * uiq;
+        }
+        for (size_t i = 0; i < m; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values (column norms) and normalize U.
+  std::vector<double> sigma(m);
+  for (size_t j = 0; j < m; ++j) {
+    double norm2 = 0.0;
+    for (size_t i = 0; i < n; ++i) norm2 += u(i, j) * u(i, j);
+    sigma[j] = std::sqrt(norm2);
+  }
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&sigma](size_t i, size_t j) { return sigma[i] > sigma[j]; });
+
+  SvdResult result;
+  result.u = DenseMatrix(n, m);
+  result.v = DenseMatrix(m, m);
+  result.singular_values = DenseVector(m);
+  for (size_t jj = 0; jj < m; ++jj) {
+    const size_t j = order[jj];
+    result.singular_values[jj] = sigma[j];
+    const double inv = (sigma[j] > 1e-300) ? 1.0 / sigma[j] : 0.0;
+    for (size_t i = 0; i < n; ++i) result.u(i, jj) = u(i, j) * inv;
+    for (size_t i = 0; i < m; ++i) result.v(i, jj) = v(i, j);
+  }
+  return result;
+}
+
+StatusOr<SvdResult> Svd(const DenseMatrix& a) {
+  if (a.rows() >= a.cols()) return SvdJacobi(a);
+  // Wide matrix: SVD of A' and swap factors.
+  auto t = SvdJacobi(a.Transpose());
+  if (!t.ok()) return t.status();
+  SvdResult result;
+  result.u = std::move(t.value().v);
+  result.v = std::move(t.value().u);
+  result.singular_values = std::move(t.value().singular_values);
+  return result;
+}
+
+StatusOr<SvdResult> SvdWideViaGram(const DenseMatrix& a,
+                                   double rank_tolerance) {
+  const size_t k = a.rows();
+  // Gram matrix G = A * A' (k x k), eigendecompose, back out V.
+  DenseMatrix gram = MultiplyTranspose(a, a);
+  auto eigen = SymmetricEigen(gram);
+  if (!eigen.ok()) return eigen.status();
+
+  SvdResult result;
+  result.singular_values = DenseVector(k);
+  result.u = DenseMatrix(k, k);
+  double max_sigma = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    const double lambda = std::max(0.0, eigen.value().values[j]);
+    result.singular_values[j] = std::sqrt(lambda);
+    max_sigma = std::max(max_sigma, result.singular_values[j]);
+    for (size_t i = 0; i < k; ++i) {
+      result.u(i, j) = eigen.value().vectors(i, j);
+    }
+  }
+  // V = A' * U * diag(1/sigma), columns for negligible sigma zeroed.
+  DenseMatrix atu = TransposeMultiply(a, result.u);  // D x k
+  result.v = DenseMatrix(a.cols(), k);
+  for (size_t j = 0; j < k; ++j) {
+    const double sigma = result.singular_values[j];
+    const double inv =
+        (sigma > rank_tolerance * std::max(1.0, max_sigma)) ? 1.0 / sigma : 0.0;
+    for (size_t i = 0; i < a.cols(); ++i) result.v(i, j) = atu(i, j) * inv;
+  }
+  return result;
+}
+
+}  // namespace spca::linalg

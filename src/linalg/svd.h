@@ -1,0 +1,53 @@
+#ifndef SPCA_LINALG_SVD_H_
+#define SPCA_LINALG_SVD_H_
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::linalg {
+
+/// Thin singular value decomposition A = U * diag(s) * V', with A (n x m):
+/// U is (n x k), V is (m x k), k = min(n, m). Singular values descend.
+struct SvdResult {
+  DenseMatrix u;
+  DenseVector singular_values;
+  DenseMatrix v;
+};
+
+/// Golub–Kahan bidiagonalization A = U * B * V' for A (n x m), n >= m:
+/// B is m x m upper bidiagonal, stored as its diagonal and superdiagonal.
+struct BidiagonalizeResult {
+  DenseMatrix u;          // n x m, orthonormal columns
+  DenseVector diag;       // m
+  DenseVector superdiag;  // m - 1
+  DenseMatrix v;          // m x m, orthogonal
+};
+
+/// Householder bidiagonalization (step 2 of the paper's SVD-Bidiag method).
+/// Fails if n < m.
+StatusOr<BidiagonalizeResult> Bidiagonalize(const DenseMatrix& a);
+
+/// Reconstructs the dense m x m bidiagonal matrix B from its bands
+/// (test/diagnostic helper).
+DenseMatrix BidiagonalToDense(const DenseVector& diag,
+                              const DenseVector& superdiag);
+
+/// One-sided Jacobi thin SVD for a tall (or square) matrix, n >= m.
+/// Very robust; O(n m^2) per sweep, intended for small m.
+StatusOr<SvdResult> SvdJacobi(const DenseMatrix& a, int max_sweeps = 64);
+
+/// Thin SVD of an arbitrary dense matrix: uses one-sided Jacobi on A or A'
+/// depending on shape. Suitable for small-to-medium matrices.
+StatusOr<SvdResult> Svd(const DenseMatrix& a);
+
+/// Thin SVD of a *wide* matrix A (k x D, k << D) via the eigendecomposition
+/// of the small Gram matrix A*A' (k x k). This is how the stochastic-SVD
+/// baseline finishes: B = Q'*Y is short and wide, so the Gram trick avoids
+/// any O(D^2) work. Singular values below `rank_tolerance` (relative to the
+/// largest) are dropped.
+StatusOr<SvdResult> SvdWideViaGram(const DenseMatrix& a,
+                                   double rank_tolerance = 1e-12);
+
+}  // namespace spca::linalg
+
+#endif  // SPCA_LINALG_SVD_H_

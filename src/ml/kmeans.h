@@ -1,0 +1,55 @@
+#ifndef SPCA_ML_KMEANS_H_
+#define SPCA_ML_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::ml {
+
+/// Options for KMeansFit.
+struct KMeansOptions {
+  size_t num_clusters = 10;
+  int max_iterations = 20;
+  /// Stop when the relative decrease of the objective falls below this.
+  double tolerance = 1e-6;
+  uint64_t seed = 17;
+};
+
+/// Result of a k-means fit.
+struct KMeansResult {
+  /// k x d centroid matrix.
+  linalg::DenseMatrix centroids;
+  /// Cluster index per input row.
+  std::vector<uint32_t> assignments;
+  /// Sum of squared distances to assigned centroids (the objective).
+  double inertia = 0.0;
+  int iterations_run = 0;
+  /// Engine statistics for this fit.
+  dist::CommStats stats;
+};
+
+/// Distributed Lloyd's k-means with k-means++ initialization, running on
+/// the same engine/DistMatrix substrate as the PCA algorithms. This is the
+/// paper's canonical downstream consumer: "Since PCA reduces the
+/// dimensionality of the data, it is a key step in many other machine
+/// learning algorithms ... such as k-means clustering" (Section 1) — fit
+/// sPCA, Transform the data to d dimensions, then cluster the reduced
+/// matrix.
+///
+/// Each Lloyd iteration is one distributed job: every partition assigns
+/// its rows to the nearest (broadcast) centroid and accumulates per-cluster
+/// sums and counts; the driver recomputes centroids. Sparse rows use the
+/// expansion ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 so only stored
+/// entries are touched.
+StatusOr<KMeansResult> KMeansFit(dist::Engine* engine,
+                                 const dist::DistMatrix& points,
+                                 const KMeansOptions& options);
+
+}  // namespace spca::ml
+
+#endif  // SPCA_ML_KMEANS_H_

@@ -1,0 +1,62 @@
+#ifndef SPCA_ML_PPCA_MIXTURE_H_
+#define SPCA_ML_PPCA_MIXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+
+namespace spca::ml {
+
+/// Options for FitPpcaMixture.
+struct PpcaMixtureOptions {
+  /// Number of local PPCA models in the mixture.
+  size_t num_models = 2;
+  /// Latent dimensionality d of each local model.
+  size_t num_components = 2;
+  /// Outer EM iterations (each runs one distributed responsibility +
+  /// weighted-update job).
+  int em_iterations = 25;
+  /// Stop when the per-row log-likelihood improves by less than this.
+  double tolerance = 1e-6;
+  uint64_t seed = 23;
+};
+
+/// Result of a mixture fit.
+struct PpcaMixtureResult {
+  struct Component {
+    core::PcaModel model;
+    /// Mixing proportion pi_i.
+    double weight = 0.0;
+  };
+  std::vector<Component> components;
+  /// Most-responsible component per input row.
+  std::vector<uint32_t> hard_assignments;
+  /// Final total data log-likelihood.
+  double log_likelihood = 0.0;
+  int iterations_run = 0;
+  dist::CommStats stats;
+};
+
+/// Mixture of probabilistic principal component analysers (Tipping &
+/// Bishop 1999) — the extension the paper points to in Section 2.4:
+/// "multiple PPCA models can be combined as a probabilistic mixture for
+/// better accuracy and to express complex models."
+///
+/// Each EM iteration runs as one distributed job: every row's
+/// responsibilities under the current local models are computed with the
+/// Woodbury identity (O(nnz*d + d^2) per row per model — the D x D
+/// covariance is never formed), and the weighted sufficient statistics
+/// for every model's PPCA update are accumulated. The driver then applies
+/// one weighted PPCA EM step per model (the exact Tipping–Bishop M-step,
+/// including the N*ss*M^-1 term).
+StatusOr<PpcaMixtureResult> FitPpcaMixture(dist::Engine* engine,
+                                           const dist::DistMatrix& y,
+                                           const PpcaMixtureOptions& options);
+
+}  // namespace spca::ml
+
+#endif  // SPCA_ML_PPCA_MIXTURE_H_

@@ -1,0 +1,80 @@
+#include "workload/datasets.h"
+
+#include "common/check.h"
+#include "workload/synthetic.h"
+
+namespace spca::workload {
+
+const char* DatasetKindToString(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kTweets:
+      return "Tweets";
+    case DatasetKind::kBioText:
+      return "Bio-Text";
+    case DatasetKind::kDiabetes:
+      return "Diabetes";
+    case DatasetKind::kImages:
+      return "Images";
+  }
+  return "Unknown";
+}
+
+Dataset MakeDataset(DatasetKind kind, size_t rows, size_t cols,
+                    size_t num_partitions, uint64_t seed) {
+  Dataset dataset;
+  dataset.kind = kind;
+  dataset.name = DatasetKindToString(kind);
+
+  switch (kind) {
+    case DatasetKind::kTweets: {
+      // Tweets are very short documents: ~10 words each over a large
+      // vocabulary — the sparsest of the paper's datasets.
+      BagOfWordsConfig config;
+      config.rows = rows;
+      config.vocab = cols;
+      config.words_per_row = 10.0;
+      config.zipf_exponent = 1.1;
+      config.num_topics = 25;
+      config.seed = seed;
+      dataset.matrix = dist::DistMatrix::FromSparse(GenerateBagOfWords(config),
+                                                    num_partitions);
+      break;
+    }
+    case DatasetKind::kBioText: {
+      // Biomedical documents are much longer than tweets (denser rows).
+      BagOfWordsConfig config;
+      config.rows = rows;
+      config.vocab = cols;
+      config.words_per_row = 60.0;
+      config.zipf_exponent = 1.0;
+      config.num_topics = 40;
+      config.seed = seed;
+      dataset.matrix = dist::DistMatrix::FromSparse(GenerateBagOfWords(config),
+                                                    num_partitions);
+      break;
+    }
+    case DatasetKind::kDiabetes: {
+      SpectraConfig config;
+      config.rows = rows;
+      config.cols = cols;
+      config.seed = seed;
+      dataset.matrix =
+          dist::DistMatrix::FromDense(GenerateSpectra(config), num_partitions);
+      break;
+    }
+    case DatasetKind::kImages: {
+      ImageFeaturesConfig config;
+      config.rows = rows;
+      config.cols = cols;
+      config.seed = seed;
+      dataset.matrix = dist::DistMatrix::FromDense(
+          GenerateImageFeatures(config), num_partitions);
+      break;
+    }
+  }
+  SPCA_CHECK_EQ(dataset.matrix.rows(), rows);
+  SPCA_CHECK_EQ(dataset.matrix.cols(), cols);
+  return dataset;
+}
+
+}  // namespace spca::workload

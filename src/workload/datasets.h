@@ -1,0 +1,44 @@
+#ifndef SPCA_WORKLOAD_DATASETS_H_
+#define SPCA_WORKLOAD_DATASETS_H_
+
+#include <string>
+
+#include "dist/dist_matrix.h"
+
+namespace spca::workload {
+
+/// The four dataset families from the paper's evaluation (Section 5),
+/// reproduced as synthetic generators with matching shape:
+///
+///   kTweets:   1.26B x 71.5K binary sparse (tweets x words), ~very sparse
+///   kBioText:  8.2M x 141K binary sparse (documents x words)
+///   kDiabetes: 353 x 65.7K dense real (patients x NMR frequencies)
+///   kImages:   160M x 128 dense real (SIFT features x dimensions)
+///
+/// Benchmarks instantiate them at laptop scale with the paper's aspect
+/// ratios and sparsity preserved.
+enum class DatasetKind {
+  kTweets,
+  kBioText,
+  kDiabetes,
+  kImages,
+};
+
+const char* DatasetKindToString(DatasetKind kind);
+
+/// A concrete, generated dataset instance.
+struct Dataset {
+  std::string name;
+  DatasetKind kind;
+  dist::DistMatrix matrix;
+};
+
+/// Generates a dataset of the given family at the given shape. Sparsity,
+/// skew, and structure parameters match the family; data is deterministic
+/// in `seed`.
+Dataset MakeDataset(DatasetKind kind, size_t rows, size_t cols,
+                    size_t num_partitions, uint64_t seed = 42);
+
+}  // namespace spca::workload
+
+#endif  // SPCA_WORKLOAD_DATASETS_H_

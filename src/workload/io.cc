@@ -1,0 +1,253 @@
+#include "workload/io.h"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+namespace spca::workload {
+
+using linalg::DenseMatrix;
+using linalg::SparseEntry;
+using linalg::SparseMatrix;
+
+namespace {
+
+constexpr uint64_t kSparseMagic = 0x53504341'53505233ULL;  // "SPCA SPR3"
+constexpr uint64_t kDenseMagic = 0x53504341'444E5333ULL;   // "SPCA DNS3"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteArray(std::FILE* f, const T* data, size_t count) {
+  if (count == 0) return true;
+  return std::fwrite(data, sizeof(T), count, f) == count;
+}
+
+template <typename T>
+bool ReadArray(std::FILE* f, T* data, size_t count) {
+  if (count == 0) return true;
+  return std::fread(data, sizeof(T), count, f) == count;
+}
+
+}  // namespace
+
+Status SaveSparseBinary(const SparseMatrix& matrix, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  bool ok = WriteScalar(f.get(), kSparseMagic) &&
+            WriteScalar<uint64_t>(f.get(), matrix.rows()) &&
+            WriteScalar<uint64_t>(f.get(), matrix.cols()) &&
+            WriteScalar<uint64_t>(f.get(), matrix.nnz());
+  // Row lengths followed by (index, value) streams.
+  for (size_t i = 0; ok && i < matrix.rows(); ++i) {
+    const auto row = matrix.Row(i);
+    ok = WriteScalar<uint64_t>(f.get(), row.nnz());
+    for (const auto& e : row) {
+      ok = ok && WriteScalar<uint32_t>(f.get(), e.index) &&
+           WriteScalar<double>(f.get(), e.value);
+    }
+  }
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<SparseMatrix> LoadSparseBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  uint64_t magic = 0, rows = 0, cols = 0, nnz = 0;
+  if (!ReadScalar(f.get(), &magic) || magic != kSparseMagic) {
+    return Status::InvalidArgument(path + " is not a sparse matrix file");
+  }
+  if (!ReadScalar(f.get(), &rows) || !ReadScalar(f.get(), &cols) ||
+      !ReadScalar(f.get(), &nnz)) {
+    return Status::Internal("truncated header in " + path);
+  }
+  SparseMatrix matrix(rows, cols);
+  std::vector<SparseEntry> row;
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < rows; ++i) {
+    uint64_t count = 0;
+    if (!ReadScalar(f.get(), &count)) {
+      return Status::Internal("truncated row header in " + path);
+    }
+    row.clear();
+    for (uint64_t k = 0; k < count; ++k) {
+      uint32_t index = 0;
+      double value = 0.0;
+      if (!ReadScalar(f.get(), &index) || !ReadScalar(f.get(), &value)) {
+        return Status::Internal("truncated entry in " + path);
+      }
+      row.push_back({index, value});
+    }
+    matrix.AppendRow(i, row);
+    total += count;
+  }
+  if (total != nnz) {
+    return Status::Internal("nnz mismatch in " + path);
+  }
+  return matrix;
+}
+
+Status SaveDenseBinary(const DenseMatrix& matrix, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  bool ok = WriteScalar(f.get(), kDenseMagic) &&
+            WriteScalar<uint64_t>(f.get(), matrix.rows()) &&
+            WriteScalar<uint64_t>(f.get(), matrix.cols()) &&
+            WriteArray(f.get(), matrix.data(), matrix.size());
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<DenseMatrix> LoadDenseBinary(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0, rows = 0, cols = 0;
+  if (!ReadScalar(f.get(), &magic) || magic != kDenseMagic) {
+    return Status::InvalidArgument(path + " is not a dense matrix file");
+  }
+  if (!ReadScalar(f.get(), &rows) || !ReadScalar(f.get(), &cols)) {
+    return Status::Internal("truncated header in " + path);
+  }
+  DenseMatrix matrix(rows, cols);
+  if (!ReadArray(f.get(), matrix.data(), matrix.size())) {
+    return Status::Internal("truncated data in " + path);
+  }
+  return matrix;
+}
+
+Status SaveDenseText(const DenseMatrix& matrix, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      std::fprintf(f.get(), "%s%.17g", j == 0 ? "" : " ", matrix(i, j));
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return Status::Ok();
+}
+
+StatusOr<DenseMatrix> LoadDenseText(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> row;
+  std::string token;
+  int c;
+  auto flush_token = [&]() -> Status {
+    if (token.empty()) return Status::Ok();
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("bad value '" + token + "' in " + path);
+    }
+    row.push_back(value);
+    token.clear();
+    return Status::Ok();
+  };
+  while ((c = std::fgetc(f.get())) != EOF) {
+    if (c == '\n') {
+      SPCA_RETURN_IF_ERROR(flush_token());
+      if (!row.empty()) rows.push_back(row);
+      row.clear();
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      SPCA_RETURN_IF_ERROR(flush_token());
+    } else {
+      token.push_back(static_cast<char>(c));
+    }
+  }
+  SPCA_RETURN_IF_ERROR(flush_token());
+  if (!row.empty()) rows.push_back(row);
+  if (rows.empty()) return DenseMatrix(0, 0);
+  const size_t cols = rows[0].size();
+  DenseMatrix matrix(rows.size(), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != cols) {
+      return Status::InvalidArgument("ragged rows in " + path);
+    }
+    for (size_t j = 0; j < cols; ++j) matrix(i, j) = rows[i][j];
+  }
+  return matrix;
+}
+
+Status SaveSparseText(const SparseMatrix& matrix, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    bool first = true;
+    for (const auto& e : matrix.Row(i)) {
+      std::fprintf(f.get(), "%s%" PRIu32 ":%.17g", first ? "" : " ", e.index,
+                   e.value);
+      first = false;
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return Status::Ok();
+}
+
+StatusOr<SparseMatrix> LoadSparseText(const std::string& path, size_t cols) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  // First pass over lines accumulating rows.
+  std::vector<std::vector<SparseEntry>> rows;
+  std::vector<SparseEntry> row;
+  std::string line;
+  int c;
+  std::string token;
+  auto flush_token = [&]() -> Status {
+    if (token.empty()) return Status::Ok();
+    uint32_t index = 0;
+    double value = 0.0;
+    if (std::sscanf(token.c_str(), "%" SCNu32 ":%lg", &index, &value) != 2) {
+      return Status::InvalidArgument("bad token '" + token + "' in " + path);
+    }
+    if (index >= cols) {
+      return Status::InvalidArgument("index out of range in " + path);
+    }
+    row.push_back({index, value});
+    token.clear();
+    return Status::Ok();
+  };
+
+  while ((c = std::fgetc(f.get())) != EOF) {
+    if (c == '\n') {
+      SPCA_RETURN_IF_ERROR(flush_token());
+      rows.push_back(row);
+      row.clear();
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      SPCA_RETURN_IF_ERROR(flush_token());
+    } else {
+      token.push_back(static_cast<char>(c));
+    }
+  }
+  SPCA_RETURN_IF_ERROR(flush_token());
+  if (!row.empty()) rows.push_back(row);
+
+  SparseMatrix matrix(rows.size(), cols);
+  for (size_t i = 0; i < rows.size(); ++i) matrix.AppendRow(i, rows[i]);
+  return matrix;
+}
+
+}  // namespace spca::workload

@@ -1,0 +1,142 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spca::workload {
+
+using linalg::DenseMatrix;
+using linalg::SparseEntry;
+using linalg::SparseMatrix;
+
+SparseMatrix GenerateBagOfWords(const BagOfWordsConfig& config) {
+  SPCA_CHECK_GT(config.vocab, 0u);
+  SPCA_CHECK_GT(config.words_per_row, 0.0);
+  Rng rng(config.seed);
+  const ZipfSampler background(config.vocab, config.zipf_exponent);
+
+  // Each topic is a Zipf distribution over a random permutation-ish window
+  // of the vocabulary: topic t prefers words around a random center, which
+  // gives distinct, overlapping word clusters.
+  const size_t num_topics = std::max<size_t>(1, config.num_topics);
+  std::vector<size_t> topic_centers(num_topics);
+  for (auto& c : topic_centers) c = rng.NextUint64Below(config.vocab);
+  const size_t topic_spread =
+      std::max<size_t>(8, config.vocab / (2 * num_topics));
+  const ZipfSampler topic_local(topic_spread, config.zipf_exponent);
+
+  SparseMatrix matrix(config.rows, config.vocab);
+  std::vector<uint32_t> words;
+  std::vector<SparseEntry> row;
+  for (size_t i = 0; i < config.rows; ++i) {
+    // Document length: geometric-ish around the mean, at least one word.
+    const double u = rng.NextDouble();
+    const size_t length = static_cast<size_t>(
+        1.0 + config.words_per_row * (-std::log(1.0 - u)) / std::log(2.0));
+    const size_t topic = rng.NextUint64Below(num_topics);
+
+    words.clear();
+    for (size_t w = 0; w < length; ++w) {
+      size_t word;
+      if (rng.NextDouble() < config.topic_weight) {
+        word = (topic_centers[topic] + topic_local.Sample(&rng)) % config.vocab;
+      } else {
+        word = background.Sample(&rng);
+      }
+      words.push_back(static_cast<uint32_t>(word));
+    }
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+
+    row.clear();
+    for (uint32_t w : words) row.push_back({w, 1.0});
+    matrix.AppendRow(i, row);
+  }
+  return matrix;
+}
+
+DenseMatrix GenerateLowRank(const LowRankConfig& config) {
+  SPCA_CHECK_LE(config.rank, config.cols);
+  Rng rng(config.seed);
+  DenseMatrix w = DenseMatrix::GaussianRandom(config.cols, config.rank, &rng);
+  std::vector<double> mean(config.cols);
+  for (auto& m : mean) m = rng.NextGaussian(0.0, config.mean_scale);
+
+  DenseMatrix y(config.rows, config.cols);
+  std::vector<double> z(config.rank);
+  for (size_t i = 0; i < config.rows; ++i) {
+    for (auto& v : z) v = rng.NextGaussian(0.0, config.signal_stddev);
+    for (size_t j = 0; j < config.cols; ++j) {
+      double value = mean[j] + rng.NextGaussian(0.0, config.noise_stddev);
+      for (size_t k = 0; k < config.rank; ++k) value += w(j, k) * z[k];
+      y(i, j) = value;
+    }
+  }
+  return y;
+}
+
+DenseMatrix GenerateSpectra(const SpectraConfig& config) {
+  Rng rng(config.seed);
+  const size_t prototypes = std::max<size_t>(1, config.num_prototypes);
+
+  // Prototype spectra: sums of Gaussian peaks at random frequencies.
+  DenseMatrix proto(prototypes, config.cols);
+  for (size_t p = 0; p < prototypes; ++p) {
+    for (size_t peak = 0; peak < config.num_peaks; ++peak) {
+      const double center =
+          static_cast<double>(rng.NextUint64Below(config.cols));
+      const double width = 2.0 + 8.0 * rng.NextDouble();
+      const double height = 0.3 + rng.NextDouble();
+      const size_t lo = static_cast<size_t>(
+          std::max(0.0, center - 4.0 * width));
+      const size_t hi = std::min(
+          config.cols, static_cast<size_t>(center + 4.0 * width) + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        const double dx = (static_cast<double>(j) - center) / width;
+        proto(p, j) += height * std::exp(-0.5 * dx * dx);
+      }
+    }
+  }
+
+  // Each patient mixes the prototypes with random positive weights.
+  DenseMatrix y(config.rows, config.cols);
+  std::vector<double> weights(prototypes);
+  for (size_t i = 0; i < config.rows; ++i) {
+    for (auto& w : weights) w = std::fabs(rng.NextGaussian(0.5, 0.3));
+    for (size_t j = 0; j < config.cols; ++j) {
+      double value = rng.NextGaussian(0.0, config.noise_stddev);
+      for (size_t p = 0; p < prototypes; ++p) value += weights[p] * proto(p, j);
+      y(i, j) = value;
+    }
+  }
+  return y;
+}
+
+DenseMatrix GenerateImageFeatures(const ImageFeaturesConfig& config) {
+  Rng rng(config.seed);
+  const size_t clusters = std::max<size_t>(1, config.num_clusters);
+
+  // Cluster centroids: non-negative "visual words" in SIFT space.
+  DenseMatrix centroids(clusters, config.cols);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t j = 0; j < config.cols; ++j) {
+      centroids(c, j) = std::fabs(rng.NextGaussian(0.2, 0.25));
+    }
+  }
+
+  DenseMatrix y(config.rows, config.cols);
+  for (size_t i = 0; i < config.rows; ++i) {
+    const size_t c = rng.NextUint64Below(clusters);
+    for (size_t j = 0; j < config.cols; ++j) {
+      y(i, j) = std::max(
+          0.0, centroids(c, j) + rng.NextGaussian(0.0, config.cluster_stddev));
+    }
+  }
+  return y;
+}
+
+}  // namespace spca::workload

@@ -1,0 +1,74 @@
+#ifndef SPCA_WORKLOAD_SYNTHETIC_H_
+#define SPCA_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace spca::workload {
+
+/// Sparse binary bag-of-words generator: the synthetic stand-in for the
+/// paper's Tweets and Bio-Text matrices (rows = documents, columns = words,
+/// entries in {0,1}). Word popularity is Zipfian and documents are drawn
+/// from a small number of latent topics, so the matrix has genuine
+/// low-dimensional structure for PCA to find.
+struct BagOfWordsConfig {
+  size_t rows = 1000;
+  size_t vocab = 1000;          // D
+  double words_per_row = 12.0;  // mean document length (controls sparsity)
+  double zipf_exponent = 1.05;  // word popularity skew
+  size_t num_topics = 20;       // latent topics
+  double topic_weight = 0.6;    // fraction of words drawn from the topic
+  uint64_t seed = 42;
+};
+
+/// Generates a binary sparse matrix per the config. Deterministic in seed.
+linalg::SparseMatrix GenerateBagOfWords(const BagOfWordsConfig& config);
+
+/// Dense low-rank-plus-noise generator: Y = Z * W' + mean + noise, the
+/// canonical PPCA generative model. Used by correctness tests (the fitted
+/// subspace must match W) and accuracy benchmarks.
+struct LowRankConfig {
+  size_t rows = 500;
+  size_t cols = 50;
+  size_t rank = 5;
+  double signal_stddev = 1.0;  // stddev of latent coordinates
+  double noise_stddev = 0.1;   // isotropic noise (the PPCA ss)
+  double mean_scale = 1.0;     // magnitude of the non-zero column means
+  uint64_t seed = 7;
+};
+
+linalg::DenseMatrix GenerateLowRank(const LowRankConfig& config);
+
+/// Dense spectra generator: the stand-in for the Diabetes NMR dataset
+/// (few rows, tens of thousands of columns; each row is a smooth curve of
+/// resonance peaks). Rows share a handful of prototype metabolite profiles,
+/// again giving low-dimensional structure.
+struct SpectraConfig {
+  size_t rows = 353;
+  size_t cols = 4096;    // frequencies
+  size_t num_peaks = 24; // peaks per prototype
+  size_t num_prototypes = 6;
+  double noise_stddev = 0.02;
+  uint64_t seed = 11;
+};
+
+linalg::DenseMatrix GenerateSpectra(const SpectraConfig& config);
+
+/// Dense local-image-feature generator: the stand-in for the ImageNet SIFT
+/// dataset (very many rows, 128 columns, non-negative real entries drawn
+/// from a mixture of visual-word clusters).
+struct ImageFeaturesConfig {
+  size_t rows = 10000;
+  size_t cols = 128;
+  size_t num_clusters = 32;
+  double cluster_stddev = 0.15;
+  uint64_t seed = 13;
+};
+
+linalg::DenseMatrix GenerateImageFeatures(const ImageFeaturesConfig& config);
+
+}  // namespace spca::workload
+
+#endif  // SPCA_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace spca {
+namespace {
+
+// ---- Status / StatusOr -------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::OutOfMemory("too big");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(s.message(), "too big");
+  EXPECT_EQ(s.ToString(), "OUT_OF_MEMORY: too big");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  const std::string out = std::move(v).value();
+  EXPECT_EQ(out, "hello");
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  SPCA_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kInternal);
+}
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextUint64BelowBounds) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextUint64Below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every residue appears
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(55);
+  Rng fork1 = a.Fork();
+  Rng b(55);
+  Rng fork2 = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fork1.NextUint64(), fork2.NextUint64());
+  }
+}
+
+TEST(ZipfSamplerTest, RankZeroMostPopular) {
+  Rng rng(13);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Zipf(1.0): p(0)/p(9) == 10; allow wide sampling slack.
+  EXPECT_GT(static_cast<double>(counts[0]) / std::max(counts[9], 1), 5.0);
+}
+
+TEST(ZipfSamplerTest, CoversSupport) {
+  Rng rng(14);
+  ZipfSampler zipf(5, 0.5);
+  std::set<size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.Sample(&rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---- Format ----------------------------------------------------------------
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(1.5 * 1024 * 1024), "1.5 MB");
+  EXPECT_EQ(HumanBytes(961.0 * 1024 * 1024 * 1024), "961.0 GB");
+}
+
+TEST(FormatTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(12.34), "12.3 s");
+  EXPECT_EQ(HumanSeconds(600), "10.0 min");
+  EXPECT_EQ(HumanSeconds(7200), "2.0 h");
+}
+
+TEST(FormatTest, HumanCount) {
+  EXPECT_EQ(HumanCount(0), "0");
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1000), "1,000");
+  EXPECT_EQ(HumanCount(1264812931ull), "1,264,812,931");
+}
+
+}  // namespace
+}  // namespace spca

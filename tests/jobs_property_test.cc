@@ -1,0 +1,252 @@
+// Randomized property tests for the distributed jobs and the metric
+// layer: invariants that must hold for any data, density, partitioning,
+// and engine mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/jobs.h"
+#include "core/reconstruction_error.h"
+#include "dist/engine.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace spca::core {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+struct RandomCase {
+  DistMatrix matrix;
+  DenseMatrix dense;
+  DenseVector mean;
+  DenseMatrix centered;
+};
+
+RandomCase MakeCase(uint64_t seed, bool sparse_storage) {
+  Rng rng(seed);
+  const size_t rows = 5 + rng.NextUint64Below(40);
+  const size_t cols = 3 + rng.NextUint64Below(20);
+  const double density = 0.1 + 0.6 * rng.NextDouble();
+  const size_t partitions = 1 + rng.NextUint64Below(7);
+
+  DenseMatrix dense(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.NextDouble() < density) dense(i, j) = rng.NextGaussian();
+    }
+  }
+  RandomCase c;
+  c.dense = dense;
+  c.mean = linalg::ColumnMeans(dense);
+  c.centered = linalg::MeanCenter(dense, c.mean);
+  c.matrix = sparse_storage
+                 ? DistMatrix::FromSparse(SparseMatrix::FromDense(dense),
+                                          partitions)
+                 : DistMatrix::FromDense(dense, partitions);
+  return c;
+}
+
+class JobsPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  uint64_t seed() const { return 4000 + std::get<0>(GetParam()); }
+  bool sparse_storage() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(JobsPropertySweep, MeanJobMatchesReferenceForAnyPartitioning) {
+  const RandomCase c = MakeCase(seed(), sparse_storage());
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  const DenseVector mean = MeanJob(&engine, c.matrix);
+  for (size_t j = 0; j < c.mean.size(); ++j) {
+    EXPECT_NEAR(mean[j], c.mean[j], 1e-12);
+  }
+}
+
+TEST_P(JobsPropertySweep, FrobeniusVariantsAgreeWithReference) {
+  const RandomCase c = MakeCase(seed() + 100, sparse_storage());
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  const double reference = c.centered.FrobeniusNorm2();
+  const double fast =
+      FrobeniusNormJob(&engine, c.matrix, c.mean, /*efficient=*/true);
+  const double simple =
+      FrobeniusNormJob(&engine, c.matrix, c.mean, /*efficient=*/false);
+  const double tol = 1e-9 * std::max(1.0, reference);
+  EXPECT_NEAR(fast, reference, tol);
+  EXPECT_NEAR(simple, reference, tol);
+}
+
+TEST_P(JobsPropertySweep, YtXJobMatchesDenseReferenceBothModes) {
+  const RandomCase c = MakeCase(seed() + 200, sparse_storage());
+  Rng rng(seed() + 201);
+  const size_t d = 1 + rng.NextUint64Below(4);
+  const DenseMatrix cmat =
+      DenseMatrix::GaussianRandom(c.matrix.cols(), d, &rng);
+  DenseMatrix m = linalg::TransposeMultiply(cmat, cmat);
+  m.AddScaledIdentity(0.3);
+  auto minv = linalg::Inverse(m);
+  ASSERT_TRUE(minv.ok());
+  const DenseMatrix cm = linalg::Multiply(cmat, minv.value());
+  const DenseVector xm = linalg::RowTimesMatrix(c.mean, cm);
+
+  const DenseMatrix x_ref = linalg::Multiply(c.centered, cm);
+  const DenseMatrix xtx_ref = linalg::TransposeMultiply(x_ref, x_ref);
+  const DenseMatrix ytx_ref = linalg::TransposeMultiply(c.centered, x_ref);
+
+  for (const EngineMode mode : {EngineMode::kSpark, EngineMode::kMapReduce}) {
+    Engine engine(dist::ClusterSpec{}, mode);
+    const YtXResult result =
+        YtXJob(&engine, c.matrix, c.mean, xm, cm, nullptr, JobToggles{});
+    EXPECT_LT(result.xtx.MaxAbsDiff(xtx_ref), 1e-9);
+    EXPECT_LT(result.ytx.MaxAbsDiff(ytx_ref), 1e-9);
+  }
+}
+
+TEST_P(JobsPropertySweep, Ss3JobMatchesTraceIdentity) {
+  // ss3 = sum_n Xc_n * C' * Yc_n' == tr(C' * Yc'Xc).
+  const RandomCase c = MakeCase(seed() + 300, sparse_storage());
+  Rng rng(seed() + 301);
+  const size_t d = 1 + rng.NextUint64Below(4);
+  const DenseMatrix cmat =
+      DenseMatrix::GaussianRandom(c.matrix.cols(), d, &rng);
+  DenseMatrix m = linalg::TransposeMultiply(cmat, cmat);
+  m.AddScaledIdentity(0.4);
+  auto minv = linalg::Inverse(m);
+  ASSERT_TRUE(minv.ok());
+  const DenseMatrix cm = linalg::Multiply(cmat, minv.value());
+  const DenseVector xm = linalg::RowTimesMatrix(c.mean, cm);
+
+  const DenseMatrix x_ref = linalg::Multiply(c.centered, cm);
+  const DenseMatrix ytx_ref = linalg::TransposeMultiply(c.centered, x_ref);
+  double expected = 0.0;
+  for (size_t i = 0; i < cmat.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) expected += cmat(i, j) * ytx_ref(i, j);
+  }
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  const double ss3 =
+      Ss3Job(&engine, c.matrix, c.mean, xm, cm, cmat, nullptr, JobToggles{});
+  EXPECT_NEAR(ss3, expected, 1e-8 * std::max(1.0, std::fabs(expected)));
+}
+
+TEST_P(JobsPropertySweep, ReconstructionErrorIsScaleInvariant) {
+  // The relative 1-norm error is invariant to scaling the data (same
+  // basis; the mean scales with the data).
+  const RandomCase c = MakeCase(seed() + 400, sparse_storage());
+  Rng rng(seed() + 401);
+  const size_t d = 1 + rng.NextUint64Below(3);
+  const DenseMatrix basis =
+      DenseMatrix::GaussianRandom(c.matrix.cols(), d, &rng);
+
+  const double error = SampledReconstructionError(c.matrix, basis, c.mean);
+
+  DenseMatrix scaled_dense = c.dense;
+  scaled_dense.Scale(5.0);
+  DenseVector scaled_mean = c.mean;
+  scaled_mean.Scale(5.0);
+  const DistMatrix scaled =
+      DistMatrix::FromDense(std::move(scaled_dense), 2);
+  const double scaled_error =
+      SampledReconstructionError(scaled, basis, scaled_mean);
+  EXPECT_NEAR(error, scaled_error, 1e-9 * std::max(1.0, error));
+}
+
+TEST_P(JobsPropertySweep, PerfectBasisMeansZeroError) {
+  // Projecting onto a full orthonormal basis reconstructs exactly.
+  const RandomCase c = MakeCase(seed() + 500, sparse_storage());
+  const DenseMatrix eye = DenseMatrix::Identity(c.matrix.cols());
+  const double error = SampledReconstructionError(c.matrix, eye, c.mean);
+  EXPECT_NEAR(error, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JobsPropertySweep,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Bool()));
+
+// ---- Engine-mode invariants -------------------------------------------------
+
+TEST(JobsModeTest, SparkAndMapReduceProduceIdenticalNumbers) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const RandomCase c = MakeCase(6000 + trial, trial % 2 == 0);
+    Engine spark(dist::ClusterSpec{}, EngineMode::kSpark);
+    Engine mapreduce(dist::ClusterSpec{}, EngineMode::kMapReduce);
+    const DenseVector m1 = MeanJob(&spark, c.matrix);
+    const DenseVector m2 = MeanJob(&mapreduce, c.matrix);
+    for (size_t j = 0; j < m1.size(); ++j) EXPECT_EQ(m1[j], m2[j]);
+    const double f1 = FrobeniusNormJob(&spark, c.matrix, m1, true);
+    const double f2 = FrobeniusNormJob(&mapreduce, c.matrix, m2, true);
+    EXPECT_EQ(f1, f2);
+    // Costs differ: MapReduce pays launch + DFS round trips.
+    EXPECT_GT(mapreduce.SimulatedSeconds(), spark.SimulatedSeconds());
+  }
+}
+
+TEST(JobsModeTest, IntermediateDataRoutingConvention) {
+  // MapReduce: partials are intermediate (DFS); Spark: partials are
+  // accumulator results. Scalars are results in both modes.
+  const RandomCase c = MakeCase(7000, /*sparse_storage=*/true);
+  Rng rng(7001);
+  const size_t d = 3;
+  const DenseMatrix cmat =
+      DenseMatrix::GaussianRandom(c.matrix.cols(), d, &rng);
+  DenseMatrix m = linalg::TransposeMultiply(cmat, cmat);
+  m.AddScaledIdentity(0.3);
+  auto minv = linalg::Inverse(m);
+  ASSERT_TRUE(minv.ok());
+  const DenseMatrix cm = linalg::Multiply(cmat, minv.value());
+  const DenseVector xm = linalg::RowTimesMatrix(c.mean, cm);
+
+  Engine spark(dist::ClusterSpec{}, EngineMode::kSpark);
+  Engine mapreduce(dist::ClusterSpec{}, EngineMode::kMapReduce);
+  YtXJob(&spark, c.matrix, c.mean, xm, cm, nullptr, JobToggles{});
+  YtXJob(&mapreduce, c.matrix, c.mean, xm, cm, nullptr, JobToggles{});
+  EXPECT_EQ(spark.stats().intermediate_bytes, 0u);
+  EXPECT_GT(spark.stats().result_bytes, 0u);
+  EXPECT_GT(mapreduce.stats().intermediate_bytes, 0u);
+}
+
+TEST(JobsModeTest, SparseAccumulatorBytesUndercutDensePartials) {
+  // On very sparse data the Spark accumulator passes only the touched
+  // rows of each YtX partial (Section 4.2): the accounted bytes must be
+  // far below the dense D x d partial a MapReduce mapper writes.
+  const size_t rows = 60;
+  const size_t cols = 500;
+  SparseMatrix sparse(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    // Two non-zeros per row, confined to the first 20 columns.
+    const uint32_t a = static_cast<uint32_t>(i % 10);
+    sparse.AppendRow(i, std::vector<linalg::SparseEntry>{{a, 1.0},
+                                                         {a + 10, 1.0}});
+  }
+  const DistMatrix matrix = DistMatrix::FromSparse(std::move(sparse), 2);
+  const DenseVector mean = matrix.ColumnMeans();
+
+  Rng rng(7100);
+  const size_t d = 4;
+  const DenseMatrix cmat = DenseMatrix::GaussianRandom(cols, d, &rng);
+  DenseMatrix m = linalg::TransposeMultiply(cmat, cmat);
+  m.AddScaledIdentity(0.3);
+  auto minv = linalg::Inverse(m);
+  ASSERT_TRUE(minv.ok());
+  const DenseMatrix cm = linalg::Multiply(cmat, minv.value());
+  const DenseVector xm = linalg::RowTimesMatrix(mean, cm);
+
+  Engine spark(dist::ClusterSpec{}, EngineMode::kSpark);
+  Engine mapreduce(dist::ClusterSpec{}, EngineMode::kMapReduce);
+  YtXJob(&spark, matrix, mean, xm, cm, nullptr, JobToggles{});
+  YtXJob(&mapreduce, matrix, mean, xm, cm, nullptr, JobToggles{});
+  // Only 20 of 500 rows of the partial are touched: the sparse-aware
+  // Spark accounting must be well under half of the dense MapReduce one.
+  EXPECT_LT(2 * spark.stats().result_bytes,
+            mapreduce.stats().intermediate_bytes);
+}
+
+}  // namespace
+}  // namespace spca::core

@@ -1,0 +1,251 @@
+#include "core/jobs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/engine.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace spca::core {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseMatrix;
+
+/// Sparse-ish random test matrix plus dense reference copies.
+struct Fixture {
+  DistMatrix y;
+  DenseMatrix dense;     // same content, dense
+  DenseVector ym;        // column means
+  DenseMatrix centered;  // dense - mean (reference Yc)
+};
+
+Fixture MakeFixture(size_t rows, size_t cols, uint64_t seed,
+                    size_t partitions) {
+  Rng rng(seed);
+  DenseMatrix dense(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.NextDouble() < 0.3) dense(i, j) = rng.NextGaussian();
+    }
+  }
+  Fixture f;
+  f.dense = dense;
+  f.y = DistMatrix::FromSparse(SparseMatrix::FromDense(dense), partitions);
+  f.ym = linalg::ColumnMeans(dense);
+  f.centered = linalg::MeanCenter(dense, f.ym);
+  return f;
+}
+
+Engine MakeEngine() {
+  return Engine(dist::ClusterSpec{}, EngineMode::kSpark);
+}
+
+TEST(MeanJobTest, MatchesReference) {
+  const Fixture f = MakeFixture(23, 9, 40, 4);
+  Engine engine = MakeEngine();
+  const DenseVector mean = MeanJob(&engine, f.y);
+  for (size_t j = 0; j < 9; ++j) EXPECT_NEAR(mean[j], f.ym[j], 1e-12);
+  EXPECT_EQ(engine.stats().jobs_launched, 1u);
+}
+
+TEST(FrobeniusJobTest, BothVariantsMatchReference) {
+  const Fixture f = MakeFixture(17, 11, 41, 3);
+  const double reference = f.centered.FrobeniusNorm2();
+  Engine engine = MakeEngine();
+  const double fast = FrobeniusNormJob(&engine, f.y, f.ym, /*efficient=*/true);
+  const double simple =
+      FrobeniusNormJob(&engine, f.y, f.ym, /*efficient=*/false);
+  EXPECT_NEAR(fast, reference, 1e-9);
+  EXPECT_NEAR(simple, reference, 1e-9);
+}
+
+TEST(FrobeniusJobTest, DenseStorageMatchesToo) {
+  const Fixture f = MakeFixture(14, 6, 42, 2);
+  const DistMatrix dense_matrix = DistMatrix::FromDense(f.dense, 2);
+  Engine engine = MakeEngine();
+  const double fast =
+      FrobeniusNormJob(&engine, dense_matrix, f.ym, /*efficient=*/true);
+  EXPECT_NEAR(fast, f.centered.FrobeniusNorm2(), 1e-9);
+}
+
+/// Reference X = Yc * C * M^-1 computation and downstream quantities.
+struct Reference {
+  DenseMatrix cm;
+  DenseVector xm;
+  DenseMatrix x;
+  DenseMatrix xtx;
+  DenseMatrix ytx;
+  double ss3;
+};
+
+Reference ComputeReference(const Fixture& f, const DenseMatrix& c, double ss,
+                           const DenseMatrix& c_for_ss3) {
+  Reference r;
+  DenseMatrix m = linalg::TransposeMultiply(c, c);
+  m.AddScaledIdentity(ss);
+  auto minv = linalg::Inverse(m);
+  SPCA_CHECK(minv.ok());
+  r.cm = linalg::Multiply(c, minv.value());
+  r.xm = linalg::RowTimesMatrix(f.ym, r.cm);
+  r.x = linalg::Multiply(f.centered, r.cm);
+  r.xtx = linalg::TransposeMultiply(r.x, r.x);
+  r.ytx = linalg::TransposeMultiply(f.centered, r.x);
+  // ss3 = sum_n X_n * C' * Yc_n' = trace-style accumulation.
+  const DenseMatrix xc = linalg::MultiplyTranspose(r.x, c_for_ss3);  // N x D
+  r.ss3 = 0.0;
+  for (size_t i = 0; i < xc.rows(); ++i) {
+    for (size_t j = 0; j < xc.cols(); ++j) {
+      r.ss3 += xc(i, j) * f.centered(i, j);
+    }
+  }
+  return r;
+}
+
+class JobsToggleTest : public ::testing::TestWithParam<int> {
+ protected:
+  JobToggles TogglesFromMask(int mask) const {
+    JobToggles toggles;
+    toggles.mean_propagation = (mask & 1) != 0;
+    toggles.minimize_intermediate_data = (mask & 2) != 0;
+    toggles.consolidate_jobs = (mask & 4) != 0;
+    toggles.ss3_associativity = (mask & 8) != 0;
+    return toggles;
+  }
+};
+
+TEST_P(JobsToggleTest, YtXAndSs3MatchReference) {
+  const JobToggles toggles = TogglesFromMask(GetParam());
+  const Fixture f = MakeFixture(20, 8, 43, 3);
+  Rng rng(99);
+  const size_t d = 3;
+  const DenseMatrix c = DenseMatrix::GaussianRandom(8, d, &rng);
+  const DenseMatrix c2 = DenseMatrix::GaussianRandom(8, d, &rng);
+  const double ss = 0.37;
+  const Reference ref = ComputeReference(f, c, ss, c2);
+
+  Engine engine = MakeEngine();
+  DenseMatrix materialized;
+  const DenseMatrix* x_ptr = nullptr;
+  if (!toggles.minimize_intermediate_data) {
+    materialized = MaterializeXJob(&engine, f.y, f.ym, ref.xm, ref.cm,
+                                   toggles);
+    EXPECT_LT(materialized.MaxAbsDiff(ref.x), 1e-9);
+    x_ptr = &materialized;
+  }
+  const YtXResult result =
+      YtXJob(&engine, f.y, f.ym, ref.xm, ref.cm, x_ptr, toggles);
+  EXPECT_LT(result.xtx.MaxAbsDiff(ref.xtx), 1e-9);
+  EXPECT_LT(result.ytx.MaxAbsDiff(ref.ytx), 1e-9);
+
+  const double ss3 =
+      Ss3Job(&engine, f.y, f.ym, ref.xm, ref.cm, c2, x_ptr, toggles);
+  EXPECT_NEAR(ss3, ref.ss3, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllToggleCombinations, JobsToggleTest,
+                         ::testing::Range(0, 16));
+
+TEST(JobsTest, ConsolidationReducesJobCount) {
+  const Fixture f = MakeFixture(15, 6, 44, 3);
+  Rng rng(1);
+  const DenseMatrix c = DenseMatrix::GaussianRandom(6, 2, &rng);
+  const double ss = 0.5;
+  const Reference ref = ComputeReference(f, c, ss, c);
+
+  JobToggles consolidated;
+  JobToggles split;
+  split.consolidate_jobs = false;
+
+  Engine e1 = MakeEngine();
+  YtXJob(&e1, f.y, f.ym, ref.xm, ref.cm, nullptr, consolidated);
+  Engine e2 = MakeEngine();
+  YtXJob(&e2, f.y, f.ym, ref.xm, ref.cm, nullptr, split);
+  EXPECT_EQ(e1.stats().jobs_launched + 1, e2.stats().jobs_launched);
+  EXPECT_GT(e2.SimulatedSeconds(), e1.SimulatedSeconds());
+}
+
+TEST(JobsTest, MinimizingIntermediateDataEliminatesXMaterialization) {
+  const Fixture f = MakeFixture(30, 10, 45, 3);
+  Rng rng(2);
+  const DenseMatrix c = DenseMatrix::GaussianRandom(10, 4, &rng);
+  const Reference ref = ComputeReference(f, c, 0.4, c);
+
+  JobToggles optimized;
+  Engine e1 = MakeEngine();
+  YtXJob(&e1, f.y, f.ym, ref.xm, ref.cm, nullptr, optimized);
+  EXPECT_EQ(e1.stats().intermediate_bytes, 0u);
+
+  JobToggles naive;
+  naive.minimize_intermediate_data = false;
+  Engine e2 = MakeEngine();
+  const DenseMatrix x =
+      MaterializeXJob(&e2, f.y, f.ym, ref.xm, ref.cm, naive);
+  YtXJob(&e2, f.y, f.ym, ref.xm, ref.cm, &x, naive);
+  // The materialized X (N x d doubles) is intermediate data.
+  EXPECT_EQ(e2.stats().intermediate_bytes, 30u * 4 * sizeof(double));
+}
+
+TEST(JobsTest, MeanPropagationCostsFewerFlopsOnSparseData) {
+  const Fixture f = MakeFixture(40, 30, 46, 2);
+  Rng rng(3);
+  const DenseMatrix c = DenseMatrix::GaussianRandom(30, 3, &rng);
+  const Reference ref = ComputeReference(f, c, 0.3, c);
+
+  JobToggles with;
+  JobToggles without;
+  without.mean_propagation = false;
+
+  Engine e1 = MakeEngine();
+  YtXJob(&e1, f.y, f.ym, ref.xm, ref.cm, nullptr, with);
+  Engine e2 = MakeEngine();
+  YtXJob(&e2, f.y, f.ym, ref.xm, ref.cm, nullptr, without);
+  // ~30% density: the dense path does ~3x the flops.
+  EXPECT_GT(e2.stats().task_flops, 2 * e1.stats().task_flops);
+}
+
+TEST(JobsTest, Ss3AssociativityCostsFewerFlops) {
+  const Fixture f = MakeFixture(40, 30, 47, 2);
+  Rng rng(4);
+  const DenseMatrix c = DenseMatrix::GaussianRandom(30, 3, &rng);
+  const Reference ref = ComputeReference(f, c, 0.3, c);
+
+  JobToggles with;
+  JobToggles without;
+  without.ss3_associativity = false;
+
+  Engine e1 = MakeEngine();
+  Ss3Job(&e1, f.y, f.ym, ref.xm, ref.cm, c, nullptr, with);
+  Engine e2 = MakeEngine();
+  Ss3Job(&e2, f.y, f.ym, ref.xm, ref.cm, c, nullptr, without);
+  EXPECT_GT(e2.stats().task_flops, e1.stats().task_flops);
+}
+
+TEST(JobsTest, MapReduceRoutesPartialsAsIntermediateData) {
+  // The stateful combiner's partial matrices travel mapper->reducer through
+  // the DFS on MapReduce, but go to driver-side accumulators on Spark.
+  const Fixture f = MakeFixture(25, 12, 48, 4);
+  Rng rng(5);
+  const DenseMatrix c = DenseMatrix::GaussianRandom(12, 3, &rng);
+  const Reference ref = ComputeReference(f, c, 0.25, c);
+
+  Engine spark(dist::ClusterSpec{}, EngineMode::kSpark);
+  Engine mapreduce(dist::ClusterSpec{}, EngineMode::kMapReduce);
+  JobToggles toggles;
+  const YtXResult r1 =
+      YtXJob(&spark, f.y, f.ym, ref.xm, ref.cm, nullptr, toggles);
+  const YtXResult r2 =
+      YtXJob(&mapreduce, f.y, f.ym, ref.xm, ref.cm, nullptr, toggles);
+  EXPECT_LT(r1.ytx.MaxAbsDiff(r2.ytx), 1e-12);
+  EXPECT_GT(mapreduce.stats().intermediate_bytes, 0u);
+  EXPECT_EQ(spark.stats().intermediate_bytes, 0u);
+  EXPECT_GT(spark.stats().result_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace spca::core

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "linalg/ops.h"
+#include "ml/kmeans.h"
+#include "ml/ppca_mixture.h"
+#include "test_util.h"
+#include "workload/synthetic.h"
+
+namespace spca::ml {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+Engine MakeEngine() {
+  return Engine(dist::ClusterSpec{}, EngineMode::kSpark);
+}
+
+/// Well-separated Gaussian blobs with known labels.
+struct Blobs {
+  DistMatrix points;
+  std::vector<uint32_t> labels;
+  DenseMatrix centers;
+};
+
+Blobs MakeBlobs(size_t rows, size_t dims, size_t clusters, uint64_t seed,
+                double spread = 0.08) {
+  Rng rng(seed);
+  Blobs blobs;
+  blobs.centers = DenseMatrix(clusters, dims);
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t j = 0; j < dims; ++j) {
+      blobs.centers(c, j) = rng.NextGaussian(0.0, 1.0);
+    }
+  }
+  DenseMatrix points(rows, dims);
+  blobs.labels.resize(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t c = rng.NextUint64Below(clusters);
+    blobs.labels[i] = static_cast<uint32_t>(c);
+    for (size_t j = 0; j < dims; ++j) {
+      points(i, j) = blobs.centers(c, j) + rng.NextGaussian(0.0, spread);
+    }
+  }
+  blobs.points = DistMatrix::FromDense(std::move(points), 4);
+  return blobs;
+}
+
+/// Fraction of point pairs whose same/different-cluster relation matches
+/// between two labelings (pairwise Rand-style agreement on a sample).
+double PairwiseAgreement(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  SPCA_CHECK_EQ(a.size(), b.size());
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < a.size(); i += 7) {
+    for (size_t j = i + 1; j < a.size(); j += 13) {
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      agree += (same_a == same_b) ? 1 : 0;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+// ---- KMeans ------------------------------------------------------------
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const Blobs blobs = MakeBlobs(600, 8, 4, 5);
+  Engine engine = MakeEngine();
+  KMeansOptions options;
+  options.num_clusters = 4;
+  options.seed = 3;
+  auto result = KMeansFit(&engine, blobs.points, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(PairwiseAgreement(result.value().assignments, blobs.labels),
+            0.97);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  const Blobs blobs = MakeBlobs(400, 6, 5, 6);
+  Engine engine = MakeEngine();
+  auto inertia_for = [&](size_t k) {
+    KMeansOptions options;
+    options.num_clusters = k;
+    options.seed = 4;
+    auto result = KMeansFit(&engine, blobs.points, options);
+    SPCA_CHECK(result.ok());
+    return result.value().inertia;
+  };
+  EXPECT_GT(inertia_for(2), inertia_for(5));
+  EXPECT_GT(inertia_for(5), inertia_for(12));
+}
+
+TEST(KMeansTest, WorksOnSparseInput) {
+  workload::BagOfWordsConfig config;
+  config.rows = 400;
+  config.vocab = 150;
+  config.num_topics = 4;
+  config.topic_weight = 0.9;
+  config.seed = 12;
+  const DistMatrix docs =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 4);
+  Engine engine = MakeEngine();
+  KMeansOptions options;
+  options.num_clusters = 4;
+  auto result = KMeansFit(&engine, docs, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().inertia, 0.0);
+  EXPECT_EQ(result.value().assignments.size(), 400u);
+}
+
+TEST(KMeansTest, RunsMultipleIterationsWhenNeeded) {
+  // Regression test: the convergence check must not fire on iteration 1
+  // (previous inertia is infinite there). On overlapping blobs Lloyd
+  // needs several iterations and each must improve the objective.
+  const Blobs blobs = MakeBlobs(800, 10, 6, 10, /*spread=*/0.6);
+  Engine engine = MakeEngine();
+  KMeansOptions one_iteration;
+  one_iteration.num_clusters = 6;
+  one_iteration.max_iterations = 1;
+  one_iteration.seed = 11;
+  KMeansOptions many_iterations = one_iteration;
+  many_iterations.max_iterations = 30;
+  auto first = KMeansFit(&engine, blobs.points, one_iteration);
+  auto converged = KMeansFit(&engine, blobs.points, many_iterations);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(converged.ok());
+  EXPECT_GT(converged.value().iterations_run, 1);
+  EXPECT_LT(converged.value().inertia, first.value().inertia);
+}
+
+TEST(KMeansTest, Deterministic) {
+  const Blobs blobs = MakeBlobs(200, 5, 3, 7);
+  Engine e1 = MakeEngine();
+  Engine e2 = MakeEngine();
+  KMeansOptions options;
+  options.num_clusters = 3;
+  auto r1 = KMeansFit(&e1, blobs.points, options);
+  auto r2 = KMeansFit(&e2, blobs.points, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().assignments, r2.value().assignments);
+  EXPECT_EQ(r1.value().inertia, r2.value().inertia);
+}
+
+TEST(KMeansTest, ValidatesArguments) {
+  const Blobs blobs = MakeBlobs(10, 4, 2, 8);
+  Engine engine = MakeEngine();
+  KMeansOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(KMeansFit(&engine, blobs.points, options).ok());
+  options.num_clusters = 50;  // more clusters than rows
+  EXPECT_FALSE(KMeansFit(&engine, blobs.points, options).ok());
+}
+
+TEST(KMeansTest, PcaThenKMeansPipeline) {
+  // The paper's motivating pipeline: reduce with sPCA, cluster the
+  // projection, and still recover the blob structure.
+  const Blobs blobs = MakeBlobs(500, 24, 4, 9, 0.05);
+  Engine engine = MakeEngine();
+  core::SpcaOptions pca_options;
+  pca_options.num_components = 4;
+  pca_options.max_iterations = 15;
+  pca_options.target_accuracy_fraction = 2.0;
+  pca_options.compute_accuracy_trace = false;
+  auto pca = core::Spca(&engine, pca_options).Fit(blobs.points);
+  ASSERT_TRUE(pca.ok());
+  const DenseMatrix reduced =
+      pca.value().model.Transform(&engine, blobs.points);
+  const DistMatrix reduced_dist = DistMatrix::FromDense(reduced, 4);
+
+  KMeansOptions km_options;
+  km_options.num_clusters = 4;
+  auto clustered = KMeansFit(&engine, reduced_dist, km_options);
+  ASSERT_TRUE(clustered.ok());
+  EXPECT_GT(PairwiseAgreement(clustered.value().assignments, blobs.labels),
+            0.95);
+}
+
+// ---- Mixture of PPCA --------------------------------------------------------
+
+/// Two distinct low-rank populations glued together.
+struct TwoPopulations {
+  DistMatrix points;
+  std::vector<uint32_t> labels;
+};
+
+TwoPopulations MakeTwoPopulations(size_t rows_per, size_t dims,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix points(2 * rows_per, dims);
+  TwoPopulations data;
+  data.labels.resize(2 * rows_per);
+  // Population 0 varies along dims [0..2); population 1 along [dims-2..).
+  for (size_t i = 0; i < 2 * rows_per; ++i) {
+    const size_t population = i < rows_per ? 0 : 1;
+    data.labels[i] = static_cast<uint32_t>(population);
+    const double offset = population == 0 ? -4.0 : 4.0;
+    for (size_t j = 0; j < dims; ++j) {
+      points(i, j) = rng.NextGaussian(0.0, 0.05);
+    }
+    const size_t axis0 = population == 0 ? 0 : dims - 2;
+    const double z0 = rng.NextGaussian(0.0, 1.0);
+    const double z1 = rng.NextGaussian(0.0, 1.0);
+    points(i, axis0) += z0;
+    points(i, axis0 + 1) += z1;
+    points(i, 0) += offset;  // separate the population means
+  }
+  data.points = DistMatrix::FromDense(std::move(points), 4);
+  return data;
+}
+
+TEST(PpcaMixtureTest, SeparatesTwoPopulations) {
+  const TwoPopulations data = MakeTwoPopulations(300, 10, 21);
+  Engine engine = MakeEngine();
+  PpcaMixtureOptions options;
+  options.num_models = 2;
+  options.num_components = 2;
+  options.em_iterations = 30;
+  options.seed = 2;
+  auto result = FitPpcaMixture(&engine, data.points, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(PairwiseAgreement(result.value().hard_assignments, data.labels),
+            0.95);
+  // Mixing weights near 1/2 each.
+  for (const auto& component : result.value().components) {
+    EXPECT_GT(component.weight, 0.3);
+    EXPECT_LT(component.weight, 0.7);
+  }
+}
+
+TEST(PpcaMixtureTest, LogLikelihoodIncreases) {
+  const TwoPopulations data = MakeTwoPopulations(200, 8, 22);
+  Engine engine = MakeEngine();
+  PpcaMixtureOptions options;
+  options.num_models = 2;
+  options.num_components = 2;
+  options.em_iterations = 4;
+  auto short_run = FitPpcaMixture(&engine, data.points, options);
+  options.em_iterations = 20;
+  auto long_run = FitPpcaMixture(&engine, data.points, options);
+  ASSERT_TRUE(short_run.ok());
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_GE(long_run.value().log_likelihood,
+            short_run.value().log_likelihood - 1e-6);
+}
+
+TEST(PpcaMixtureTest, SingleModelMatchesPlainPpcaSubspace) {
+  // k = 1 degenerates to plain PPCA: the fitted subspace must match.
+  workload::LowRankConfig config;
+  config.rows = 300;
+  config.cols = 16;
+  config.rank = 3;
+  config.noise_stddev = 0.05;
+  config.seed = 44;
+  const DenseMatrix y = workload::GenerateLowRank(config);
+  const DistMatrix dist = DistMatrix::FromDense(y, 4);
+
+  Engine engine = MakeEngine();
+  PpcaMixtureOptions options;
+  options.num_models = 1;
+  options.num_components = 3;
+  options.em_iterations = 40;
+  auto mixture = FitPpcaMixture(&engine, dist, options);
+  ASSERT_TRUE(mixture.ok());
+
+  core::SpcaOptions pca_options;
+  pca_options.num_components = 3;
+  pca_options.max_iterations = 40;
+  pca_options.target_accuracy_fraction = 2.0;
+  pca_options.compute_accuracy_trace = false;
+  auto pca = core::Spca(&engine, pca_options).Fit(dist);
+  ASSERT_TRUE(pca.ok());
+
+  EXPECT_LT(test::MaxPrincipalAngle(
+                mixture.value().components[0].model.components,
+                pca.value().model.components),
+            0.05);
+}
+
+TEST(PpcaMixtureTest, ValidatesArguments) {
+  const TwoPopulations data = MakeTwoPopulations(20, 6, 23);
+  Engine engine = MakeEngine();
+  PpcaMixtureOptions options;
+  options.num_models = 0;
+  EXPECT_FALSE(FitPpcaMixture(&engine, data.points, options).ok());
+  options.num_models = 2;
+  options.num_components = 0;
+  EXPECT_FALSE(FitPpcaMixture(&engine, data.points, options).ok());
+  options.num_components = 6;  // == dims
+  EXPECT_FALSE(FitPpcaMixture(&engine, data.points, options).ok());
+  options.num_components = 2;
+  options.num_models = 30;  // too few rows
+  EXPECT_FALSE(FitPpcaMixture(&engine, data.points, options).ok());
+}
+
+TEST(PpcaMixtureTest, Deterministic) {
+  const TwoPopulations data = MakeTwoPopulations(100, 8, 24);
+  Engine e1 = MakeEngine();
+  Engine e2 = MakeEngine();
+  PpcaMixtureOptions options;
+  options.num_models = 2;
+  options.num_components = 2;
+  options.em_iterations = 10;
+  auto r1 = FitPpcaMixture(&e1, data.points, options);
+  auto r2 = FitPpcaMixture(&e2, data.points, options);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().log_likelihood, r2.value().log_likelihood);
+  EXPECT_EQ(r1.value().hard_assignments, r2.value().hard_assignments);
+}
+
+}  // namespace
+}  // namespace spca::ml

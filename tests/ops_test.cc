@@ -1,0 +1,157 @@
+#include "linalg/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace spca::linalg {
+namespace {
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  return DenseMatrix::GaussianRandom(rows, cols, rng);
+}
+
+TEST(OpsTest, MultiplySmallKnown) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const DenseMatrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(OpsTest, TransposeMultiplyMatchesExplicitTranspose) {
+  Rng rng(1);
+  const DenseMatrix a = RandomMatrix(7, 4, &rng);
+  const DenseMatrix b = RandomMatrix(7, 5, &rng);
+  const DenseMatrix fast = TransposeMultiply(a, b);
+  const DenseMatrix reference = Multiply(a.Transpose(), b);
+  EXPECT_LT(fast.MaxAbsDiff(reference), 1e-12);
+}
+
+TEST(OpsTest, MultiplyTransposeMatchesExplicitTranspose) {
+  Rng rng(2);
+  const DenseMatrix a = RandomMatrix(4, 6, &rng);
+  const DenseMatrix b = RandomMatrix(5, 6, &rng);
+  const DenseMatrix fast = MultiplyTranspose(a, b);
+  const DenseMatrix reference = Multiply(a, b.Transpose());
+  EXPECT_LT(fast.MaxAbsDiff(reference), 1e-12);
+}
+
+TEST(OpsTest, MatrixVectorProducts) {
+  Rng rng(3);
+  const DenseMatrix a = RandomMatrix(4, 3, &rng);
+  DenseVector x(std::vector<double>{1.0, -2.0, 0.5});
+  const DenseVector y = MultiplyVector(a, x);
+  for (size_t i = 0; i < 4; ++i) {
+    double expected = 0;
+    for (size_t j = 0; j < 3; ++j) expected += a(i, j) * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-12);
+  }
+  DenseVector z(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  const DenseVector w = TransposeMultiplyVector(a, z);
+  for (size_t j = 0; j < 3; ++j) {
+    double expected = 0;
+    for (size_t i = 0; i < 4; ++i) expected += a(i, j) * z[i];
+    EXPECT_NEAR(w[j], expected, 1e-12);
+  }
+}
+
+TEST(OpsTest, RowTimesMatrixMatchesMultiply) {
+  Rng rng(4);
+  const DenseMatrix b = RandomMatrix(5, 3, &rng);
+  DenseVector row(5);
+  for (size_t i = 0; i < 5; ++i) row[i] = rng.NextGaussian();
+  const DenseVector out = RowTimesMatrix(row, b);
+  for (size_t j = 0; j < 3; ++j) {
+    double expected = 0;
+    for (size_t k = 0; k < 5; ++k) expected += row[k] * b(k, j);
+    EXPECT_NEAR(out[j], expected, 1e-12);
+  }
+}
+
+TEST(OpsTest, SparseRowTimesMatrixMatchesDense) {
+  Rng rng(5);
+  const DenseMatrix b = RandomMatrix(6, 4, &rng);
+  const SparseVector sv({{1, 2.0}, {4, -3.0}}, 6);
+  const DenseVector sparse_result = SparseRowTimesMatrix(sv.View(), b);
+  DenseVector dense_row(6);
+  dense_row[1] = 2.0;
+  dense_row[4] = -3.0;
+  const DenseVector dense_result = RowTimesMatrix(dense_row, b);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(sparse_result[j], dense_result[j], 1e-12);
+  }
+}
+
+TEST(OpsTest, OuterProducts) {
+  DenseVector a(std::vector<double>{1.0, 2.0});
+  DenseVector b(std::vector<double>{3.0, 4.0, 5.0});
+  DenseMatrix out(2, 3);
+  AddOuterProduct(a, b, &out);
+  EXPECT_DOUBLE_EQ(out(1, 2), 10.0);
+  AddOuterProduct(a, b, &out);
+  EXPECT_DOUBLE_EQ(out(1, 2), 20.0);
+
+  const SparseVector sv({{0, 2.0}}, 2);
+  DenseMatrix sparse_out(2, 3);
+  AddSparseOuterProduct(sv.View(), b, &sparse_out);
+  EXPECT_DOUBLE_EQ(sparse_out(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(sparse_out(1, 1), 0.0);
+}
+
+TEST(OpsTest, SparseTimesDenseMatchesDenseMultiply) {
+  Rng rng(6);
+  DenseMatrix dense_a(8, 6);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      if (rng.NextDouble() < 0.4) dense_a(i, j) = rng.NextGaussian();
+    }
+  }
+  const SparseMatrix sparse_a = SparseMatrix::FromDense(dense_a);
+  const DenseMatrix b = RandomMatrix(6, 3, &rng);
+  const DenseMatrix via_sparse = SparseTimesDense(sparse_a, b);
+  const DenseMatrix via_dense = Multiply(dense_a, b);
+  EXPECT_LT(via_sparse.MaxAbsDiff(via_dense), 1e-12);
+}
+
+TEST(OpsTest, MeanCenterAndColumnMeans) {
+  DenseMatrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  a(1, 1) = 6;
+  a(2, 1) = 8;
+  const DenseVector means = ColumnMeans(a);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 6.0);
+  const DenseMatrix centered = MeanCenter(a, means);
+  const DenseVector centered_means = ColumnMeans(centered);
+  EXPECT_NEAR(centered_means[0], 0.0, 1e-12);
+  EXPECT_NEAR(centered_means[1], 0.0, 1e-12);
+}
+
+TEST(OpsTest, MultiplyAssociativityProperty) {
+  Rng rng(8);
+  const DenseMatrix a = RandomMatrix(3, 4, &rng);
+  const DenseMatrix b = RandomMatrix(4, 5, &rng);
+  const DenseMatrix c = RandomMatrix(5, 2, &rng);
+  const DenseMatrix left = Multiply(Multiply(a, b), c);
+  const DenseMatrix right = Multiply(a, Multiply(b, c));
+  EXPECT_LT(left.MaxAbsDiff(right), 1e-10);
+}
+
+}  // namespace
+}  // namespace spca::linalg

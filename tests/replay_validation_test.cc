@@ -1,0 +1,115 @@
+// Validates the cost-model extrapolation the figure/table benches rely
+// on: replaying a recorded run with per-row quantities scaled by k must
+// reproduce the simulated time of a *real* run on k-times-as-many rows.
+//
+// The k-times dataset is built by stacking the original rows k times, so
+// the EM trajectory is bit-identical (all sufficient statistics scale by
+// exactly k and the updates are scale-invariant), per-task flops scale by
+// exactly k, and the only difference between the runs is data volume.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "linalg/sparse_matrix.h"
+#include "workload/synthetic.h"
+
+namespace spca {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using linalg::SparseEntry;
+using linalg::SparseMatrix;
+
+/// The input matrix stacked `copies` times.
+SparseMatrix Stack(const SparseMatrix& base, size_t copies) {
+  SparseMatrix stacked(base.rows() * copies, base.cols());
+  std::vector<SparseEntry> row;
+  size_t out = 0;
+  for (size_t copy = 0; copy < copies; ++copy) {
+    for (size_t i = 0; i < base.rows(); ++i) {
+      const auto view = base.Row(i);
+      row.assign(view.begin(), view.end());
+      stacked.AppendRow(out++, row);
+    }
+  }
+  return stacked;
+}
+
+core::SpcaOptions FixedWorkOptions() {
+  core::SpcaOptions options;
+  options.num_components = 4;
+  options.max_iterations = 3;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  return options;
+}
+
+class ReplayValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayValidation, ScaledReplayMatchesRealScaledRun) {
+  const size_t copies = static_cast<size_t>(GetParam());
+
+  workload::BagOfWordsConfig config;
+  config.rows = 600;
+  config.vocab = 300;
+  config.words_per_row = 8;
+  config.seed = 77;
+  const SparseMatrix base = workload::GenerateBagOfWords(config);
+  // Same partition *count* for both runs so the task structure matches.
+  const size_t partitions = 6;
+  const DistMatrix small = DistMatrix::FromSparse(base, partitions);
+  const DistMatrix large =
+      DistMatrix::FromSparse(Stack(base, copies), partitions);
+
+  for (const EngineMode mode : {EngineMode::kSpark, EngineMode::kMapReduce}) {
+    Engine small_engine(dist::ClusterSpec{}, mode);
+    Engine large_engine(dist::ClusterSpec{}, mode);
+    auto small_fit =
+        core::Spca(&small_engine, FixedWorkOptions()).Fit(small);
+    auto large_fit =
+        core::Spca(&large_engine, FixedWorkOptions()).Fit(large);
+    ASSERT_TRUE(small_fit.ok());
+    ASSERT_TRUE(large_fit.ok());
+
+    // Note: the *models* differ slightly between the two runs — the
+    // paper's Algorithm 4 adds ss*M^-1 (without the factor N) to XtX, so
+    // the update is not invariant to row duplication. The cost structure
+    // is what must scale: per-task flops depend only on the sparsity
+    // pattern and d, and the large run charges exactly `copies` times the
+    // small run's work.
+    EXPECT_EQ(large_fit.value().stats.task_flops,
+              copies * small_fit.value().stats.task_flops);
+
+    // Replay each small-run job at row scale `copies` and compare against
+    // the real large-run job (sPCA's partials are row-count independent,
+    // so only flops and input bytes scale).
+    ASSERT_EQ(small_engine.traces().size(), large_engine.traces().size());
+    for (size_t j = 0; j < small_engine.traces().size(); ++j) {
+      dist::ReplayScales scales;
+      scales.flops = static_cast<double>(copies);
+      scales.input_bytes = static_cast<double>(copies);
+      const double replayed = dist::ReplayJobSeconds(
+          small_engine.traces()[j], dist::ClusterSpec{}, mode, scales);
+      const double real =
+          large_engine.traces()[j].stats.simulated_seconds;
+      // Tight agreement: per-row flops are exactly linear here; the only
+      // slack is sub-permille accounting noise (row-boundary effects in
+      // partitioning).
+      EXPECT_NEAR(replayed, real, 0.02 * real + 1e-6)
+          << "job " << small_engine.traces()[j].name << " mode "
+          << dist::EngineModeToString(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ReplayValidation, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace spca

@@ -1,0 +1,218 @@
+// Edge cases, failure modes, and option semantics of the sPCA driver that
+// the main spca_test does not cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ssvd_pca.h"
+#include "common/rng.h"
+#include "core/reconstruction_error.h"
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "workload/synthetic.h"
+
+namespace spca::core {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using linalg::DenseMatrix;
+
+DistMatrix SmallData(size_t rows, size_t cols, uint64_t seed,
+                     size_t partitions = 3) {
+  workload::LowRankConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.rank = std::min<size_t>(3, cols);
+  config.noise_stddev = 0.05;
+  config.seed = seed;
+  return DistMatrix::FromDense(workload::GenerateLowRank(config), partitions);
+}
+
+SpcaOptions QuietOptions(size_t d, int iterations) {
+  SpcaOptions options;
+  options.num_components = d;
+  options.max_iterations = iterations;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  return options;
+}
+
+TEST(SpcaEdgeTest, ComponentsEqualToDimensionality) {
+  const DistMatrix y = SmallData(60, 6, 1);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(6, 8));
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().model.num_components(), 6u);
+}
+
+TEST(SpcaEdgeTest, SingleIteration) {
+  const DistMatrix y = SmallData(80, 10, 2);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(2, 1));
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().iterations_run, 1);
+}
+
+TEST(SpcaEdgeTest, TraceDisabledMeansEmptyTrace) {
+  const DistMatrix y = SmallData(80, 10, 3);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(2, 4));
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().trace.empty());
+  EXPECT_EQ(result.value().ideal_error, 0.0);
+}
+
+TEST(SpcaEdgeTest, ErrorSampleLargerThanMatrixIsClamped) {
+  const DistMatrix y = SmallData(40, 8, 4);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  SpcaOptions options = QuietOptions(2, 3);
+  options.compute_accuracy_trace = true;
+  options.error_sample_rows = 10000;  // > N
+  Spca spca(&engine, options);
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().trace.size(), 3u);
+}
+
+TEST(SpcaEdgeTest, IdealErrorOverrideIsUsedVerbatim) {
+  const DistMatrix y = SmallData(100, 10, 5);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  SpcaOptions options = QuietOptions(2, 2);
+  options.compute_accuracy_trace = true;
+  options.ideal_error_override = 0.123;
+  Spca spca(&engine, options);
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().ideal_error, 0.123);
+}
+
+TEST(SpcaEdgeTest, FitWithInitValidatesArguments) {
+  const DistMatrix y = SmallData(50, 8, 6);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(2, 2));
+  // Wrong shape.
+  EXPECT_FALSE(spca.FitWithInit(y, DenseMatrix(8, 5), 1.0).ok());
+  EXPECT_FALSE(spca.FitWithInit(y, DenseMatrix(5, 2), 1.0).ok());
+  // Non-positive ss.
+  EXPECT_FALSE(spca.FitWithInit(y, DenseMatrix(8, 2), 0.0).ok());
+  EXPECT_FALSE(spca.FitWithInit(y, DenseMatrix(8, 2), -1.0).ok());
+}
+
+TEST(SpcaEdgeTest, WarmStartFromPreviousModelConverges) {
+  const DistMatrix y = SmallData(200, 12, 7);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(3, 6));
+  auto first = spca.Fit(y);
+  ASSERT_TRUE(first.ok());
+  auto second = spca.FitWithInit(y, first.value().model.components,
+                                 first.value().model.noise_variance);
+  ASSERT_TRUE(second.ok());
+  // Warm start from a converged model barely moves.
+  EXPECT_LT(second.value().model.components.MaxAbsDiff(
+                first.value().model.components),
+            0.3);
+}
+
+TEST(SpcaEdgeTest, SmartGuessFallsBackOnTinyInputs) {
+  // Too few rows to sample from: the smart guess is skipped, not an error.
+  const DistMatrix y = SmallData(30, 8, 8);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  SpcaOptions options = QuietOptions(2, 3);
+  options.smart_guess = true;
+  options.smart_guess_rows = 100;  // > N/2
+  Spca spca(&engine, options);
+  EXPECT_TRUE(spca.Fit(y).ok());
+}
+
+TEST(SpcaEdgeTest, FailsWhenDriverMemoryTooSmall) {
+  const DistMatrix y = SmallData(50, 8, 9);
+  dist::ClusterSpec spec;
+  spec.driver_memory_bytes = 1024;  // smaller than the runtime baseline
+  Engine engine(spec, EngineMode::kSpark);
+  Spca spca(&engine, QuietOptions(2, 2));
+  const auto result = spca.Fit(y);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+  // The failed fit must not leak its driver reservation.
+  EXPECT_EQ(engine.current_driver_memory(), 0u);
+}
+
+TEST(SpcaEdgeTest, FaultInjectionDoesNotChangeResults) {
+  const DistMatrix y = SmallData(120, 10, 10);
+  dist::ClusterSpec flaky;
+  flaky.task_failure_probability = 0.5;
+  Engine healthy_engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  Engine flaky_engine(flaky, EngineMode::kSpark);
+  auto healthy = Spca(&healthy_engine, QuietOptions(3, 4)).Fit(y);
+  auto with_failures = Spca(&flaky_engine, QuietOptions(3, 4)).Fit(y);
+  ASSERT_TRUE(healthy.ok());
+  ASSERT_TRUE(with_failures.ok());
+  EXPECT_EQ(healthy.value().model.components.MaxAbsDiff(
+                with_failures.value().model.components),
+            0.0);
+  EXPECT_GT(with_failures.value().stats.task_flops,
+            healthy.value().stats.task_flops);
+}
+
+TEST(SpcaEdgeTest, SsvdSharesTheSameErrorSample) {
+  // Both algorithms must sample the same evaluation rows (fixed seed), so
+  // their accuracy traces are comparable.
+  const auto spca_rows = SampleRowIndices(1000, 64, kErrorSampleSeed);
+  const auto again = SampleRowIndices(1000, 64, kErrorSampleSeed);
+  EXPECT_EQ(spca_rows, again);
+}
+
+TEST(SpcaEdgeTest, SsvdIdealOverrideAndTraceSemantics) {
+  const DistMatrix y = SmallData(200, 12, 11);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  baselines::SsvdOptions options;
+  options.num_components = 3;
+  options.max_power_iterations = 2;
+  options.target_accuracy_fraction = 2.0;
+  options.ideal_error_override = 0.5;
+  auto result = baselines::SsvdPca(&engine, options).Fit(y);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().ideal_error, 0.5);
+  EXPECT_EQ(result.value().trace.size(), 3u);  // rounds 0, 1, 2
+}
+
+class SpcaShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SpcaShapeSweep, FitSucceedsAndIsWellFormed) {
+  const auto [rows, cols, partitions] = GetParam();
+  const DistMatrix y =
+      SmallData(rows, cols, 1000 + rows + cols, partitions);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  const size_t d = std::min<size_t>(3, cols);
+  Spca spca(&engine, QuietOptions(d, 3));
+  auto result = spca.Fit(y);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().model.components.rows(),
+            static_cast<size_t>(cols));
+  EXPECT_EQ(result.value().model.components.cols(), d);
+  EXPECT_GT(result.value().model.noise_variance, 0.0);
+  // The components are finite.
+  for (size_t i = 0; i < result.value().model.components.rows(); ++i) {
+    for (size_t j = 0; j < result.value().model.components.cols(); ++j) {
+      EXPECT_TRUE(std::isfinite(result.value().model.components(i, j)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpcaShapeSweep,
+    ::testing::Values(std::make_tuple(4, 3, 1), std::make_tuple(10, 4, 2),
+                      std::make_tuple(33, 7, 5), std::make_tuple(64, 16, 8),
+                      std::make_tuple(100, 5, 16),
+                      std::make_tuple(128, 32, 4),
+                      std::make_tuple(257, 9, 7)));
+
+}  // namespace
+}  // namespace spca::core

@@ -1,0 +1,40 @@
+#ifndef SPCA_TESTS_TEST_UTIL_H_
+#define SPCA_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/ops.h"
+#include "linalg/qr.h"
+#include "linalg/svd.h"
+
+namespace spca::test {
+
+/// Largest principal angle (in radians) between the column spaces of A and
+/// B (both D x d). 0 means identical subspaces. Orthonormalizes both
+/// inputs first, so arbitrary bases are fine.
+inline double MaxPrincipalAngle(const linalg::DenseMatrix& a,
+                                const linalg::DenseMatrix& b) {
+  const linalg::DenseMatrix qa = linalg::OrthonormalizeColumns(a);
+  const linalg::DenseMatrix qb = linalg::OrthonormalizeColumns(b);
+  const linalg::DenseMatrix overlap = linalg::TransposeMultiply(qa, qb);
+  auto svd = linalg::Svd(overlap);
+  SPCA_CHECK(svd.ok());
+  // Smallest singular value of Qa'Qb = cos(largest principal angle).
+  const auto& s = svd.value().singular_values;
+  double smallest = 1.0;
+  for (size_t i = 0; i < s.size(); ++i) smallest = std::min(smallest, s[i]);
+  smallest = std::clamp(smallest, -1.0, 1.0);
+  return std::acos(smallest);
+}
+
+/// Convenience: whether two matrices agree element-wise within `tol`.
+inline bool MatricesNear(const linalg::DenseMatrix& a,
+                         const linalg::DenseMatrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.MaxAbsDiff(b) <= tol;
+}
+
+}  // namespace spca::test
+
+#endif  // SPCA_TESTS_TEST_UTIL_H_

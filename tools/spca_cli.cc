@@ -1,0 +1,304 @@
+// spca_cli — run any of the repository's PCA algorithms on a matrix from
+// disk (or a generated dataset) and write the principal components out.
+//
+// Examples:
+//   # 50 components of a sparse matrix, sPCA on the Spark-style engine:
+//   spca_cli --input docs.spm --format sparse-bin --components 50
+//            --output components.txt
+//
+//   # Generate a Tweets-shaped dataset and compare algorithms:
+//   spca_cli --generate tweets --rows 50000 --cols 5000 --algorithm mahout
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baselines/cov_eig_pca.h"
+#include "baselines/lanczos_pca.h"
+#include "baselines/ssvd_pca.h"
+#include "baselines/svd_bidiag_pca.h"
+#include "common/format.h"
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "workload/datasets.h"
+#include "workload/io.h"
+
+namespace {
+
+using spca::Status;
+using spca::StatusOr;
+
+constexpr const char* kUsage = R"(spca_cli — scalable PCA from the command line
+
+Input (exactly one of):
+  --input PATH          matrix file to load
+  --format FMT          sparse-bin | dense-bin | sparse-text (with --text-cols N)
+  --generate KIND       tweets | biotext | diabetes | images (synthetic data)
+  --rows N --cols N     shape for --generate (defaults 20000 x 2000)
+
+Algorithm:
+  --algorithm ALG       spca (default) | mllib | mahout | lanczos | bidiag
+  --platform P          spark (default) | mapreduce
+  --components D        number of principal components (default 50)
+  --iterations N        max EM / power iterations (default 10)
+  --target FRACTION     stop at this fraction of ideal accuracy (default 0.95;
+                        >1 disables the stop condition)
+  --smart-guess         sPCA only: warm-start from a sample fit (sPCA-SG)
+
+Cluster model:
+  --partitions N        row partitions (default 16)
+  --nodes N             simulated cluster nodes (default 8, 8 cores each)
+  --failures P          per-task failure probability (default 0)
+
+Output:
+  --output PATH         write components as text (rows = dimensions)
+  --output-bin PATH     write components as dense binary
+  --seed N              RNG seed (default 1)
+)";
+
+struct Args {
+  std::map<std::string, std::string> values;
+  bool Has(const std::string& key) const { return values.contains(key); }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+StatusOr<Args> ParseArgs(int argc, char** argv) {
+  static const char* kFlagsWithValue[] = {
+      "--input",      "--format",     "--generate", "--rows",
+      "--cols",       "--text-cols",  "--algorithm", "--platform",
+      "--components", "--iterations", "--target",    "--partitions",
+      "--nodes",      "--failures",   "--output",    "--output-bin",
+      "--seed"};
+  static const char* kFlagsBare[] = {"--smart-guess", "--help"};
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    bool matched = false;
+    for (const char* known : kFlagsBare) {
+      if (flag == known) {
+        args.values[flag] = "1";
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* known : kFlagsWithValue) {
+      if (flag == known) {
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument(flag + " needs a value");
+        }
+        args.values[flag] = argv[++i];
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return Status::InvalidArgument("unknown flag " + flag);
+  }
+  return args;
+}
+
+StatusOr<spca::dist::DistMatrix> LoadInput(const Args& args,
+                                           size_t partitions) {
+  namespace workload = spca::workload;
+  if (args.Has("--generate")) {
+    const std::string kind_name = args.Get("--generate", "");
+    workload::DatasetKind kind;
+    if (kind_name == "tweets") {
+      kind = workload::DatasetKind::kTweets;
+    } else if (kind_name == "biotext") {
+      kind = workload::DatasetKind::kBioText;
+    } else if (kind_name == "diabetes") {
+      kind = workload::DatasetKind::kDiabetes;
+    } else if (kind_name == "images") {
+      kind = workload::DatasetKind::kImages;
+    } else {
+      return Status::InvalidArgument("unknown --generate kind " + kind_name);
+    }
+    const size_t rows = args.GetInt("--rows", 20000);
+    const size_t cols = args.GetInt("--cols", 2000);
+    return workload::MakeDataset(kind, rows, cols, partitions,
+                                 args.GetInt("--seed", 1))
+        .matrix;
+  }
+  if (!args.Has("--input")) {
+    return Status::InvalidArgument("need --input or --generate (see --help)");
+  }
+  const std::string path = args.Get("--input", "");
+  const std::string format = args.Get("--format", "sparse-bin");
+  if (format == "sparse-bin") {
+    auto matrix = workload::LoadSparseBinary(path);
+    if (!matrix.ok()) return matrix.status();
+    return spca::dist::DistMatrix::FromSparse(std::move(matrix.value()),
+                                              partitions);
+  }
+  if (format == "dense-bin") {
+    auto matrix = workload::LoadDenseBinary(path);
+    if (!matrix.ok()) return matrix.status();
+    return spca::dist::DistMatrix::FromDense(std::move(matrix.value()),
+                                             partitions);
+  }
+  if (format == "sparse-text") {
+    if (!args.Has("--text-cols")) {
+      return Status::InvalidArgument("sparse-text needs --text-cols");
+    }
+    auto matrix =
+        workload::LoadSparseText(path, args.GetInt("--text-cols", 0));
+    if (!matrix.ok()) return matrix.status();
+    return spca::dist::DistMatrix::FromSparse(std::move(matrix.value()),
+                                              partitions);
+  }
+  return Status::InvalidArgument("unknown --format " + format);
+}
+
+StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
+                                            spca::dist::Engine* engine,
+                                            const spca::dist::DistMatrix& y) {
+  const std::string algorithm = args.Get("--algorithm", "spca");
+  const size_t d = args.GetInt("--components", 50);
+  const int iterations = static_cast<int>(args.GetInt("--iterations", 10));
+  const double target = args.GetDouble("--target", 0.95);
+  const uint64_t seed = args.GetInt("--seed", 1);
+
+  if (algorithm == "spca") {
+    spca::core::SpcaOptions options;
+    options.num_components = d;
+    options.max_iterations = iterations;
+    options.target_accuracy_fraction = target;
+    options.smart_guess = args.Has("--smart-guess");
+    options.seed = seed;
+    auto result = spca::core::Spca(engine, options).Fit(y);
+    if (!result.ok()) return result.status();
+    std::printf("sPCA: %d iterations", result.value().iterations_run);
+    if (!result.value().trace.empty()) {
+      std::printf(", final accuracy %.1f%% of ideal",
+                  result.value().trace.back().accuracy_percent);
+    }
+    std::printf("\n");
+    return std::move(result.value().model);
+  }
+  if (algorithm == "mllib") {
+    spca::baselines::CovEigOptions options;
+    options.num_components = d;
+    options.seed = seed;
+    auto result = spca::baselines::CovEigPca(engine, options).Fit(y);
+    if (!result.ok()) return result.status();
+    std::printf("MLlib-PCA: driver held %s\n",
+                spca::HumanBytes(
+                    static_cast<double>(result.value().driver_bytes))
+                    .c_str());
+    return std::move(result.value().model);
+  }
+  if (algorithm == "mahout") {
+    spca::baselines::SsvdOptions options;
+    options.num_components = d;
+    options.max_power_iterations = iterations;
+    options.target_accuracy_fraction = target;
+    options.seed = seed;
+    auto result = spca::baselines::SsvdPca(engine, options).Fit(y);
+    if (!result.ok()) return result.status();
+    std::printf("Mahout-PCA (SSVD): %d rounds\n",
+                result.value().iterations_run);
+    return std::move(result.value().model);
+  }
+  if (algorithm == "lanczos") {
+    spca::baselines::LanczosOptions options;
+    options.num_components = d;
+    options.seed = seed;
+    auto result = spca::baselines::LanczosPca(engine, options).Fit(y);
+    if (!result.ok()) return result.status();
+    return std::move(result.value().model);
+  }
+  if (algorithm == "bidiag") {
+    spca::baselines::SvdBidiagOptions options;
+    options.num_components = d;
+    auto result = spca::baselines::SvdBidiagPca(engine, options).Fit(y);
+    if (!result.ok()) return result.status();
+    return std::move(result.value().model);
+  }
+  return Status::InvalidArgument("unknown --algorithm " + algorithm);
+}
+
+int Main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", args.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (args->Has("--help") || argc == 1) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const size_t partitions = args->GetInt("--partitions", 16);
+  auto matrix = LoadInput(*args, partitions);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "error: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("matrix: %zu x %zu, %zu stored entries (%s)\n",
+              matrix->rows(), matrix->cols(), matrix->StoredEntries(),
+              spca::HumanBytes(static_cast<double>(matrix->ByteSize()))
+                  .c_str());
+
+  spca::dist::ClusterSpec spec;
+  spec.num_nodes = static_cast<int>(args->GetInt("--nodes", 8));
+  spec.task_failure_probability = args->GetDouble("--failures", 0.0);
+  const std::string platform = args->Get("--platform", "spark");
+  const spca::dist::EngineMode mode =
+      platform == "mapreduce" ? spca::dist::EngineMode::kMapReduce
+                              : spca::dist::EngineMode::kSpark;
+  spca::dist::Engine engine(spec, mode);
+
+  auto model = RunAlgorithm(*args, &engine, matrix.value());
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("components: %zu x %zu, noise variance %.6g\n",
+              model->input_dim(), model->num_components(),
+              model->noise_variance);
+  std::printf("simulated cluster: %s (%d nodes, %s engine)\n",
+              spca::HumanSeconds(engine.SimulatedSeconds()).c_str(),
+              spec.num_nodes, spca::dist::EngineModeToString(mode));
+  std::printf("communication: %s\n", engine.stats().ToString().c_str());
+
+  if (args->Has("--output")) {
+    const Status status = spca::workload::SaveDenseText(
+        model->components, args->Get("--output", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args->Get("--output", "").c_str());
+  }
+  if (args->Has("--output-bin")) {
+    const Status status = spca::workload::SaveDenseBinary(
+        model->components, args->Get("--output-bin", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args->Get("--output-bin", "").c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }
