@@ -33,14 +33,15 @@ double DatasetIdealError(const dist::DistMatrix& matrix, size_t d) {
 
 RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
                    size_t d, double target_accuracy, int max_iterations,
-                   bool smart_guess, double ideal_error) {
+                   bool smart_guess, double ideal_error,
+                   obs::Registry* registry) {
   RunOutcome outcome;
   outcome.algorithm = mode == dist::EngineMode::kMapReduce
                           ? "sPCA-MapReduce"
                           : "sPCA-Spark";
   if (smart_guess) outcome.algorithm = "sPCA-SG";
 
-  dist::Engine engine(PaperSpec(), mode);
+  dist::Engine engine(PaperSpec(), mode, registry);
   core::SpcaOptions options;
   options.num_components = d;
   options.max_iterations = max_iterations;
@@ -67,10 +68,10 @@ RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
 
 RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
                         double target_accuracy, int max_power_iterations,
-                        double ideal_error) {
+                        double ideal_error, obs::Registry* registry) {
   RunOutcome outcome;
   outcome.algorithm = "Mahout-PCA";
-  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
   baselines::SsvdOptions options;
   options.num_components = d;
   options.max_power_iterations = max_power_iterations;
@@ -93,10 +94,11 @@ RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
   return outcome;
 }
 
-RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d) {
+RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d,
+                       obs::Registry* registry) {
   RunOutcome outcome;
   outcome.algorithm = "MLlib-PCA";
-  dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark, registry);
   baselines::CovEigOptions options;
   options.num_components = d;
   // Keep the stand-in subspace iteration affordable on one machine; the

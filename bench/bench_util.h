@@ -48,21 +48,26 @@ double DatasetIdealError(const dist::DistMatrix& matrix, size_t d);
 
 /// Runs sPCA (the paper's algorithm) on the given engine mode; stops at
 /// `target_accuracy` of ideal (<=1.0) or after `max_iterations`.
-/// `ideal_error` > 0 supplies the shared accuracy anchor.
+/// `ideal_error` > 0 supplies the shared accuracy anchor. A non-null
+/// `registry` collects the run's metrics and spans (each Run* helper
+/// otherwise uses a throwaway engine-owned registry).
 RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
                    size_t d, double target_accuracy = 0.95,
                    int max_iterations = 10, bool smart_guess = false,
-                   double ideal_error = 0.0);
+                   double ideal_error = 0.0,
+                   obs::Registry* registry = nullptr);
 
 /// Runs the Mahout-PCA analogue (stochastic SVD on MapReduce).
 RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
                         double target_accuracy = 0.95,
                         int max_power_iterations = 10,
-                        double ideal_error = 0.0);
+                        double ideal_error = 0.0,
+                        obs::Registry* registry = nullptr);
 
 /// Runs the MLlib-PCA analogue (covariance + eigendecomposition on Spark),
 /// including its driver-memory failure mode.
-RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d);
+RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d,
+                       obs::Registry* registry = nullptr);
 
 /// Formats "1.26M x 71.5K"-style dataset size labels.
 std::string SizeLabel(size_t rows, size_t cols);

@@ -27,6 +27,10 @@ StatusOr<CovEigResult> CovEigPca::Fit(const DistMatrix& y) const {
 
   CovEigResult result;
   const auto stats_before = engine_->stats();
+  obs::Span fit_span(engine_->registry(), "mllib.fit", "algorithm");
+  fit_span.SetAttribute("rows", static_cast<uint64_t>(n));
+  fit_span.SetAttribute("cols", static_cast<uint64_t>(dim));
+  fit_span.SetAttribute("components", static_cast<uint64_t>(d));
 
   // The D x D covariance matrix lives in the driver's memory, on top of
   // the JVM/runtime baseline; this is the allocation that kills MLlib-PCA
@@ -46,7 +50,8 @@ StatusOr<CovEigResult> CovEigPca::Fit(const DistMatrix& y) const {
   // ships it — the O(D^2) communication of Table 1. Compute is sparse
   // outer products (nnz^2 per row).
   engine_->RunMap<int>(
-      "gramJob", y, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"gramJob", "covariance"}, y,
+      [&](const RowRange& range, TaskContext* ctx) {
         uint64_t flops = 0;
         for (size_t i = range.begin; i < range.end; ++i) {
           const uint64_t nnz = y.RowNnz(i);

@@ -36,7 +36,7 @@ class CenteredOperator : public linalg::LinearOperator {
     engine_->Broadcast(x.size() * sizeof(double));
     DenseVector out(y_.rows());
     engine_->RunMap<int>(
-        "lanczos.applyJob", y_,
+        dist::JobDesc{"lanczos.applyJob", "lanczos_step"}, y_,
         [&](const RowRange& range, TaskContext* ctx) {
           for (size_t i = range.begin; i < range.end; ++i) {
             out[i] = y_.RowDot(i, x) - mean_dot;
@@ -53,7 +53,7 @@ class CenteredOperator : public linalg::LinearOperator {
     // (Y - 1*ym')' * x = Y'*x - ym * sum(x).
     engine_->Broadcast(x.size() * sizeof(double));
     auto partials = engine_->RunMap<std::unique_ptr<DenseVector>>(
-        "lanczos.applyTransposeJob", y_,
+        dist::JobDesc{"lanczos.applyTransposeJob", "lanczos_step"}, y_,
         [&](const RowRange& range, TaskContext* ctx) {
           auto partial = std::make_unique<DenseVector>(y_.cols());
           for (size_t i = range.begin; i < range.end; ++i) {
@@ -93,6 +93,11 @@ StatusOr<LanczosResult> LanczosPca::Fit(const DistMatrix& y) const {
 
   const auto stats_before = engine_->stats();
   Stopwatch wall;
+
+  obs::Span fit_span(engine_->registry(), "lanczos.fit", "algorithm");
+  fit_span.SetAttribute("rows", static_cast<uint64_t>(y.rows()));
+  fit_span.SetAttribute("cols", static_cast<uint64_t>(dim));
+  fit_span.SetAttribute("components", static_cast<uint64_t>(d));
 
   LanczosResult result;
   result.model.mean = core::MeanJob(engine_, y);

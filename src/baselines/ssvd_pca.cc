@@ -29,7 +29,7 @@ namespace {
 /// the crux of SSVD's communication cost.
 DistMatrix TimesJob(dist::Engine* engine, const DistMatrix& y,
                     const DenseMatrix& b, const DenseVector& ym,
-                    const char* name) {
+                    const dist::JobDesc& job) {
   const size_t k = b.cols();
   const size_t dim = y.cols();
   engine->Broadcast(b.ByteSize() + ym.size() * sizeof(double));
@@ -42,7 +42,7 @@ DistMatrix TimesJob(dist::Engine* engine, const DistMatrix& y,
   engine->CountDriverFlops(2ull * dim * k);
 
   DenseMatrix result(y.rows(), k);
-  engine->RunMap<int>(name, y, [&](const RowRange& range, TaskContext* ctx) {
+  engine->RunMap<int>(job, y, [&](const RowRange& range, TaskContext* ctx) {
     DenseVector row(k);
     uint64_t flops = 0;
     for (size_t i = range.begin; i < range.end; ++i) {
@@ -63,7 +63,7 @@ DistMatrix TimesJob(dist::Engine* engine, const DistMatrix& y,
 /// D x k result with the -Ym (x) sum(Q) mean correction applied.
 DenseMatrix TransposeTimesJob(dist::Engine* engine, const DistMatrix& y,
                               const DistMatrix& q, const DenseVector& ym,
-                              const char* name) {
+                              const dist::JobDesc& job) {
   SPCA_CHECK_EQ(y.rows(), q.rows());
   const size_t k = q.cols();
   const size_t dim = y.cols();
@@ -73,7 +73,7 @@ DenseMatrix TransposeTimesJob(dist::Engine* engine, const DistMatrix& y,
     DenseVector q_sum;
   };
   auto partials = engine->RunMap<std::unique_ptr<Partial>>(
-      name, y, [&](const RowRange& range, TaskContext* ctx) {
+      job, y, [&](const RowRange& range, TaskContext* ctx) {
         auto partial = std::make_unique<Partial>();
         partial->ytq = DenseMatrix(dim, k);
         partial->q_sum = DenseVector(k);
@@ -113,10 +113,12 @@ DenseMatrix TransposeTimesJob(dist::Engine* engine, const DistMatrix& y,
 /// it, a second job materializes Q = Y * R^{-1}. Returns Q; fails if the
 /// Gram matrix is numerically rank-deficient.
 StatusOr<DistMatrix> DistributedQr(dist::Engine* engine,
-                                   const DistMatrix& y_in) {
+                                   const DistMatrix& y_in,
+                                   const std::string& phase) {
   const size_t k = y_in.cols();
   auto grams = engine->RunMap<std::unique_ptr<DenseMatrix>>(
-      "qrGramJob", y_in, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"qrGramJob", phase}, y_in,
+      [&](const RowRange& range, TaskContext* ctx) {
         auto gram = std::make_unique<DenseMatrix>(k, k);
         uint64_t flops = 0;
         for (size_t i = range.begin; i < range.end; ++i) {
@@ -145,7 +147,8 @@ StatusOr<DistMatrix> DistributedQr(dist::Engine* engine,
 
   DenseMatrix q(y_in.rows(), k);
   engine->RunMap<int>(
-      "qrQJob", y_in, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"qrQJob", phase}, y_in,
+      [&](const RowRange& range, TaskContext* ctx) {
         DenseVector q_row(k);
         uint64_t flops = 0;
         for (size_t i = range.begin; i < range.end; ++i) {
@@ -177,6 +180,11 @@ StatusOr<SsvdResult> SsvdPca::Fit(const DistMatrix& y) const {
   const double sim_before = engine_->SimulatedSeconds();
   Stopwatch wall;
 
+  obs::Span fit_span(engine_->registry(), "ssvd.fit", "algorithm");
+  fit_span.SetAttribute("rows", static_cast<uint64_t>(n));
+  fit_span.SetAttribute("cols", static_cast<uint64_t>(dim));
+  fit_span.SetAttribute("components", static_cast<uint64_t>(d));
+
   SsvdResult result;
   result.model.mean = core::MeanJob(engine_, y);
   const DenseVector& ym = result.model.mean;
@@ -199,25 +207,31 @@ StatusOr<SsvdResult> SsvdPca::Fit(const DistMatrix& y) const {
   // Random projection (the driver broadcasts Omega inside TimesJob).
   Rng rng(options_.seed);
   const DenseMatrix omega = DenseMatrix::GaussianRandom(dim, k, &rng);
-  DistMatrix y0 = TimesJob(engine_, y, omega, ym, "ssvd.QJob");
-  auto q = DistributedQr(engine_, y0);
+  DistMatrix y0 = TimesJob(engine_, y, omega, ym,
+                           dist::JobDesc{"ssvd.QJob", "projection"});
+  auto q = DistributedQr(engine_, y0, "projection");
   if (!q.ok()) return q.status();
 
   for (int round = 0;; ++round) {
+    obs::Span round_span(engine_->registry(), "ssvd.power_round", "iteration");
+    round_span.SetAttribute("round", static_cast<uint64_t>(round));
     if (round > 0) {
       // One power iteration: Q <- qr(Yc * orth(Yc' * Q)).
-      DenseMatrix z =
-          TransposeTimesJob(engine_, y, q.value(), ym, "ssvd.powerBtJob");
+      DenseMatrix z = TransposeTimesJob(
+          engine_, y, q.value(), ym,
+          dist::JobDesc{"ssvd.powerBtJob", "power_iteration"});
       z = linalg::OrthonormalizeColumns(z);
       engine_->CountDriverFlops(2ull * dim * k * k);
-      DistMatrix yz = TimesJob(engine_, y, z, ym, "ssvd.powerYJob");
-      q = DistributedQr(engine_, yz);
+      DistMatrix yz = TimesJob(engine_, y, z, ym,
+                               dist::JobDesc{"ssvd.powerYJob", "power_iteration"});
+      q = DistributedQr(engine_, yz, "power_iteration");
       if (!q.ok()) return q.status();
     }
 
     // B' = Yc' * Q (D x k); PCA components are the top right singular
     // vectors of B = Q' * Yc, i.e. the top left singular vectors of B'.
-    DenseMatrix bt = TransposeTimesJob(engine_, y, q.value(), ym, "ssvd.BtJob");
+    DenseMatrix bt = TransposeTimesJob(engine_, y, q.value(), ym,
+                                       dist::JobDesc{"ssvd.BtJob", "finalize"});
     auto svd = linalg::SvdWideViaGram(bt.Transpose());
     if (!svd.ok()) return svd.status();
     engine_->CountDriverFlops(2ull * dim * k * k + 9ull * k * k * k);

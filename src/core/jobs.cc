@@ -81,7 +81,8 @@ void EmitPartial(const Engine& engine, TaskContext* ctx, uint64_t bytes) {
 DenseVector MeanJob(Engine* engine, const DistMatrix& y) {
   const size_t dim = y.cols();
   auto partials = engine->RunMap<DenseVector>(
-      "meanJob", y, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"meanJob", "preprocess"}, y,
+      [&](const RowRange& range, TaskContext* ctx) {
         DenseVector sums(dim);
         uint64_t entries = 0;
         for (size_t i = range.begin; i < range.end; ++i) {
@@ -111,7 +112,8 @@ double FrobeniusNormJob(Engine* engine, const DistMatrix& y,
     // entries: (v - m)^2 replaces the m^2 already counted in msum.
     const double msum = ym.SquaredNorm();
     partials = engine->RunMap<double>(
-        "FnormJob", y, [&](const RowRange& range, TaskContext* ctx) {
+        dist::JobDesc{"FnormJob", "preprocess"}, y,
+        [&](const RowRange& range, TaskContext* ctx) {
           double sum = 0.0;
           uint64_t entries = 0;
           for (size_t i = range.begin; i < range.end; ++i) {
@@ -130,7 +132,8 @@ double FrobeniusNormJob(Engine* engine, const DistMatrix& y,
   } else {
     // Algorithm 2: densify Yc_i = Y_i - Ym and iterate all D entries.
     partials = engine->RunMap<double>(
-        "FnormJob(simple)", y, [&](const RowRange& range, TaskContext* ctx) {
+        dist::JobDesc{"FnormJob(simple)", "preprocess"}, y,
+        [&](const RowRange& range, TaskContext* ctx) {
           DenseVector dense(dim);
           double sum = 0.0;
           for (size_t i = range.begin; i < range.end; ++i) {
@@ -155,7 +158,8 @@ DenseMatrix MaterializeXJob(Engine* engine, const DistMatrix& y,
   engine->Broadcast(cm.ByteSize() + (ym.size() + xm.size()) * sizeof(double));
   DenseMatrix x(y.rows(), d);
   engine->RunMap<int>(
-      "XJob", y, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"XJob", "em_iteration"}, y,
+      [&](const RowRange& range, TaskContext* ctx) {
         DenseVector x_row(d);
         DenseVector dense_scratch(toggles.mean_propagation ? 0 : y.cols());
         uint64_t flops = 0;
@@ -259,9 +263,9 @@ YtXResult YtXJob(Engine* engine, const DistMatrix& y, const DenseVector& ym,
   // multiplication of Section 3.3).
   engine->Broadcast(cm.ByteSize() + (ym.size() + xm.size()) * sizeof(double));
 
-  auto run = [&](const char* name, bool want_xtx, bool want_ytx) {
+  auto run = [&](const dist::JobDesc& job, bool want_xtx, bool want_ytx) {
     return engine->RunMap<std::unique_ptr<YtXPartial>>(
-        name, y, [&](const RowRange& range, TaskContext* ctx) {
+        job, y, [&](const RowRange& range, TaskContext* ctx) {
           auto partial = std::make_unique<YtXPartial>(
               RunYtXPartition(y, range, ym, xm, cm, materialized_x, toggles,
                               want_xtx, want_ytx, ctx));
@@ -281,13 +285,16 @@ YtXResult YtXJob(Engine* engine, const DistMatrix& y, const DenseVector& ym,
   std::vector<std::unique_ptr<YtXPartial>> xtx_partials;
   std::vector<std::unique_ptr<YtXPartial>> ytx_partials;
   if (toggles.consolidate_jobs) {
-    auto partials = run("YtXJob", /*want_xtx=*/true, /*want_ytx=*/true);
+    auto partials = run(dist::JobDesc{"YtXJob", "em_iteration"},
+                        /*want_xtx=*/true, /*want_ytx=*/true);
     for (auto& p : partials) ytx_partials.push_back(std::move(p));
   } else {
     // Unconsolidated: XtX and YtX as two distributed jobs, each generating
     // (or re-reading) X independently (Figure 2 before consolidation).
-    xtx_partials = run("XtXJob", /*want_xtx=*/true, /*want_ytx=*/false);
-    ytx_partials = run("YtXJob(split)", /*want_xtx=*/false, /*want_ytx=*/true);
+    xtx_partials = run(dist::JobDesc{"XtXJob", "em_iteration"},
+                       /*want_xtx=*/true, /*want_ytx=*/false);
+    ytx_partials = run(dist::JobDesc{"YtXJob(split)", "em_iteration"},
+                       /*want_xtx=*/false, /*want_ytx=*/true);
   }
 
   YtXResult result;
@@ -336,7 +343,8 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
   }
 
   auto partials = engine->RunMap<double>(
-      "ss3Job", y, [&](const RowRange& range, TaskContext* ctx) {
+      dist::JobDesc{"ss3Job", "em_iteration"}, y,
+      [&](const RowRange& range, TaskContext* ctx) {
         DenseVector x_row(d);
         DenseVector v(d);
         DenseVector dense_scratch(toggles.mean_propagation ? 0 : dim);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -17,7 +18,7 @@ using dist::DistMatrix;
 using linalg::DenseMatrix;
 using linalg::DenseVector;
 
-StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y) const {
+StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y, const FitInit& init) const {
   if (options_.num_components == 0) {
     return Status::InvalidArgument("num_components must be positive");
   }
@@ -29,17 +30,39 @@ StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y) const {
     return Status::InvalidArgument("need at least 2 rows");
   }
 
-  Rng rng(options_.seed);
-  DenseMatrix c = DenseMatrix::GaussianRandom(y.cols(),
-                                              options_.num_components, &rng);
-  // ss = normrnd(1,1), made positive (a variance).
-  double ss = std::fabs(rng.NextGaussian(1.0, 1.0)) + 1e-3;
+  obs::Registry* registry =
+      init.registry != nullptr ? init.registry : engine_->registry();
+  obs::Span fit_span(registry, "spca.fit", "algorithm");
+  fit_span.SetAttribute("rows", static_cast<uint64_t>(y.rows()));
+  fit_span.SetAttribute("cols", static_cast<uint64_t>(y.cols()));
+  fit_span.SetAttribute("components",
+                        static_cast<uint64_t>(options_.num_components));
+
+  const bool warm_start = init.components.has_value();
+  DenseMatrix c;
+  double ss;
+  if (warm_start) {
+    c = *init.components;
+    ss = init.noise_variance.value_or(1.0);
+  } else {
+    // Cold start: seeded random C, then ss = |normrnd(1,1)| (a variance).
+    // The draw order matches the original single-method Fit exactly so
+    // seeded runs stay bit-for-bit reproducible.
+    Rng rng(options_.seed);
+    c = DenseMatrix::GaussianRandom(y.cols(), options_.num_components, &rng);
+    ss = init.noise_variance.value_or(std::fabs(rng.NextGaussian(1.0, 1.0)) +
+                                      1e-3);
+  }
 
   CommStats guess_stats;
-  if (options_.smart_guess && y.rows() > options_.smart_guess_rows * 2) {
+  if (!warm_start && options_.smart_guess &&
+      y.rows() > options_.smart_guess_rows * 2) {
     // sPCA-SG (Section 5.2): fit on a small random row sample first; its
     // C and ss seed the full run. Works because C is D x d — independent
     // of the number of rows (unlike Mahout-PCA's N-row random matrix).
+    obs::Span guess_span(registry, "spca.smart_guess", "algorithm");
+    guess_span.SetAttribute("sample_rows",
+                            static_cast<uint64_t>(options_.smart_guess_rows));
     const auto indices = SampleRowIndices(y.rows(), options_.smart_guess_rows,
                                           options_.seed + 101);
     const DistMatrix sample =
@@ -50,14 +73,14 @@ StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y) const {
     sample_options.compute_accuracy_trace = false;
     sample_options.target_accuracy_fraction = 2.0;  // run all iterations
     Spca sample_fit(engine_, sample_options);
-    auto guess = sample_fit.FitWithInit(sample, std::move(c), ss);
+    auto guess = sample_fit.RunEm(sample, std::move(c), ss, registry);
     if (!guess.ok()) return guess.status();
     c = std::move(guess.value().model.components);
     ss = guess.value().model.noise_variance;
     guess_stats = guess.value().stats;
   }
 
-  auto result = FitWithInit(y, std::move(c), ss);
+  auto result = RunEm(y, std::move(c), ss, registry);
   if (result.ok() && guess_stats.simulated_seconds > 0.0) {
     // The sample pre-fit is part of sPCA-SG's cost: shift the trace so
     // accuracy-vs-time curves (Figure 5) include the initialization delay.
@@ -67,12 +90,26 @@ StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y) const {
     }
     result.value().stats.Add(guess_stats);
   }
+  if (result.ok()) {
+    fit_span.SetAttribute(
+        "iterations", static_cast<uint64_t>(result.value().iterations_run));
+  }
   return result;
 }
 
 StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
                                        DenseMatrix initial_components,
                                        double initial_ss) const {
+  FitInit init;
+  init.components = std::move(initial_components);
+  init.noise_variance = initial_ss;
+  return Fit(y, init);
+}
+
+StatusOr<SpcaResult> Spca::RunEm(const DistMatrix& y,
+                                 DenseMatrix initial_components,
+                                 double initial_ss,
+                                 obs::Registry* registry) const {
   const size_t d = options_.num_components;
   const size_t dim = y.cols();
   const size_t n = y.rows();
@@ -146,6 +183,10 @@ StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
   const DenseVector& ym = result.model.mean;
 
   for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    obs::Span iter_span(registry, "spca.em_iteration", "iteration");
+    iter_span.SetAttribute("iteration", static_cast<uint64_t>(iteration));
+    registry->counter("spca.em_iterations")->Increment();
+
     // Driver-side small algebra (Algorithm 4 lines 6-8).
     DenseMatrix m = linalg::TransposeMultiply(c, c);  // d x d
     m.AddScaledIdentity(ss);
@@ -201,6 +242,7 @@ StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
     c = std::move(c_new.value());
     ss = std::max(ss_new, 1e-12);
     result.iterations_run = iteration;
+    iter_span.SetAttribute("ss", ss);
 
     if (needs_errors) {
       IterationTrace trace;
@@ -212,6 +254,8 @@ StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
       trace.ss = ss;
       trace.jobs_completed = engine_->traces().size();
       result.trace.push_back(trace);
+      iter_span.SetAttribute("error", trace.error);
+      iter_span.SetAttribute("accuracy_percent", trace.accuracy_percent);
       if (options_.target_accuracy_fraction <= 1.0 &&
           trace.accuracy_percent >=
               options_.target_accuracy_fraction * 100.0) {

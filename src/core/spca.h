@@ -1,6 +1,7 @@
 #ifndef SPCA_CORE_SPCA_H_
 #define SPCA_CORE_SPCA_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -8,6 +9,8 @@
 #include "core/spca_options.h"
 #include "dist/dist_matrix.h"
 #include "dist/engine.h"
+#include "linalg/dense_matrix.h"
+#include "obs/registry.h"
 
 namespace spca::core {
 
@@ -47,6 +50,26 @@ struct SpcaResult {
   size_t first_job_index = 0;
 };
 
+/// Optional inputs to Spca::Fit. Default-constructed it means "cold start":
+/// random initial components and noise variance, smart-guess pre-fit if the
+/// options ask for it, telemetry into the engine's registry.
+struct FitInit {
+  /// Warm-start components (D x d). When set, the random initialization
+  /// AND the smart-guess pre-fit are both skipped — the caller's model is
+  /// the starting point (re-fits, checkpoint restarts, the smart-guess
+  /// sample fit itself).
+  std::optional<linalg::DenseMatrix> components;
+  /// Warm-start noise variance; must be positive when set. Defaults to a
+  /// seeded random draw on cold start and to 1.0 when only `components`
+  /// is supplied.
+  std::optional<double> noise_variance;
+  /// Registry for the fit's spans (spca.fit / spca.smart_guess /
+  /// spca.em_iteration) and spca.* counters. Null means the engine's own
+  /// registry, which keeps algorithm spans and engine job spans nested in
+  /// one timeline.
+  obs::Registry* registry = nullptr;
+};
+
 /// sPCA: scalable distributed Probabilistic PCA (the paper's Algorithm 4).
 ///
 /// The driver program runs on a single machine and launches distributed
@@ -60,6 +83,12 @@ struct SpcaResult {
 ///   core::Spca spca(&engine, options);
 ///   auto result = spca.Fit(matrix);
 ///   result->model.components;  // D x d principal components
+///
+/// Warm starts and telemetry routing go through FitInit:
+///   FitInit init;
+///   init.components = previous.model.components;
+///   init.noise_variance = previous.model.noise_variance;
+///   auto refit = spca.Fit(matrix, init);
 class Spca {
  public:
   /// `engine` must outlive this object.
@@ -67,11 +96,14 @@ class Spca {
       : engine_(engine), options_(options) {}
 
   /// Fits a PPCA model to the rows of `y`. Fails on degenerate input
-  /// (fewer columns than components, an all-zero matrix, ...).
-  StatusOr<SpcaResult> Fit(const dist::DistMatrix& y) const;
+  /// (fewer columns than components, an all-zero matrix, a warm start of
+  /// the wrong shape, ...). `init` carries the optional warm start and the
+  /// optional telemetry registry; the default is a cold start.
+  StatusOr<SpcaResult> Fit(const dist::DistMatrix& y,
+                           const FitInit& init = {}) const;
 
-  /// Fit with explicitly provided initial C (D x d) and ss — the hook used
-  /// by smart-guess initialization and by warm-started re-fits.
+  /// Backwards-compatible shim for the old two-method surface; equivalent
+  /// to Fit(y, {.components=..., .noise_variance=...}).
   StatusOr<SpcaResult> FitWithInit(const dist::DistMatrix& y,
                                    linalg::DenseMatrix initial_components,
                                    double initial_ss) const;
@@ -79,6 +111,13 @@ class Spca {
   const SpcaOptions& options() const { return options_; }
 
  private:
+  /// The EM loop proper (Algorithm 4 lines 3-14) from a concrete starting
+  /// point, emitting one spca.em_iteration span per pass.
+  StatusOr<SpcaResult> RunEm(const dist::DistMatrix& y,
+                             linalg::DenseMatrix initial_components,
+                             double initial_ss,
+                             obs::Registry* registry) const;
+
   dist::Engine* engine_;
   SpcaOptions options_;
 };

@@ -7,12 +7,51 @@
 
 namespace spca::dist {
 
+namespace {
+
+// Registry metric names. The engine.* namespace is the single source of
+// truth for everything CommStats reports (see Engine::stats()).
+constexpr const char* kJobsLaunched = "engine.jobs_launched";
+constexpr const char* kTaskFlops = "engine.task_flops";
+constexpr const char* kDriverFlops = "engine.driver_flops";
+constexpr const char* kIntermediateBytes = "engine.intermediate_bytes";
+constexpr const char* kBroadcastBytes = "engine.broadcast_bytes";
+constexpr const char* kResultBytes = "engine.result_bytes";
+constexpr const char* kTaskRetries = "engine.task_retries";
+constexpr const char* kSimSeconds = "engine.simulated_seconds";
+constexpr const char* kWallSeconds = "engine.wall_seconds";
+
+}  // namespace
+
 const char* EngineModeToString(EngineMode mode) {
   return mode == EngineMode::kMapReduce ? "MapReduce" : "Spark";
 }
 
+const CommStats& Engine::stats() const {
+  auto counter_value = [&](const char* name) -> uint64_t {
+    const obs::Counter* c = registry_->FindCounter(name);
+    return c == nullptr ? 0 : c->AsUint64();
+  };
+  stats_snapshot_.jobs_launched = counter_value(kJobsLaunched);
+  stats_snapshot_.task_flops = counter_value(kTaskFlops);
+  stats_snapshot_.driver_flops = counter_value(kDriverFlops);
+  stats_snapshot_.intermediate_bytes = counter_value(kIntermediateBytes);
+  stats_snapshot_.broadcast_bytes = counter_value(kBroadcastBytes);
+  stats_snapshot_.result_bytes = counter_value(kResultBytes);
+  const obs::Counter* sim = registry_->FindCounter(kSimSeconds);
+  stats_snapshot_.simulated_seconds = sim == nullptr ? 0.0 : sim->value();
+  const obs::Counter* wall = registry_->FindCounter(kWallSeconds);
+  stats_snapshot_.wall_seconds = wall == nullptr ? 0.0 : wall->value();
+  return stats_snapshot_;
+}
+
+double Engine::SimulatedSeconds() const {
+  const obs::Counter* sim = registry_->FindCounter(kSimSeconds);
+  return sim == nullptr ? 0.0 : sim->value();
+}
+
 void Engine::ResetStats() {
-  stats_.Reset();
+  registry_->ResetMetricsWithPrefix("engine.");
   traces_.clear();
   driver_memory_ = 0;
   peak_driver_memory_ = 0;
@@ -20,16 +59,17 @@ void Engine::ResetStats() {
 }
 
 void Engine::Broadcast(uint64_t bytes) {
-  stats_.broadcast_bytes += bytes;
+  registry_->counter(kBroadcastBytes)->Add(static_cast<double>(bytes));
   // The driver pushes one copy to each node over its own uplink.
-  stats_.simulated_seconds += static_cast<double>(bytes) * spec_.num_nodes /
-                              spec_.network_bandwidth_per_node;
+  registry_->counter(kSimSeconds)
+      ->Add(static_cast<double>(bytes) * spec_.num_nodes /
+            spec_.network_bandwidth_per_node);
 }
 
 void Engine::CountDriverFlops(uint64_t flops) {
-  stats_.driver_flops += flops;
-  stats_.simulated_seconds +=
-      static_cast<double>(flops) / spec_.flops_per_sec_per_core;
+  registry_->counter(kDriverFlops)->Add(static_cast<double>(flops));
+  registry_->counter(kSimSeconds)
+      ->Add(static_cast<double>(flops) / spec_.flops_per_sec_per_core);
 }
 
 Status Engine::AllocateDriverMemory(const std::string& what, uint64_t bytes) {
@@ -44,12 +84,32 @@ Status Engine::AllocateDriverMemory(const std::string& what, uint64_t bytes) {
   }
   driver_memory_ += bytes;
   peak_driver_memory_ = std::max(peak_driver_memory_, driver_memory_);
+  registry_->gauge("engine.driver_memory_bytes")
+      ->Set(static_cast<double>(driver_memory_));
+  registry_->gauge("engine.driver_memory_peak_bytes")
+      ->SetMax(static_cast<double>(peak_driver_memory_));
   return Status::Ok();
 }
 
 void Engine::ReleaseDriverMemory(uint64_t bytes) {
   SPCA_CHECK_LE(bytes, driver_memory_);
   driver_memory_ -= bytes;
+  registry_->gauge("engine.driver_memory_bytes")
+      ->Set(static_cast<double>(driver_memory_));
+}
+
+WorkerPool* Engine::EnsureWorkerPool(size_t num_threads) {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(num_threads);
+    registry_->gauge("engine.pool.threads")
+        ->Set(static_cast<double>(pool_->num_threads()));
+  } else {
+    // Reusing the persistent pool saves one thread spawn+join per worker
+    // that the per-job-thread engine used to pay.
+    registry_->gauge("engine.pool.spawns_avoided")
+        ->Add(static_cast<double>(pool_->num_threads()));
+  }
+  return pool_.get();
 }
 
 namespace {
@@ -111,11 +171,12 @@ double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
   return cost.Total();
 }
 
-void Engine::FinishJob(const std::string& name, const DistMatrix& matrix,
+void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
                        const std::vector<TaskContext>& contexts,
-                       double wall_seconds) {
+                       double wall_seconds, obs::Span* span) {
   JobTrace trace;
-  trace.name = name;
+  trace.name = job.name;
+  trace.phase = job.phase;
   trace.num_tasks = contexts.size();
 
   uint64_t total_flops = 0;
@@ -146,8 +207,9 @@ void Engine::FinishJob(const std::string& name, const DistMatrix& matrix,
   }
 
   // MapReduce re-reads the input from the DFS every job; Spark caches the
-  // RDD in cluster memory after the first job touches it.
-  if (mode_ == EngineMode::kMapReduce) {
+  // RDD in cluster memory after the first job touches it (unless the job
+  // is declared uncacheable).
+  if (mode_ == EngineMode::kMapReduce || !job.cacheable) {
     trace.charged_input_bytes = static_cast<double>(matrix.ByteSize());
   } else if (!cached_inputs_.contains(matrix.StorageKey())) {
     cached_inputs_.insert(matrix.StorageKey());
@@ -169,7 +231,53 @@ void Engine::FinishJob(const std::string& name, const DistMatrix& matrix,
   trace.stats.wall_seconds = wall_seconds;
   trace.stats.simulated_seconds = cost.Total();
 
-  stats_.Add(trace.stats);
+  // ---- Registry: cumulative counters (the source CommStats reads). ----
+  const double sim_before = SimulatedSeconds();
+  registry_->counter(kJobsLaunched)->Increment();
+  registry_->counter(kTaskFlops)->Add(static_cast<double>(total_flops));
+  registry_->counter(kIntermediateBytes)
+      ->Add(static_cast<double>(intermediate));
+  registry_->counter(kResultBytes)->Add(static_cast<double>(result));
+  registry_->counter(kTaskRetries)
+      ->Add(static_cast<double>(trace.task_retries));
+  registry_->counter(kSimSeconds)->Add(cost.Total());
+  registry_->counter(kWallSeconds)->Add(wall_seconds);
+
+  // Per-job distributions (the Section 5.2 per-job breakdown).
+  registry_->histogram("engine.job.launch_sec")->Observe(cost.launch_sec);
+  registry_->histogram("engine.job.compute_sec")->Observe(cost.compute_sec);
+  registry_->histogram("engine.job.data_sec")->Observe(cost.data_sec);
+  registry_->histogram("engine.job.intermediate_bytes")
+      ->Observe(static_cast<double>(intermediate));
+  if (!job.phase.empty()) {
+    registry_->counter("engine.phase." + job.phase + ".jobs")->Increment();
+    registry_->counter("engine.phase." + job.phase + ".sim_seconds")
+        ->Add(cost.Total());
+  }
+
+  // ---- Registry: the job's span, with the cost model's phases laid out
+  // as child spans on the simulated-cluster timeline. ----
+  if (span != nullptr && span->registry() != nullptr) {
+    span->SetAttribute("tasks", static_cast<uint64_t>(trace.num_tasks));
+    span->SetAttribute("flops", total_flops);
+    span->SetAttribute("intermediate_bytes", intermediate);
+    span->SetAttribute("result_bytes", result);
+    span->SetAttribute("charged_input_bytes", trace.charged_input_bytes);
+    span->SetAttribute("retries", static_cast<uint64_t>(trace.task_retries));
+    span->SetAttribute("sim_seconds", cost.Total());
+    if (!job.phase.empty()) span->SetAttribute("phase", job.phase);
+
+    double cursor = sim_before;
+    registry_->AddCompleteSpan("launch", "sim_phase", obs::Track::kSim,
+                               cursor, cost.launch_sec, span->id());
+    cursor += cost.launch_sec;
+    registry_->AddCompleteSpan("compute", "sim_phase", obs::Track::kSim,
+                               cursor, cost.compute_sec, span->id());
+    cursor += cost.compute_sec;
+    registry_->AddCompleteSpan("data", "sim_phase", obs::Track::kSim, cursor,
+                               cost.data_sec, span->id());
+  }
+
   traces_.push_back(std::move(trace));
 }
 

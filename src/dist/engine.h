@@ -1,8 +1,9 @@
 #ifndef SPCA_DIST_ENGINE_H_
 #define SPCA_DIST_ENGINE_H_
 
-#include <atomic>
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -13,6 +14,9 @@
 #include "dist/cluster_spec.h"
 #include "dist/comm_stats.h"
 #include "dist/dist_matrix.h"
+#include "dist/job_desc.h"
+#include "dist/worker_pool.h"
+#include "obs/registry.h"
 
 namespace spca::dist {
 
@@ -45,8 +49,11 @@ class TaskContext {
 
 /// Record of one executed distributed job (for per-job analysis, Section
 /// 5.2 "Analysis of sPCA and Mahout-PCA Jobs", and for cost-model replay).
+/// Produced from the same accounting that feeds the obs::Registry, so the
+/// sums over traces always match the engine.* counters.
 struct JobTrace {
   std::string name;
+  std::string phase;     // JobDesc::phase of the submitting caller
   size_t num_tasks = 0;
   CommStats stats;       // this job only
   double launch_sec = 0.0;
@@ -88,10 +95,23 @@ double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
 /// This is the repository's substitute for Hadoop MapReduce / Spark (see
 /// DESIGN.md): the paper's performance story is (compute, intermediate
 /// data, platform overheads), all of which are modeled explicitly.
+///
+/// Observability: every quantity the engine accounts lives in an
+/// obs::Registry — the `engine.*` counters/gauges/histograms — and every
+/// job opens a span (with simulated launch/compute/data phases as child
+/// spans on the simulated-time track). The engine owns a registry by
+/// default; pass one to the constructor to merge engine telemetry into a
+/// run-wide registry (what spca_cli --trace-out does). CommStats snapshots
+/// returned by stats() are materialized *from* the registry counters, so
+/// there is exactly one source of truth.
 class Engine {
  public:
-  Engine(const ClusterSpec& spec, EngineMode mode)
-      : spec_(spec), mode_(mode) {}
+  /// `registry`, when non-null, must outlive the engine.
+  explicit Engine(const ClusterSpec& spec, EngineMode mode,
+                  obs::Registry* registry = nullptr)
+      : spec_(spec),
+        mode_(mode),
+        registry_(registry != nullptr ? registry : &owned_registry_) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -99,45 +119,48 @@ class Engine {
   const ClusterSpec& spec() const { return spec_; }
   EngineMode mode() const { return mode_; }
 
-  /// Cumulative statistics since construction or the last ResetStats().
-  const CommStats& stats() const { return stats_; }
+  /// The registry all engine telemetry lands in (never null). Algorithms
+  /// layered on the engine (Spca, the baselines) emit their spans here by
+  /// default so one registry holds the whole run.
+  obs::Registry* registry() const { return registry_; }
+
+  /// Cumulative statistics since construction or the last ResetStats(),
+  /// materialized from the registry's engine.* counters.
+  const CommStats& stats() const;
   const std::vector<JobTrace>& traces() const { return traces_; }
   void ResetStats();
 
   /// Runs `fn(range, ctx)` once per partition of `matrix` and returns the
   /// per-partition results in partition order (deterministic regardless of
   /// thread scheduling). Fn: (const RowRange&, TaskContext*) -> T.
+  /// `job` carries the name/phase/cacheability; a bare string still works
+  /// (JobDesc is implicitly constructible from one).
   template <typename T, typename Fn>
-  std::vector<T> RunMap(const std::string& name, const DistMatrix& matrix,
+  std::vector<T> RunMap(const JobDesc& job, const DistMatrix& matrix,
                         Fn&& fn) {
     const size_t num_tasks = matrix.num_partitions();
     std::vector<T> results(num_tasks);
     std::vector<TaskContext> contexts(num_tasks);
 
+    obs::Span span(registry_, job.name, "job");
     Stopwatch wall;
-    const size_t hardware = std::max<unsigned>(
-        1, std::thread::hardware_concurrency());
+    const size_t hardware =
+        local_workers_ > 0
+            ? local_workers_
+            : std::max<unsigned>(1, std::thread::hardware_concurrency());
     const size_t num_workers = std::min(num_tasks, hardware);
     if (num_workers <= 1) {
       for (size_t p = 0; p < num_tasks; ++p) {
         results[p] = fn(matrix.partition(p), &contexts[p]);
       }
     } else {
-      std::atomic<size_t> next{0};
-      auto worker = [&]() {
-        for (;;) {
-          const size_t p = next.fetch_add(1);
-          if (p >= num_tasks) return;
-          results[p] = fn(matrix.partition(p), &contexts[p]);
-        }
-      };
-      std::vector<std::thread> threads;
-      threads.reserve(num_workers);
-      for (size_t w = 0; w < num_workers; ++w) threads.emplace_back(worker);
-      for (auto& t : threads) t.join();
+      WorkerPool* pool = EnsureWorkerPool(hardware);
+      pool->Run(num_tasks, [&](size_t p) {
+        results[p] = fn(matrix.partition(p), &contexts[p]);
+      });
     }
 
-    FinishJob(name, matrix, contexts, wall.ElapsedSeconds());
+    FinishJob(job, matrix, contexts, wall.ElapsedSeconds(), &span);
     return results;
   }
 
@@ -157,19 +180,35 @@ class Engine {
   uint64_t current_driver_memory() const { return driver_memory_; }
   uint64_t peak_driver_memory() const { return peak_driver_memory_; }
 
-  /// Total modeled cluster seconds accumulated so far.
-  double SimulatedSeconds() const { return stats_.simulated_seconds; }
+  /// Total modeled cluster seconds accumulated so far (the value of the
+  /// engine.simulated_seconds counter).
+  double SimulatedSeconds() const;
+
+  /// Overrides how many local threads execute tasks (0 = use the hardware
+  /// concurrency). 1 forces fully deterministic inline execution; tests use
+  /// >1 to exercise the worker pool on single-core machines. Must be called
+  /// before the first job that would create the pool.
+  void SetLocalWorkers(size_t n) { local_workers_ = n; }
 
  private:
-  /// Converts per-task accounting into simulated time and merges stats.
-  void FinishJob(const std::string& name, const DistMatrix& matrix,
+  /// Lazily creates the persistent worker pool and records the spawn /
+  /// reuse bookkeeping (engine.pool.* metrics).
+  WorkerPool* EnsureWorkerPool(size_t num_threads);
+
+  /// Converts per-task accounting into simulated time, updates the
+  /// registry, and appends the JobTrace snapshot.
+  void FinishJob(const JobDesc& job, const DistMatrix& matrix,
                  const std::vector<TaskContext>& contexts,
-                 double wall_seconds);
+                 double wall_seconds, obs::Span* span);
 
   ClusterSpec spec_;
   EngineMode mode_;
-  CommStats stats_;
+  obs::Registry owned_registry_;
+  obs::Registry* registry_;
+  mutable CommStats stats_snapshot_;  // materialized from counters on read
   std::vector<JobTrace> traces_;
+  size_t local_workers_ = 0;  // 0 = hardware concurrency
+  std::unique_ptr<WorkerPool> pool_;
   uint64_t driver_memory_ = 0;
   uint64_t peak_driver_memory_ = 0;
   // Matrices already resident in cluster memory (Spark caches the input RDD

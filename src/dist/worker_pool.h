@@ -1,0 +1,53 @@
+#ifndef SPCA_DIST_WORKER_POOL_H_
+#define SPCA_DIST_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spca::dist {
+
+/// A persistent pool of worker threads shared by every job an Engine runs.
+/// The previous engine spawned and joined fresh std::threads per job, which
+/// at sPCA's tens-of-jobs-per-fit rate is pure overhead; the pool spawns
+/// once and hands each job's tasks out via an atomic work queue.
+///
+/// Run() is synchronous and must be called from one thread at a time (the
+/// engine's driver thread). Task functions must not throw.
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(task)` for every task in [0, num_tasks), distributing tasks
+  /// across the pool in claim order, and blocks until all have finished.
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: new job or shutdown
+  std::condition_variable done_cv_;  // signals the driver: job complete
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t num_tasks_ = 0;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;  // workers currently inside a claim loop
+  bool shutdown_ = false;
+  std::atomic<size_t> next_task_{0};
+  std::atomic<size_t> completed_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace spca::dist
+
+#endif  // SPCA_DIST_WORKER_POOL_H_

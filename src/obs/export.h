@@ -1,0 +1,31 @@
+#ifndef SPCA_OBS_EXPORT_H_
+#define SPCA_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace spca::obs {
+
+/// Human-readable metrics summary: one aligned row per counter, gauge, and
+/// histogram (count/mean/min/max), sorted by name.
+std::string MetricsTable(const Registry& registry);
+
+/// One JSON object per line per metric, e.g.
+///   {"metric":"engine.task_flops","type":"counter","value":123}
+///   {"metric":"engine.job.compute_sec","type":"histogram","count":4,...}
+std::string MetricsJsonLines(const Registry& registry);
+
+/// The registry's spans in Chrome trace-event JSON (load via
+/// chrome://tracing or https://ui.perfetto.dev). Wall-clock spans render
+/// on one row ("wall clock"), the cost model's simulated phases on another
+/// ("simulated cluster"); span attributes become event args.
+std::string ChromeTraceJson(const Registry& registry);
+
+/// Writes `content` to `path` (used by --trace-out and tests).
+Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_EXPORT_H_

@@ -1,0 +1,95 @@
+#ifndef SPCA_OBS_METRICS_H_
+#define SPCA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spca::obs {
+
+/// Monotonically increasing sum. Values are doubles (Prometheus-style) so
+/// seconds and byte counts share one type; integral quantities stay exact
+/// up to 2^53, far beyond anything the simulator charges.
+class Counter {
+ public:
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Increment() { Add(1.0); }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  /// The counter as an integer (for flop/byte/job counts).
+  uint64_t AsUint64() const { return static_cast<uint64_t>(value() + 0.5); }
+
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A value that can move both ways (current driver memory, pool savings).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  /// Set-if-greater, for peak tracking.
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution summary with decade (log10) buckets: bucket i counts
+/// observations in (10^(i-9+1), ...] starting below 1e-9; everything is in
+/// base units (seconds, bytes), so the range 1e-9 .. 1e12 covers both a
+/// microsecond-scale stage launch and a terabyte of intermediate data.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 22;  // <=1e-9 ... >1e12
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;
+  double mean() const;
+  std::vector<uint64_t> bucket_counts() const;
+  /// Upper bound of bucket `i` (+inf for the last).
+  static double BucketUpperBound(int i);
+  /// Index of the bucket `value` lands in.
+  static int BucketIndex(double value);
+
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_METRICS_H_

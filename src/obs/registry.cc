@@ -1,0 +1,154 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace spca::obs {
+
+const AttrValue* SpanRecord::FindAttribute(std::string_view key) const {
+  for (const auto& attr : attributes) {
+    if (attr.key == key) return &attr.value;
+  }
+  return nullptr;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(&counters_, name);
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(&gauges_, name);
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(&histograms_, name);
+}
+
+const Counter* Registry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::FindGauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+template <typename Map>
+std::vector<std::string> Names(const Map& m) {
+  std::vector<std::string> names;
+  names.reserve(m.size());
+  for (const auto& [name, unused] : m) names.push_back(name);
+  return names;  // std::map iterates in sorted order
+}
+}  // namespace
+
+std::vector<std::string> Registry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Names(counters_);
+}
+
+std::vector<std::string> Registry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Names(gauges_);
+}
+
+std::vector<std::string> Registry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Names(histograms_);
+}
+
+void Registry::ResetMetricsWithPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    if (name.starts_with(prefix)) c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    if (name.starts_with(prefix)) g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    if (name.starts_with(prefix)) h->Reset();
+  }
+}
+
+uint64_t Registry::StartSpan(std::string_view name, std::string_view category,
+                             Track track) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent_id = open_stack_.empty() ? 0 : open_stack_.back();
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.track = track;
+  span.start_sec = NowSeconds();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Registry::EndSpan(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  if (span.closed) return;
+  span.end_sec = NowSeconds();
+  span.closed = true;
+  // Spans close in LIFO order in correct code, but tolerate out-of-order
+  // ends (close an outer span while an inner one is open).
+  auto it = std::find(open_stack_.begin(), open_stack_.end(), id);
+  if (it != open_stack_.end()) open_stack_.erase(it, open_stack_.end());
+}
+
+void Registry::SetSpanAttribute(uint64_t id, std::string_view key,
+                                AttrValue value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id == 0 || id > spans_.size()) return;
+  SpanRecord& span = spans_[id - 1];
+  for (auto& attr : span.attributes) {
+    if (attr.key == key) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  span.attributes.push_back({std::string(key), std::move(value)});
+}
+
+uint64_t Registry::AddCompleteSpan(std::string_view name,
+                                   std::string_view category, Track track,
+                                   double start_sec, double duration_sec,
+                                   uint64_t parent_id,
+                                   std::vector<Attribute> attributes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SpanRecord span;
+  span.id = spans_.size() + 1;
+  span.parent_id =
+      parent_id != 0 ? parent_id
+                     : (open_stack_.empty() ? 0 : open_stack_.back());
+  span.name = std::string(name);
+  span.category = std::string(category);
+  span.track = track;
+  span.start_sec = start_sec;
+  span.end_sec = start_sec + duration_sec;
+  span.closed = true;
+  span.attributes = std::move(attributes);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+}  // namespace spca::obs

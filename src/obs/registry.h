@@ -1,0 +1,172 @@
+#ifndef SPCA_OBS_REGISTRY_H_
+#define SPCA_OBS_REGISTRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace spca::obs {
+
+/// Attribute value attached to a span: an integer count (flops, bytes), a
+/// real quantity (seconds), or a label.
+using AttrValue = std::variant<uint64_t, double, std::string>;
+
+struct Attribute {
+  std::string key;
+  AttrValue value;
+};
+
+/// Timeline a span lives on. The simulator has two notions of time: real
+/// wall-clock time in this process, and the modeled cluster time the cost
+/// model charges. Spans carry both side by side (Chrome's trace viewer
+/// renders them as two rows).
+enum class Track : int {
+  kWall = 1,  // wall-clock seconds since Registry construction
+  kSim = 2,   // simulated cluster seconds since Registry construction
+};
+
+/// One recorded span. Parent/child nesting is by id; `parent_id == 0`
+/// means a root span.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  std::string category;
+  Track track = Track::kWall;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  bool closed = false;
+  std::vector<Attribute> attributes;
+
+  double duration_sec() const { return end_sec - start_sec; }
+  const AttrValue* FindAttribute(std::string_view key) const;
+};
+
+/// Holds every metric and span for one run: the single source of truth the
+/// engine, the solvers, and the exporters all read. Named metrics are
+/// created on first use and live as long as the registry (returned pointers
+/// are stable). Metric updates are thread-safe; the span stack (used for
+/// automatic parent/child nesting) assumes spans open and close on one
+/// thread — the driver — which is where all orchestration in this codebase
+/// happens.
+class Registry {
+ public:
+  Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // ---- Metrics ----
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// nullptr when the metric does not exist (never creates).
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Sorted names per metric kind (for exporters and tests).
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Resets (to zero/empty) every metric whose name starts with `prefix`;
+  /// spans are untouched. Engine::ResetStats uses this with "engine.".
+  void ResetMetricsWithPrefix(std::string_view prefix);
+
+  // ---- Spans ----
+  /// Opens a span; it becomes the parent of spans started before EndSpan.
+  /// Returns the span id. (Use the RAII obs::Span wrapper instead of
+  /// calling this directly.)
+  uint64_t StartSpan(std::string_view name, std::string_view category,
+                     Track track = Track::kWall);
+  void EndSpan(uint64_t id);
+  void SetSpanAttribute(uint64_t id, std::string_view key, AttrValue value);
+
+  /// Records an already-measured span with explicit timestamps — how the
+  /// engine lays the cost model's launch/compute/data phases onto the
+  /// simulated timeline. `parent_id == 0` parents under the innermost open
+  /// span, if any.
+  uint64_t AddCompleteSpan(std::string_view name, std::string_view category,
+                           Track track, double start_sec, double duration_sec,
+                           uint64_t parent_id,
+                           std::vector<Attribute> attributes = {});
+
+  /// Snapshot of all spans recorded so far (open spans have closed=false).
+  std::vector<SpanRecord> spans() const;
+
+  /// Wall seconds since this registry was created (the wall track's epoch).
+  double NowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+ private:
+  template <typename T>
+  using NamedMap = std::map<std::string, std::unique_ptr<T>, std::less<>>;
+
+  template <typename T>
+  static T* GetOrCreate(NamedMap<T>* m, std::string_view name) {
+    auto it = m->find(name);
+    if (it == m->end()) {
+      it = m->emplace(std::string(name), std::make_unique<T>()).first;
+    }
+    return it->second.get();
+  }
+
+  mutable std::mutex mutex_;
+  NamedMap<Counter> counters_;
+  NamedMap<Gauge> gauges_;
+  NamedMap<Histogram> histograms_;
+  std::vector<SpanRecord> spans_;       // id == index + 1
+  std::vector<uint64_t> open_stack_;    // innermost open span last
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII wall-clock span scope. A null registry makes every operation a
+/// no-op, so instrumented code paths need no conditionals.
+class Span {
+ public:
+  Span(Registry* registry, std::string_view name,
+       std::string_view category = "")
+      : registry_(registry) {
+    if (registry_ != nullptr) id_ = registry_->StartSpan(name, category);
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void End() {
+    if (registry_ != nullptr && !ended_) registry_->EndSpan(id_);
+    ended_ = true;
+  }
+
+  void SetAttribute(std::string_view key, AttrValue value) {
+    if (registry_ != nullptr) {
+      registry_->SetSpanAttribute(id_, key, std::move(value));
+    }
+  }
+
+  uint64_t id() const { return id_; }
+  Registry* registry() const { return registry_; }
+
+ private:
+  Registry* registry_;
+  uint64_t id_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_REGISTRY_H_

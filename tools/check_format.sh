@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Fails (exit 1) if any C++ source under src/, tests/, bench/, examples/, or
+# tools/ deviates from the repository .clang-format style. Run from anywhere;
+# pass --fix to rewrite files in place instead of just checking.
+#
+# Usage:
+#   tools/check_format.sh          # check, list offending files
+#   tools/check_format.sh --fix    # reformat in place
+
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+clang_format=${CLANG_FORMAT:-}
+if [ -z "$clang_format" ]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+      clang-format-17 clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clang_format=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$clang_format" ]; then
+  echo "check_format: clang-format not found; skipping (set CLANG_FORMAT to override)" >&2
+  exit 0
+fi
+
+mode=check
+if [ "${1:-}" = "--fix" ]; then
+  mode=fix
+fi
+
+files=$(find src tests bench examples tools \
+  \( -name '*.cc' -o -name '*.h' \) -type f | sort)
+
+if [ "$mode" = "fix" ]; then
+  # shellcheck disable=SC2086
+  "$clang_format" -i $files
+  echo "check_format: reformatted $(echo "$files" | wc -l) files"
+  exit 0
+fi
+
+bad=0
+for f in $files; do
+  if ! "$clang_format" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "check_format: run tools/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: all files clean"

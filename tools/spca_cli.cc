@@ -24,6 +24,8 @@
 #include "common/format.h"
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "obs/export.h"
+#include "obs/registry.h"
 #include "workload/datasets.h"
 #include "workload/io.h"
 
@@ -58,6 +60,13 @@ Output:
   --output PATH         write components as text (rows = dimensions)
   --output-bin PATH     write components as dense binary
   --seed N              RNG seed (default 1)
+
+Observability:
+  --metrics             print the metrics registry (counters/gauges/histograms)
+  --trace-out PATH      write a Chrome trace-event JSON of the run; load it in
+                        chrome://tracing or https://ui.perfetto.dev
+
+Flags accept both "--flag value" and "--flag=value".
 )";
 
 struct Args {
@@ -83,14 +92,25 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--cols",       "--text-cols",  "--algorithm", "--platform",
       "--components", "--iterations", "--target",    "--partitions",
       "--nodes",      "--failures",   "--output",    "--output-bin",
-      "--seed"};
-  static const char* kFlagsBare[] = {"--smart-guess", "--help"};
+      "--seed",       "--trace-out"};
+  static const char* kFlagsBare[] = {"--smart-guess", "--metrics", "--help"};
   Args args;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    // Accept --flag=value as well as "--flag value".
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_inline_value = true;
+    }
     bool matched = false;
     for (const char* known : kFlagsBare) {
       if (flag == known) {
+        if (has_inline_value) {
+          return Status::InvalidArgument(flag + " does not take a value");
+        }
         args.values[flag] = "1";
         matched = true;
         break;
@@ -99,10 +119,14 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     if (matched) continue;
     for (const char* known : kFlagsWithValue) {
       if (flag == known) {
-        if (i + 1 >= argc) {
-          return Status::InvalidArgument(flag + " needs a value");
+        if (has_inline_value) {
+          args.values[flag] = inline_value;
+        } else {
+          if (i + 1 >= argc) {
+            return Status::InvalidArgument(flag + " needs a value");
+          }
+          args.values[flag] = argv[++i];
         }
-        args.values[flag] = argv[++i];
         matched = true;
         break;
       }
@@ -263,7 +287,8 @@ int Main(int argc, char** argv) {
   const spca::dist::EngineMode mode =
       platform == "mapreduce" ? spca::dist::EngineMode::kMapReduce
                               : spca::dist::EngineMode::kSpark;
-  spca::dist::Engine engine(spec, mode);
+  spca::obs::Registry registry;
+  spca::dist::Engine engine(spec, mode, &registry);
 
   auto model = RunAlgorithm(*args, &engine, matrix.value());
   if (!model.ok()) {
@@ -295,6 +320,20 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", args->Get("--output-bin", "").c_str());
+  }
+  if (args->Has("--metrics")) {
+    std::printf("\n%s", spca::obs::MetricsTable(registry).c_str());
+  }
+  if (args->Has("--trace-out")) {
+    const std::string path = args->Get("--trace-out", "");
+    const Status status =
+        spca::obs::WriteFile(path, spca::obs::ChromeTraceJson(registry));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu spans) to %s\n", registry.spans().size(),
+                path.c_str());
   }
   return 0;
 }
