@@ -23,7 +23,7 @@ void PrintSeries(const char* name,
   }
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Figure 4: accuracy vs. time, Bio-Text dataset",
               "sPCA-MapReduce vs Mahout-PCA, d = 50, 10 iterations");
 
@@ -32,7 +32,7 @@ void Run() {
   const double ideal = DatasetIdealError(dataset.matrix, 50);
 
   {
-    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
     core::SpcaOptions options;
     options.num_components = 50;
     options.max_iterations = 10;
@@ -47,7 +47,7 @@ void Run() {
     }
   }
   {
-    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
     baselines::SsvdOptions options;
     options.num_components = 50;
     options.max_power_iterations = 6;
@@ -69,7 +69,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

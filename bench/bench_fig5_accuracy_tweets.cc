@@ -78,7 +78,7 @@ std::vector<std::pair<double, double>> MeasuredSeries(
   return points;
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Figure 5: accuracy vs. time, Tweets dataset",
               "sPCA-MapReduce vs sPCA-SG vs Mahout-PCA, d = 50; measured at "
               "scaled rows, then replayed at the paper's 1.26B rows");
@@ -95,7 +95,7 @@ void Run() {
     std::vector<dist::JobTrace> jobs;
   };
   auto run_spca = [&](bool smart_guess) {
-    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+    dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
     core::SpcaOptions options;
     options.num_components = 50;
     options.max_iterations = 10;
@@ -112,7 +112,8 @@ void Run() {
   const SpcaRun smart = run_spca(true);
 
   // --- Mahout-PCA.
-  dist::Engine mahout_engine(PaperSpec(), dist::EngineMode::kMapReduce);
+  dist::Engine mahout_engine(PaperSpec(), dist::EngineMode::kMapReduce,
+                             registry);
   baselines::SsvdOptions mahout_options;
   mahout_options.num_components = 50;
   mahout_options.max_power_iterations = 6;
@@ -149,7 +150,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

@@ -37,7 +37,7 @@ double MahoutIntermediateScale(const dist::JobTrace& trace,
   return 1.0;  // D x k partials, Gram blocks, scalars
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Figure 6: time to 95% of ideal accuracy vs. #rows (Tweets)",
               "sPCA-MapReduce vs Mahout-PCA, D = 7,150, d = 50 (measured at "
               "scaled rows, replayed across the paper's row range)");
@@ -49,7 +49,8 @@ void Run() {
   const double ideal = DatasetIdealError(dataset.matrix, 50);
 
   // Run both algorithms to the 95% stop condition once, for real.
-  dist::Engine spca_engine(PaperSpec(), dist::EngineMode::kMapReduce);
+  dist::Engine spca_engine(PaperSpec(), dist::EngineMode::kMapReduce,
+                           registry);
   core::SpcaOptions spca_options;
   spca_options.num_components = 50;
   spca_options.max_iterations = 10;
@@ -58,7 +59,8 @@ void Run() {
   auto spca = core::Spca(&spca_engine, spca_options).Fit(dataset.matrix);
   SPCA_CHECK(spca.ok());
 
-  dist::Engine mahout_engine(PaperSpec(), dist::EngineMode::kMapReduce);
+  dist::Engine mahout_engine(PaperSpec(), dist::EngineMode::kMapReduce,
+                             registry);
   baselines::SsvdOptions mahout_options;
   mahout_options.num_components = 50;
   mahout_options.max_power_iterations = 10;
@@ -71,18 +73,28 @@ void Run() {
   const std::vector<double> paper_rows = {1e5, 1e6, 1e7, 1e8, 1.264812931e9};
   std::printf("%14s %18s %14s %12s\n", "rows", "sPCA-MapReduce_s",
               "Mahout-PCA_s", "ratio");
+  // Replayed sweeps are laid onto the simulated-time track after the
+  // measured runs, one replay.<label> span tree per (algorithm, row count)
+  // — the billion-row extrapolation is inspectable in chrome://tracing.
+  double sim_cursor = spca_engine.SimulatedSeconds();
   for (const double rows : paper_rows) {
     const double scale = rows / static_cast<double>(measured_rows);
+    char label[64];
+    std::snprintf(label, sizeof(label), "fig6.%.0frows", rows);
     const double spca_time = ReplayAtScale(
-        spca_engine.traces(), spca_engine.stats(), PaperSpec(),
+        spca_engine.traces(), spca.value().stats, PaperSpec(),
         dist::EngineMode::kMapReduce, scale,
-        [](const dist::JobTrace&) { return 1.0; });
+        [](const dist::JobTrace&) { return 1.0; }, registry,
+        std::string("spca.") + label, sim_cursor);
+    sim_cursor += spca_time;
     const double mahout_time = ReplayAtScale(
-        mahout_engine.traces(), mahout_engine.stats(), PaperSpec(),
+        mahout_engine.traces(), mahout.value().stats, PaperSpec(),
         dist::EngineMode::kMapReduce, scale,
         [scale](const dist::JobTrace& trace) {
           return MahoutIntermediateScale(trace, scale);
-        });
+        },
+        registry, std::string("mahout.") + label, sim_cursor);
+    sim_cursor += mahout_time;
     std::printf("%14.0f %18.0f %14.0f %11.1fx\n", rows, spca_time,
                 mahout_time, mahout_time / std::max(1e-9, spca_time));
   }
@@ -105,7 +117,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

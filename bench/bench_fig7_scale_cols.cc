@@ -14,7 +14,7 @@
 namespace spca::bench {
 namespace {
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Figure 7: time to 95% of ideal accuracy vs. #columns (Tweets)",
               "sPCA-Spark vs MLlib-PCA, d = 50");
 
@@ -26,8 +26,8 @@ void Run() {
         workload::MakeDataset(workload::DatasetKind::kTweets, rows, cols, 16);
     const double ideal = DatasetIdealError(dataset.matrix, 50);
     const RunOutcome spca = RunSpca(dist::EngineMode::kSpark, dataset.matrix,
-                                    50, 0.95, 10, false, ideal);
-    const RunOutcome mllib = RunMllibPca(dataset.matrix, 50);
+                                    50, 0.95, 10, false, ideal, registry);
+    const RunOutcome mllib = RunMllibPca(dataset.matrix, 50, registry);
     char mllib_cell[32];
     if (mllib.ok) {
       std::snprintf(mllib_cell, sizeof(mllib_cell), "%.0f",
@@ -47,7 +47,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

@@ -15,7 +15,7 @@
 namespace spca::bench {
 namespace {
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Figure 8: driver memory vs. #columns (Tweets)",
               "sPCA-Spark vs MLlib-PCA, d = 50, 32 GB driver");
 
@@ -27,8 +27,8 @@ void Run() {
         workload::MakeDataset(workload::DatasetKind::kTweets, rows, cols, 8);
     const RunOutcome spca =
         RunSpca(dist::EngineMode::kSpark, dataset.matrix, 50, 2.0, 2,
-                false, /*ideal_error=*/1.0);  // memory-only run
-    const RunOutcome mllib = RunMllibPca(dataset.matrix, 50);
+                false, /*ideal_error=*/1.0, registry);  // memory-only run
+    const RunOutcome mllib = RunMllibPca(dataset.matrix, 50, registry);
     const std::string spca_cell =
         HumanBytes(static_cast<double>(spca.driver_bytes));
     const std::string mllib_cell =
@@ -46,7 +46,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

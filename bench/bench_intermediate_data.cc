@@ -19,13 +19,14 @@ namespace spca::bench {
 namespace {
 
 void RunDataset(const char* label, workload::DatasetKind kind, size_t rows,
-                size_t cols, size_t paper_rows) {
+                size_t cols, size_t paper_rows,
+                obs::Registry* registry) {
   const workload::Dataset dataset =
       workload::MakeDataset(kind, rows, cols, 16);
   const RunOutcome spca =
       RunSpca(dist::EngineMode::kMapReduce, dataset.matrix, 50, 2.0, 10,
-              false, /*ideal_error=*/1.0);  // volume-only run
-  const RunOutcome mahout = RunMahoutPca(dataset.matrix, 50, 2.0, 1, /*ideal_error=*/1.0);
+              false, /*ideal_error=*/1.0, registry);  // volume-only run
+  const RunOutcome mahout = RunMahoutPca(dataset.matrix, 50, 2.0, 1, /*ideal_error=*/1.0, registry);
 
   const double spca_bytes =
       static_cast<double>(spca.stats.intermediate_bytes);
@@ -50,13 +51,13 @@ void RunDataset(const char* label, workload::DatasetKind kind, size_t rows,
               mahout_paper_scale / std::max(1.0, spca_bytes));
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Section 5.2: intermediate data size",
               "sPCA-MapReduce vs Mahout-PCA, d = 50");
   RunDataset("Bio-Text", workload::DatasetKind::kBioText, ScaledRows(20000),
-             4000, 8200000);
+             4000, 8200000, registry);
   RunDataset("Tweets", workload::DatasetKind::kTweets, ScaledRows(60000),
-             7150, 1264812931);
+             7150, 1264812931, registry);
   std::printf(
       "Expected shape (paper): Mahout-PCA generates 8 GB (Bio-Text) and "
       "961 GB (Tweets) of intermediate data versus sPCA's 240 MB and 131 MB "
@@ -68,7 +69,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

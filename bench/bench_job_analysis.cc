@@ -42,8 +42,9 @@ JobTable Summarize(const std::vector<dist::JobTrace>& traces) {
   return table;
 }
 
-JobTable RunSpcaJobs(const dist::DistMatrix& matrix) {
-  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+JobTable RunSpcaJobs(const dist::DistMatrix& matrix,
+                     obs::Registry* registry) {
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
   core::SpcaOptions options;
   options.num_components = 50;
   options.max_iterations = 5;
@@ -54,8 +55,9 @@ JobTable RunSpcaJobs(const dist::DistMatrix& matrix) {
   return Summarize(engine.traces());
 }
 
-JobTable RunMahoutJobs(const dist::DistMatrix& matrix) {
-  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce);
+JobTable RunMahoutJobs(const dist::DistMatrix& matrix,
+                       obs::Registry* registry) {
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
   baselines::SsvdOptions options;
   options.num_components = 50;
   options.max_power_iterations = 1;
@@ -87,7 +89,7 @@ void PrintComparison(const char* title, const JobTable& biotext,
   std::printf("\n");
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Section 5.2: per-job analysis, Bio-Text -> Tweets",
               "Per-job simulated time and mapper output, sPCA-MapReduce and "
               "Mahout-PCA, d = 50, 5 sPCA iterations / 1 SSVD power round");
@@ -105,10 +107,10 @@ void Run() {
               static_cast<double>(tweets.matrix.rows()) /
                   biotext.matrix.rows());
 
-  PrintComparison("sPCA-MapReduce jobs:", RunSpcaJobs(biotext.matrix),
-                  RunSpcaJobs(tweets.matrix));
-  PrintComparison("Mahout-PCA jobs:", RunMahoutJobs(biotext.matrix),
-                  RunMahoutJobs(tweets.matrix));
+  PrintComparison("sPCA-MapReduce jobs:", RunSpcaJobs(biotext.matrix, registry),
+                  RunSpcaJobs(tweets.matrix, registry));
+  PrintComparison("Mahout-PCA jobs:", RunMahoutJobs(biotext.matrix, registry),
+                  RunMahoutJobs(tweets.matrix, registry));
 
   std::printf(
       "Expected shapes (paper): sPCA's YtX mapper output grows only ~2.3x "
@@ -120,7 +122,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

@@ -60,11 +60,13 @@ Measurement FromStats(const dist::CommStats& stats) {
   return m;
 }
 
-std::vector<std::pair<std::string, MethodFn>> Methods() {
+std::vector<std::pair<std::string, MethodFn>> Methods(
+    obs::Registry* registry) {
   return {
       {"Covariance+eigen (MLlib)",
-       [](const dist::DistMatrix& y) {
-         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+       [registry](const dist::DistMatrix& y) {
+         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark,
+                             registry);
          baselines::CovEigOptions options;
          options.num_components = kComponents;
          auto result = baselines::CovEigPca(&engine, options).Fit(y);
@@ -72,8 +74,9 @@ std::vector<std::pair<std::string, MethodFn>> Methods() {
          return FromStats(result.value().stats);
        }},
       {"SVD-Bidiag (RScaLAPACK)",
-       [](const dist::DistMatrix& y) {
-         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+       [registry](const dist::DistMatrix& y) {
+         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark,
+                             registry);
          baselines::SvdBidiagOptions options;
          options.num_components = kComponents;
          auto result = baselines::SvdBidiagPca(&engine, options).Fit(y);
@@ -81,8 +84,9 @@ std::vector<std::pair<std::string, MethodFn>> Methods() {
          return FromStats(result.value().stats);
        }},
       {"SSVD (Mahout)",
-       [](const dist::DistMatrix& y) {
-         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+       [registry](const dist::DistMatrix& y) {
+         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark,
+                             registry);
          baselines::SsvdOptions options;
          options.num_components = kComponents;
          options.max_power_iterations = 1;
@@ -93,8 +97,9 @@ std::vector<std::pair<std::string, MethodFn>> Methods() {
          return FromStats(result.value().stats);
        }},
       {"PPCA (sPCA)",
-       [](const dist::DistMatrix& y) {
-         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+       [registry](const dist::DistMatrix& y) {
+         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark,
+                             registry);
          core::SpcaOptions options;
          options.num_components = kComponents;
          options.max_iterations = 3;
@@ -105,8 +110,9 @@ std::vector<std::pair<std::string, MethodFn>> Methods() {
          return FromStats(result.value().stats);
        }},
       {"SVD-Lanczos (dense-cost)",
-       [](const dist::DistMatrix& y) {
-         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+       [registry](const dist::DistMatrix& y) {
+         dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark,
+                             registry);
          baselines::LanczosOptions options;
          options.num_components = kComponents;
          options.lanczos_steps = 2 * kComponents;
@@ -121,13 +127,13 @@ double Slope(double y0, double y1, double x0, double x1) {
   return std::log(y1 / y0) / std::log(x1 / x0);
 }
 
-void SweepDimension() {
+void SweepDimension(obs::Registry* registry) {
   std::printf("Sweep over D (N = 2000, d = %zu): growth exponent of flops "
               "and communicated bytes in D\n",
               kComponents);
   const std::vector<size_t> dims = {64, 128, 256};
   std::printf("%-28s %12s %12s\n", "Method", "flops~D^a", "comm~D^b");
-  for (const auto& [name, fn] : Methods()) {
+  for (const auto& [name, fn] : Methods(registry)) {
     std::vector<Measurement> measurements;
     for (const size_t dim : dims) measurements.push_back(fn(MakeData(2000, dim)));
     const double flop_slope =
@@ -143,13 +149,13 @@ void SweepDimension() {
   }
 }
 
-void SweepRows() {
+void SweepRows(obs::Registry* registry) {
   std::printf("\nSweep over N (D = 128, d = %zu): growth exponent of flops "
               "and communicated bytes in N\n",
               kComponents);
   const std::vector<size_t> rows = {1000, 2000, 4000};
   std::printf("%-28s %12s %12s\n", "Method", "flops~N^a", "comm~N^b");
-  for (const auto& [name, fn] : Methods()) {
+  for (const auto& [name, fn] : Methods(registry)) {
     std::vector<Measurement> measurements;
     for (const size_t n : rows) measurements.push_back(fn(MakeData(n, 128)));
     const double flop_slope =
@@ -165,19 +171,20 @@ void SweepRows() {
   }
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Table 1: complexity of the PCA methods (empirical exponents)",
               "Expected: covariance/bidiag super-linear in D (~2-3) with "
               "O(D^2) communication; SSVD and PPCA linear in D; SSVD "
               "communication linear in N; sPCA communication flat in N");
-  SweepDimension();
-  SweepRows();
+  SweepDimension(registry);
+  SweepRows(registry);
 }
 
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

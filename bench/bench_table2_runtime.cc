@@ -26,7 +26,7 @@ struct Config {
   const char* paper_size;  // the size of the paper's real dataset
 };
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Table 2: running time (simulated seconds), d = 50",
               "Columns: sPCA-Spark | MLlib-PCA | sPCA-MapReduce | Mahout-PCA");
 
@@ -62,12 +62,12 @@ void Run() {
     // reach 95% of the ideal accuracy" needs a common reference).
     const double ideal = DatasetIdealError(dataset.matrix, d);
     const RunOutcome spark = RunSpca(dist::EngineMode::kSpark, dataset.matrix,
-                                     d, 0.95, 10, false, ideal);
-    const RunOutcome mllib = RunMllibPca(dataset.matrix, d);
+                                     d, 0.95, 10, false, ideal, registry);
+    const RunOutcome mllib = RunMllibPca(dataset.matrix, d, registry);
     const RunOutcome mapreduce = RunSpca(
         dist::EngineMode::kMapReduce, dataset.matrix, d, 0.95, 10, false,
-        ideal);
-    const RunOutcome mahout = RunMahoutPca(dataset.matrix, d, 0.95, 10, ideal);
+        ideal, registry);
+    const RunOutcome mahout = RunMahoutPca(dataset.matrix, d, 0.95, 10, ideal, registry);
 
     auto cell = [](const RunOutcome& outcome) -> std::string {
       if (!outcome.ok) return "Fail";
@@ -92,7 +92,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

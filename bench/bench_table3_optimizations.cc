@@ -87,7 +87,7 @@ CellTiming Timed(Engine* engine, Fn&& body) {
   return timing;
 }
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Table 3: effect of the individual optimizations",
               "Simulated seconds per distributed operation, Tweets subset, "
               "d = 50, Spark engine");
@@ -95,7 +95,7 @@ void Run() {
   const size_t d = 50;
   const workload::Dataset dataset = workload::MakeDataset(
       workload::DatasetKind::kTweets, ScaledRows(20000), 7150, 4);
-  Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+  Engine engine(PaperSpec(), dist::EngineMode::kSpark, registry);
   const Inputs inputs = PrepareInputs(&engine, dataset.matrix, d);
 
   // --- Mean propagation: the YtX job with sparse+propagated vs densified
@@ -177,7 +177,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

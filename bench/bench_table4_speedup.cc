@@ -23,7 +23,7 @@
 namespace spca::bench {
 namespace {
 
-void Run() {
+void Run(obs::Registry* registry) {
   PrintHeader("Table 4: sPCA-Spark speedup vs. cluster size (Tweets)",
               "d = 50; 2/4/8 nodes of 8 cores = 16/32/64 cores");
 
@@ -31,7 +31,7 @@ void Run() {
   const workload::Dataset dataset = workload::MakeDataset(
       workload::DatasetKind::kTweets, rows, 7150, 64);
 
-  dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark);
+  dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark, registry);
   core::SpcaOptions options;
   options.num_components = 50;
   options.max_iterations = 10;
@@ -50,11 +50,11 @@ void Run() {
     dist::ClusterSpec spec = PaperSpec();
     spec.num_nodes = nodes;
     paper_scale_times.push_back(
-        ReplayAtScale(engine.traces(), engine.stats(), spec,
+        ReplayAtScale(engine.traces(), result.value().stats, spec,
                       dist::EngineMode::kSpark, row_scale,
                       intermediate_scale));
     measured_times.push_back(
-        ReplayAtScale(engine.traces(), engine.stats(), spec,
+        ReplayAtScale(engine.traces(), result.value().stats, spec,
                       dist::EngineMode::kSpark, 1.0, intermediate_scale));
   }
 
@@ -86,7 +86,8 @@ void Run() {
 }  // namespace
 }  // namespace spca::bench
 
-int main() {
-  spca::bench::Run();
+int main(int argc, char** argv) {
+  spca::bench::BenchEnv env(argc, argv);
+  spca::bench::Run(env.registry());
   return 0;
 }

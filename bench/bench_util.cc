@@ -1,10 +1,105 @@
 #include "bench_util.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
 
 #include "core/reconstruction_error.h"
+#include "obs/export.h"
 
 namespace spca::bench {
+
+namespace {
+
+constexpr const char* kBenchUsage =
+    "benchmark flags:\n"
+    "  --metrics            print the metrics table after the bench\n"
+    "  --trace-out FILE     write a Chrome trace (chrome://tracing) at exit\n"
+    "  --trace-stream FILE  stream spans as JSON lines while running\n"
+    "  --flush-every N      streaming flush window in jobs (default 32)\n";
+
+}  // namespace
+
+BenchEnv::BenchEnv(int argc, char** argv) {
+  std::string stream_path;
+  size_t flush_every = obs::TraceStreamer::kDefaultFlushEveryJobs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    // Accepts --flag=value and --flag value; returns false when `arg` is a
+    // different flag entirely.
+    auto take_value = [&](std::string_view flag, std::string* out) -> bool {
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n%s",
+                       std::string(flag).c_str(), kBenchUsage);
+          std::exit(2);
+        }
+        *out = argv[++i];
+        return true;
+      }
+      if (arg.size() > flag.size() + 1 &&
+          arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
+        *out = std::string(arg.substr(flag.size() + 1));
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (arg == "--metrics") {
+      print_metrics_ = true;
+    } else if (take_value("--trace-out", &value)) {
+      trace_out_path_ = value;
+    } else if (take_value("--trace-stream", &value)) {
+      stream_path = value;
+    } else if (take_value("--flush-every", &value)) {
+      const long n = std::atol(value.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--flush-every needs a positive count\n");
+        std::exit(2);
+      }
+      flush_every = static_cast<size_t>(n);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n%s",
+                   std::string(arg).c_str(), kBenchUsage);
+      std::exit(2);
+    }
+  }
+  if (!stream_path.empty()) {
+    streamer_ = std::make_unique<obs::TraceStreamer>(&registry_, flush_every);
+    const Status status = streamer_->Open(stream_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--trace-stream: %s\n",
+                   status.ToString().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+BenchEnv::~BenchEnv() {
+  if (streamer_ != nullptr && streamer_->is_open()) {
+    const std::string path = streamer_->path();
+    const Status status = streamer_->Close();
+    if (status.ok()) {
+      std::printf("\n[streamed %zu spans in %zu flushes to %s]\n",
+                  streamer_->spans_written(), streamer_->flushes(),
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "trace stream: %s\n", status.ToString().c_str());
+    }
+  }
+  if (!trace_out_path_.empty()) {
+    const Status status =
+        obs::WriteFile(trace_out_path_, obs::ChromeTraceJson(registry_));
+    if (status.ok()) {
+      std::printf("\n[trace written to %s]\n", trace_out_path_.c_str());
+    } else {
+      std::fprintf(stderr, "--trace-out: %s\n", status.ToString().c_str());
+    }
+  }
+  if (print_metrics_) {
+    std::printf("\n--- metrics ---\n%s", obs::MetricsTable(registry_).c_str());
+  }
+}
 
 dist::ClusterSpec PaperSpec() {
   dist::ClusterSpec spec;  // defaults already mirror the paper's cluster
@@ -139,23 +234,19 @@ double ReplayAtScale(
     const std::vector<dist::JobTrace>& traces, const dist::CommStats& stats,
     const dist::ClusterSpec& spec, dist::EngineMode mode, double row_scale,
     const std::function<double(const dist::JobTrace&)>&
-        intermediate_row_scale) {
-  double total = 0.0;
-  for (const auto& trace : traces) {
-    dist::ReplayScales scales;
-    scales.flops = row_scale;
-    scales.input_bytes = row_scale;
-    scales.intermediate_bytes = intermediate_row_scale(trace);
-    scales.result_bytes = 1.0;
-    total += dist::ReplayJobSeconds(trace, spec, mode, scales);
-  }
-  // Driver algebra and broadcasts are row-count independent; broadcasts
-  // still pay one copy per node of the replay cluster.
-  total += static_cast<double>(stats.driver_flops) /
-           spec.flops_per_sec_per_core;
-  total += static_cast<double>(stats.broadcast_bytes) * spec.num_nodes /
-           spec.network_bandwidth_per_node;
-  return total;
+        intermediate_row_scale,
+    obs::Registry* registry, const std::string& label, double sim_start_sec) {
+  return dist::ReplayRun(
+      traces, stats, spec, mode,
+      [&](const dist::JobTrace& trace) {
+        dist::ReplayScales scales;
+        scales.flops = row_scale;
+        scales.input_bytes = row_scale;
+        scales.intermediate_bytes = intermediate_row_scale(trace);
+        scales.result_bytes = 1.0;
+        return scales;
+      },
+      registry, label, sim_start_sec);
 }
 
 void PrintHeader(const std::string& title, const std::string& subtitle) {

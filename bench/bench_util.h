@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,45 @@
 #include "core/spca.h"
 #include "dist/cluster_spec.h"
 #include "dist/engine.h"
+#include "dist/replay.h"
+#include "obs/stream.h"
 #include "workload/datasets.h"
 
 namespace spca::bench {
+
+/// Shared observability setup for every benchmark binary: owns the one
+/// obs::Registry the whole bench (all its engines and solvers) writes to,
+/// and parses the common flags
+///   --metrics              print the metrics table after the bench
+///   --trace-out=FILE       write a Chrome trace (all spans) at exit
+///   --trace-stream=FILE    stream spans as JSON lines while running
+///   --flush-every=N        streaming flush window in jobs (default 32)
+/// Both `--flag value` and `--flag=value` spellings work; an unknown flag
+/// prints usage and exits with status 2. With --trace-stream active, spans
+/// are drained out of the registry as the bench runs, so a simultaneous
+/// --trace-out file holds only the spans still live at exit.
+///
+/// Note that the registry is shared across a bench's engines by design —
+/// per-run numbers printed by benches come from the per-fit StatsDiff in
+/// each result, never from cross-engine cumulative counters.
+class BenchEnv {
+ public:
+  BenchEnv(int argc, char** argv);
+  /// Finalizes the requested exports (streamer close + summary line,
+  /// Chrome trace write, metrics table).
+  ~BenchEnv();
+
+  BenchEnv(const BenchEnv&) = delete;
+  BenchEnv& operator=(const BenchEnv&) = delete;
+
+  obs::Registry* registry() { return &registry_; }
+
+ private:
+  obs::Registry registry_;
+  std::unique_ptr<obs::TraceStreamer> streamer_;
+  bool print_metrics_ = false;
+  std::string trace_out_path_;
+};
 
 /// The paper's testbed (Section 5): 8 EC2 m3.2xlarge nodes, 8 cores and
 /// 32 GB each. All simulated times in the benchmark output assume this
@@ -82,11 +119,18 @@ std::string SizeLabel(size_t rows, size_t cols);
 /// measurements to the paper's billion-row datasets; the extrapolation is
 /// exact under the cost model because every scaled quantity is linear in
 /// the row count.
+///
+/// When `registry` is non-null the sweep is also emitted as a
+/// `replay.<label>` span tree on the simulated-time track starting at
+/// `sim_start_sec` (see dist::ReplayRun), so extrapolated runs are
+/// inspectable in chrome://tracing next to the measured one.
 double ReplayAtScale(
     const std::vector<dist::JobTrace>& traces, const dist::CommStats& stats,
     const dist::ClusterSpec& spec, dist::EngineMode mode, double row_scale,
     const std::function<double(const dist::JobTrace&)>&
-        intermediate_row_scale);
+        intermediate_row_scale,
+    obs::Registry* registry = nullptr, const std::string& label = "sweep",
+    double sim_start_sec = 0.0);
 
 /// Prints a section header for a bench.
 void PrintHeader(const std::string& title, const std::string& subtitle);

@@ -256,6 +256,12 @@ StatusOr<SpcaResult> Spca::RunEm(const DistMatrix& y,
       result.trace.push_back(trace);
       iter_span.SetAttribute("error", trace.error);
       iter_span.SetAttribute("accuracy_percent", trace.accuracy_percent);
+      // Written so trace files alone can regenerate the accuracy-vs-time
+      // tables (tools/trace_report) without rerunning the benchmark.
+      registry->SetSpanAttribute(iter_span.id(), "sim_seconds",
+                                 trace.simulated_seconds);
+      registry->SetSpanAttribute(iter_span.id(), "wall_seconds",
+                                 trace.wall_seconds);
       if (options_.target_accuracy_fraction <= 1.0 &&
           trace.accuracy_percent >=
               options_.target_accuracy_fraction * 100.0) {

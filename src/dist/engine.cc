@@ -27,21 +27,28 @@ const char* EngineModeToString(EngineMode mode) {
   return mode == EngineMode::kMapReduce ? "MapReduce" : "Spark";
 }
 
-const CommStats& Engine::stats() const {
+CommStats Engine::StatsSnapshot() const {
   auto counter_value = [&](const char* name) -> uint64_t {
     const obs::Counter* c = registry_->FindCounter(name);
     return c == nullptr ? 0 : c->AsUint64();
   };
-  stats_snapshot_.jobs_launched = counter_value(kJobsLaunched);
-  stats_snapshot_.task_flops = counter_value(kTaskFlops);
-  stats_snapshot_.driver_flops = counter_value(kDriverFlops);
-  stats_snapshot_.intermediate_bytes = counter_value(kIntermediateBytes);
-  stats_snapshot_.broadcast_bytes = counter_value(kBroadcastBytes);
-  stats_snapshot_.result_bytes = counter_value(kResultBytes);
+  CommStats snapshot;
+  snapshot.jobs_launched = counter_value(kJobsLaunched);
+  snapshot.task_flops = counter_value(kTaskFlops);
+  snapshot.driver_flops = counter_value(kDriverFlops);
+  snapshot.intermediate_bytes = counter_value(kIntermediateBytes);
+  snapshot.broadcast_bytes = counter_value(kBroadcastBytes);
+  snapshot.result_bytes = counter_value(kResultBytes);
   const obs::Counter* sim = registry_->FindCounter(kSimSeconds);
-  stats_snapshot_.simulated_seconds = sim == nullptr ? 0.0 : sim->value();
+  snapshot.simulated_seconds = sim == nullptr ? 0.0 : sim->value();
   const obs::Counter* wall = registry_->FindCounter(kWallSeconds);
-  stats_snapshot_.wall_seconds = wall == nullptr ? 0.0 : wall->value();
+  snapshot.wall_seconds = wall == nullptr ? 0.0 : wall->value();
+  return snapshot;
+}
+
+const CommStats& Engine::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_snapshot_ = StatsSnapshot();
   return stats_snapshot_;
 }
 
@@ -112,64 +119,8 @@ WorkerPool* Engine::EnsureWorkerPool(size_t num_threads) {
   return pool_.get();
 }
 
-namespace {
-
-struct JobCost {
-  double launch_sec = 0.0;
-  double compute_sec = 0.0;
-  double data_sec = 0.0;
-
-  double Total() const { return launch_sec + compute_sec + data_sec; }
-};
-
-// The cluster cost model, shared by live accounting and trace replay.
-JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
-                       const std::vector<uint64_t>& task_flops,
-                       double flop_scale, double input_bytes,
-                       double intermediate_bytes, double result_bytes) {
-  JobCost cost;
-  cost.launch_sec = spec.job_launch_sec(mode);
-
-  // Schedule tasks onto cores (in-order greedy onto the least-loaded core;
-  // deterministic and close to LPT for near-equal tasks).
-  std::vector<double> core_load(std::max(1, spec.total_cores()), 0.0);
-  for (const uint64_t flops : task_flops) {
-    auto min_it = std::min_element(core_load.begin(), core_load.end());
-    *min_it += static_cast<double>(flops) * flop_scale /
-               spec.flops_per_sec_per_core;
-  }
-  cost.compute_sec = *std::max_element(core_load.begin(), core_load.end());
-
-  // Input is read from the DFS at aggregate disk bandwidth (0 bytes when
-  // the RDD is cached). Intermediate data goes through the DFS (write then
-  // read) on MapReduce and through memory/network on Spark. Results flow
-  // to the driver over its single node's link either way.
-  const double input_sec = input_bytes / spec.total_disk_bandwidth();
-  double intermediate_sec;
-  if (mode == EngineMode::kMapReduce) {
-    intermediate_sec =
-        2.0 * intermediate_bytes / spec.total_disk_bandwidth() +
-        intermediate_bytes / spec.total_network_bandwidth();
-  } else {
-    intermediate_sec = intermediate_bytes / spec.total_network_bandwidth();
-  }
-  const double result_sec = result_bytes / spec.network_bandwidth_per_node;
-  cost.data_sec = input_sec + intermediate_sec + result_sec;
-  return cost;
-}
-
-}  // namespace
-
-double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
-                        EngineMode mode, const ReplayScales& scales) {
-  const JobCost cost = ComputeJobCost(
-      spec, mode, trace.task_flops, scales.flops,
-      trace.charged_input_bytes * scales.input_bytes,
-      static_cast<double>(trace.stats.intermediate_bytes) *
-          scales.intermediate_bytes,
-      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes);
-  return cost.Total();
-}
+// The ComputeJobCost cost model lives in dist/replay.cc so FinishJob and
+// the replay entry points provably share one implementation.
 
 void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
                        const std::vector<TaskContext>& contexts,
@@ -279,6 +230,13 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   }
 
   traces_.push_back(std::move(trace));
+
+  // Job-completion hook: lets a streaming exporter drain finished spans so
+  // the registry's live span count stays bounded over long sweeps. Runs on
+  // this (driver) thread — but only after the job span above is closed, so
+  // it can be flushed immediately.
+  if (span != nullptr) span->End();
+  registry_->NotifyJobCompleted();
 }
 
 }  // namespace spca::dist

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "dist/comm_stats.h"
 #include "dist/dist_matrix.h"
 #include "dist/job_desc.h"
+#include "dist/replay.h"
 #include "dist/worker_pool.h"
 #include "obs/registry.h"
 
@@ -47,45 +49,9 @@ class TaskContext {
   uint64_t result_bytes_ = 0;
 };
 
-/// Record of one executed distributed job (for per-job analysis, Section
-/// 5.2 "Analysis of sPCA and Mahout-PCA Jobs", and for cost-model replay).
-/// Produced from the same accounting that feeds the obs::Registry, so the
-/// sums over traces always match the engine.* counters.
-struct JobTrace {
-  std::string name;
-  std::string phase;     // JobDesc::phase of the submitting caller
-  size_t num_tasks = 0;
-  CommStats stats;       // this job only
-  double launch_sec = 0.0;
-  double compute_sec = 0.0;  // max-over-cores task compute time
-  double data_sec = 0.0;     // input + intermediate + result movement
-  /// Per-task *charged* flop counts (including fault-injection retries),
-  /// for replaying the job under a different ClusterSpec or data scale.
-  std::vector<uint64_t> task_flops;
-  /// Number of re-executed task attempts injected by the failure model.
-  size_t task_retries = 0;
-  /// Input bytes actually charged for this job (0 when the input RDD was
-  /// already cached in cluster memory).
-  double charged_input_bytes = 0.0;
-};
-
-/// Multipliers applied to a recorded job when replaying it at a different
-/// data scale: per-row work and N-proportional data volumes scale linearly
-/// with the row count, while broadcasts and D x d partials do not. Used by
-/// the benchmarks to extrapolate laptop-scale measurements to the paper's
-/// billion-row datasets (see EXPERIMENTS.md).
-struct ReplayScales {
-  double flops = 1.0;
-  double input_bytes = 1.0;
-  double intermediate_bytes = 1.0;
-  double result_bytes = 1.0;
-};
-
-/// Recomputes one recorded job's simulated seconds under a (possibly
-/// different) cluster and engine mode, with the given scale multipliers.
-/// Uses exactly the same cost model as Engine::FinishJob.
-double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
-                        EngineMode mode, const ReplayScales& scales);
+// JobTrace, ReplayScales, and the replay entry points (ReplayJobSeconds,
+// ReplayJob, ReplayRun) live in dist/replay.h, alongside the ComputeJobCost
+// cost model FinishJob shares with them.
 
 /// The distributed-execution engine: runs map jobs over the partitions of a
 /// DistMatrix, really executing the task functions in this process (so all
@@ -127,6 +93,12 @@ class Engine {
   /// Cumulative statistics since construction or the last ResetStats(),
   /// materialized from the registry's engine.* counters.
   const CommStats& stats() const;
+
+  /// Same statistics, returned by value. Safe to call from any thread at
+  /// any time (the counters are atomics; nothing is materialized into
+  /// shared engine state) — what monitoring threads should use.
+  CommStats StatsSnapshot() const;
+
   const std::vector<JobTrace>& traces() const { return traces_; }
   void ResetStats();
 
@@ -205,7 +177,11 @@ class Engine {
   EngineMode mode_;
   obs::Registry owned_registry_;
   obs::Registry* registry_;
-  mutable CommStats stats_snapshot_;  // materialized from counters on read
+  // stats() materializes into this under stats_mutex_ so concurrent readers
+  // (a monitor thread polling while the driver runs jobs) never race on the
+  // shared snapshot; StatsSnapshot() bypasses both entirely.
+  mutable std::mutex stats_mutex_;
+  mutable CommStats stats_snapshot_;
   std::vector<JobTrace> traces_;
   size_t local_workers_ = 0;  // 0 = hardware concurrency
   std::unique_ptr<WorkerPool> pool_;

@@ -1,0 +1,141 @@
+#include "dist/replay.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spca::dist {
+
+JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
+                       const std::vector<uint64_t>& task_flops,
+                       double flop_scale, double input_bytes,
+                       double intermediate_bytes, double result_bytes) {
+  JobCost cost;
+  cost.launch_sec = spec.job_launch_sec(mode);
+
+  // Schedule tasks onto cores (in-order greedy onto the least-loaded core;
+  // deterministic and close to LPT for near-equal tasks).
+  std::vector<double> core_load(std::max(1, spec.total_cores()), 0.0);
+  for (const uint64_t flops : task_flops) {
+    auto min_it = std::min_element(core_load.begin(), core_load.end());
+    *min_it += static_cast<double>(flops) * flop_scale /
+               spec.flops_per_sec_per_core;
+  }
+  cost.compute_sec = *std::max_element(core_load.begin(), core_load.end());
+
+  // Input is read from the DFS at aggregate disk bandwidth (0 bytes when
+  // the RDD is cached). Intermediate data goes through the DFS (write then
+  // read) on MapReduce and through memory/network on Spark. Results flow
+  // to the driver over its single node's link either way.
+  const double input_sec = input_bytes / spec.total_disk_bandwidth();
+  double intermediate_sec;
+  if (mode == EngineMode::kMapReduce) {
+    intermediate_sec =
+        2.0 * intermediate_bytes / spec.total_disk_bandwidth() +
+        intermediate_bytes / spec.total_network_bandwidth();
+  } else {
+    intermediate_sec = intermediate_bytes / spec.total_network_bandwidth();
+  }
+  const double result_sec = result_bytes / spec.network_bandwidth_per_node;
+  cost.data_sec = input_sec + intermediate_sec + result_sec;
+  return cost;
+}
+
+JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
+                      EngineMode mode, const ReplayScales& scales) {
+  return ComputeJobCost(
+      spec, mode, trace.task_flops, scales.flops,
+      trace.charged_input_bytes * scales.input_bytes,
+      static_cast<double>(trace.stats.intermediate_bytes) *
+          scales.intermediate_bytes,
+      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes);
+}
+
+double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
+                        EngineMode mode, const ReplayScales& scales) {
+  return ReplayJobCost(trace, spec, mode, scales).Total();
+}
+
+double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
+                 EngineMode mode, const ReplayScales& scales,
+                 obs::Registry* registry, double sim_start_sec,
+                 uint64_t parent_span_id) {
+  const JobCost cost = ReplayJobCost(trace, spec, mode, scales);
+  if (registry != nullptr) {
+    std::vector<obs::Attribute> attrs;
+    attrs.push_back({"tasks", static_cast<uint64_t>(trace.num_tasks)});
+    if (!trace.phase.empty()) attrs.push_back({"phase", trace.phase});
+    attrs.push_back({"sim_seconds", cost.Total()});
+    attrs.push_back({"scale_flops", scales.flops});
+    attrs.push_back({"scale_input_bytes", scales.input_bytes});
+    attrs.push_back({"scale_intermediate_bytes", scales.intermediate_bytes});
+    attrs.push_back({"scale_result_bytes", scales.result_bytes});
+    const uint64_t job_span = registry->AddCompleteSpan(
+        "replay." + trace.name, "replay_job", obs::Track::kSim, sim_start_sec,
+        cost.Total(), parent_span_id, std::move(attrs));
+    double cursor = sim_start_sec;
+    registry->AddCompleteSpan("launch", "sim_phase", obs::Track::kSim, cursor,
+                              cost.launch_sec, job_span);
+    cursor += cost.launch_sec;
+    registry->AddCompleteSpan("compute", "sim_phase", obs::Track::kSim, cursor,
+                              cost.compute_sec, job_span);
+    cursor += cost.compute_sec;
+    registry->AddCompleteSpan("data", "sim_phase", obs::Track::kSim, cursor,
+                              cost.data_sec, job_span);
+    // A replayed job counts as a completed job for streaming exporters:
+    // without this, a multi-thousand-job replayed sweep would accumulate
+    // every synthetic span in the registry until the stream closes.
+    registry->NotifyJobCompleted();
+  }
+  return cost.Total();
+}
+
+double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
+                 const ClusterSpec& spec, EngineMode mode,
+                 const ReplayScalesFn& scales_for_job, obs::Registry* registry,
+                 const std::string& label, double sim_start_sec) {
+  // Driver algebra and broadcasts are row-count independent; broadcasts
+  // still pay one copy per node of the replay cluster.
+  const double driver_sec =
+      static_cast<double>(stats.driver_flops) / spec.flops_per_sec_per_core +
+      static_cast<double>(stats.broadcast_bytes) * spec.num_nodes /
+          spec.network_bandwidth_per_node;
+
+  // The parent span needs its full extent up front (spans are immutable
+  // once complete), so cost the jobs before emitting anything.
+  std::vector<ReplayScales> scales;
+  scales.reserve(traces.size());
+  double jobs_sec = 0.0;
+  for (const auto& trace : traces) {
+    scales.push_back(scales_for_job(trace));
+    jobs_sec += ReplayJobSeconds(trace, spec, mode, scales.back());
+  }
+  const double total_sec = jobs_sec + driver_sec;
+
+  uint64_t sweep_span = 0;
+  if (registry != nullptr) {
+    std::vector<obs::Attribute> attrs;
+    attrs.push_back({"jobs", static_cast<uint64_t>(traces.size())});
+    attrs.push_back({"mode", std::string(EngineModeToString(mode))});
+    attrs.push_back({"sim_seconds", total_sec});
+    sweep_span = registry->AddCompleteSpan("replay." + label, "replay_run",
+                                           obs::Track::kSim, sim_start_sec,
+                                           total_sec, 0, std::move(attrs));
+  }
+
+  double cursor = sim_start_sec;
+  for (size_t i = 0; i < traces.size(); ++i) {
+    cursor += ReplayJob(traces[i], spec, mode, scales[i], registry, cursor,
+                        sweep_span);
+  }
+  if (registry != nullptr) {
+    std::vector<obs::Attribute> attrs;
+    attrs.push_back({"driver_flops", stats.driver_flops});
+    attrs.push_back({"broadcast_bytes", stats.broadcast_bytes});
+    registry->AddCompleteSpan("replay.driver", "replay_job", obs::Track::kSim,
+                              cursor, driver_sec, sweep_span,
+                              std::move(attrs));
+  }
+  return total_sec;
+}
+
+}  // namespace spca::dist

@@ -1,0 +1,108 @@
+#ifndef SPCA_DIST_REPLAY_H_
+#define SPCA_DIST_REPLAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/cluster_spec.h"
+#include "dist/comm_stats.h"
+#include "obs/registry.h"
+
+namespace spca::dist {
+
+/// Record of one executed distributed job (for per-job analysis, Section
+/// 5.2 "Analysis of sPCA and Mahout-PCA Jobs", and for cost-model replay).
+/// Produced from the same accounting that feeds the obs::Registry, so the
+/// sums over traces always match the engine.* counters.
+struct JobTrace {
+  std::string name;
+  std::string phase;     // JobDesc::phase of the submitting caller
+  size_t num_tasks = 0;
+  CommStats stats;       // this job only
+  double launch_sec = 0.0;
+  double compute_sec = 0.0;  // max-over-cores task compute time
+  double data_sec = 0.0;     // input + intermediate + result movement
+  /// Per-task *charged* flop counts (including fault-injection retries),
+  /// for replaying the job under a different ClusterSpec or data scale.
+  std::vector<uint64_t> task_flops;
+  /// Number of re-executed task attempts injected by the failure model.
+  size_t task_retries = 0;
+  /// Input bytes actually charged for this job (0 when the input RDD was
+  /// already cached in cluster memory).
+  double charged_input_bytes = 0.0;
+};
+
+/// Multipliers applied to a recorded job when replaying it at a different
+/// data scale: per-row work and N-proportional data volumes scale linearly
+/// with the row count, while broadcasts and D x d partials do not. Used by
+/// the benchmarks to extrapolate laptop-scale measurements to the paper's
+/// billion-row datasets (see EXPERIMENTS.md).
+struct ReplayScales {
+  double flops = 1.0;
+  double input_bytes = 1.0;
+  double intermediate_bytes = 1.0;
+  double result_bytes = 1.0;
+};
+
+/// One job's simulated cost, split the way the engine charges it.
+struct JobCost {
+  double launch_sec = 0.0;
+  double compute_sec = 0.0;
+  double data_sec = 0.0;
+
+  double Total() const { return launch_sec + compute_sec + data_sec; }
+};
+
+/// The cluster cost model, shared by live accounting (Engine::FinishJob)
+/// and trace replay — the replay-equals-live identity the validation tests
+/// assert depends on both paths calling exactly this function.
+JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
+                       const std::vector<uint64_t>& task_flops,
+                       double flop_scale, double input_bytes,
+                       double intermediate_bytes, double result_bytes);
+
+/// Recomputes one recorded job's cost under a (possibly different) cluster
+/// and engine mode, with the given scale multipliers.
+JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
+                      EngineMode mode, const ReplayScales& scales);
+
+/// ReplayJobCost(...).Total() — the historical scalar entry point.
+double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
+                        EngineMode mode, const ReplayScales& scales);
+
+/// ReplayJobSeconds plus observability: when `registry` is non-null, emits
+/// a synthetic `replay.<name>` span on the simulated-time track starting at
+/// `sim_start_sec` (under `parent_span_id`, or the innermost open span when
+/// 0), carrying the scale multipliers as attributes and the same
+/// launch/compute/data child spans a live job gets — so a billion-row
+/// extrapolation is inspectable in chrome://tracing exactly like the run it
+/// was replayed from. Fires the registry's job-completion hook, so a
+/// streaming exporter drains replayed spans at its usual cadence. Returns
+/// the job's replayed seconds.
+double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
+                 EngineMode mode, const ReplayScales& scales,
+                 obs::Registry* registry, double sim_start_sec,
+                 uint64_t parent_span_id = 0);
+
+/// Chooses the scale multipliers for one recorded job (jobs differ: e.g.
+/// reduce-side intermediate data may not grow with the row count).
+using ReplayScalesFn = std::function<ReplayScales(const JobTrace&)>;
+
+/// Replays a whole recorded run — every job plus the row-count-independent
+/// driver tail (driver algebra at one core's flop rate, broadcasts paying
+/// one copy per node) — and returns its total simulated seconds. When
+/// `registry` is non-null the sweep is emitted as a `replay.<label>` span
+/// tree on the simulated-time track starting at `sim_start_sec`, with one
+/// ReplayJob span per job and a final `replay.driver` span for the tail.
+double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
+                 const ClusterSpec& spec, EngineMode mode,
+                 const ReplayScalesFn& scales_for_job,
+                 obs::Registry* registry = nullptr,
+                 const std::string& label = "sweep",
+                 double sim_start_sec = 0.0);
+
+}  // namespace spca::dist
+
+#endif  // SPCA_DIST_REPLAY_H_

@@ -7,52 +7,7 @@
 
 namespace spca::obs {
 
-namespace {
-
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Shortest round-trippable-enough rendering: integers print without a
-/// fraction so golden checks stay readable.
-std::string JsonNumber(double v) {
-  char buf[64];
-  if (v == static_cast<double>(static_cast<int64_t>(v)) && v > -1e15 &&
-      v < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
-  }
-  return buf;
-}
-
-std::string AttrJson(const AttrValue& value) {
+std::string AttrValueJson(const AttrValue& value) {
   if (const auto* u = std::get_if<uint64_t>(&value)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRIu64, *u);
@@ -62,7 +17,30 @@ std::string AttrJson(const AttrValue& value) {
   return "\"" + JsonEscape(std::get<std::string>(value)) + "\"";
 }
 
-}  // namespace
+std::string SpanJsonLine(const SpanRecord& span) {
+  std::string out = "{\"event\":\"span\"";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"id\":%llu,\"parent\":%llu",
+                static_cast<unsigned long long>(span.id),
+                static_cast<unsigned long long>(span.parent_id));
+  out += buf;
+  out += ",\"name\":\"" + JsonEscape(span.name) + "\"";
+  out += ",\"cat\":\"" + JsonEscape(span.category) + "\"";
+  out += std::string(",\"track\":\"") +
+         (span.track == Track::kSim ? "sim" : "wall") + "\"";
+  out += ",\"start_sec\":" + JsonNumber(span.start_sec);
+  out += ",\"dur_sec\":" + JsonNumber(span.duration_sec());
+  out += std::string(",\"closed\":") + (span.closed ? "true" : "false");
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& attr : span.attributes) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + JsonEscape(attr.key) + "\":" + AttrValueJson(attr.value);
+  }
+  out += "}}\n";
+  return out;
+}
 
 std::string MetricsTable(const Registry& registry) {
   std::string out;
@@ -150,7 +128,7 @@ std::string ChromeTraceJson(const Registry& registry) {
     for (const auto& attr : span.attributes) {
       if (!first) out += ',';
       first = false;
-      out += "\"" + JsonEscape(attr.key) + "\":" + AttrJson(attr.value);
+      out += "\"" + JsonEscape(attr.key) + "\":" + AttrValueJson(attr.value);
     }
     if (!first) out += ',';
     char ids[64];

@@ -4,9 +4,20 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/json.h"
 #include "obs/registry.h"
 
 namespace spca::obs {
+
+/// A span attribute value as a JSON token (number or quoted string).
+std::string AttrValueJson(const AttrValue& value);
+
+/// One JSON-lines record for a span — the --trace-stream format, e.g.
+///   {"event":"span","id":3,"parent":1,"name":"meanJob","cat":"job",
+///    "track":"wall","start_sec":0.01,"dur_sec":0.5,"closed":true,
+///    "args":{"flops":123}}
+/// Numbers are written with enough digits to round-trip exactly.
+std::string SpanJsonLine(const SpanRecord& span);
 
 /// Human-readable metrics summary: one aligned row per counter, gauge, and
 /// histogram (count/mean/min/max), sorted by name.

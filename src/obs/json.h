@@ -1,0 +1,56 @@
+#ifndef SPCA_OBS_JSON_H_
+#define SPCA_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spca::obs {
+
+/// Minimal JSON document model, sufficient for the repository's own trace
+/// and metric formats: every number is held as a double (the exporters
+/// never emit integers above 2^53 except span ids, which fit), object
+/// members keep insertion order, and parse errors carry a byte offset.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// The member's number/string, or the fallback when absent or of the
+  /// wrong kind — the exporters always emit complete records, so readers
+  /// only use these for optional fields.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parses one complete JSON document (surrounding whitespace allowed;
+/// anything trailing the document is an error).
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+// ---- Writer helpers shared by the exporters -----------------------------
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Shortest-enough rendering that still round-trips: integral values print
+/// without a fraction so golden checks stay readable; everything else uses
+/// %.17g, which strtod restores bit-exactly.
+std::string JsonNumber(double v);
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_JSON_H_

@@ -82,28 +82,33 @@ void Registry::ResetMetricsWithPrefix(std::string_view prefix) {
   }
 }
 
+SpanRecord* Registry::FindSpanLocked(uint64_t id) {
+  auto it = spans_.find(id);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
 uint64_t Registry::StartSpan(std::string_view name, std::string_view category,
                              Track track) {
   std::lock_guard<std::mutex> lock(mutex_);
   SpanRecord span;
-  span.id = spans_.size() + 1;
+  span.id = next_span_id_++;
   span.parent_id = open_stack_.empty() ? 0 : open_stack_.back();
   span.name = std::string(name);
   span.category = std::string(category);
   span.track = track;
   span.start_sec = NowSeconds();
-  spans_.push_back(std::move(span));
-  open_stack_.push_back(spans_.back().id);
-  return spans_.back().id;
+  const uint64_t id = span.id;
+  spans_.emplace(id, std::move(span));
+  open_stack_.push_back(id);
+  return id;
 }
 
 void Registry::EndSpan(uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (id == 0 || id > spans_.size()) return;
-  SpanRecord& span = spans_[id - 1];
-  if (span.closed) return;
-  span.end_sec = NowSeconds();
-  span.closed = true;
+  SpanRecord* span = FindSpanLocked(id);
+  if (span == nullptr || span->closed) return;
+  span->end_sec = NowSeconds();
+  span->closed = true;
   // Spans close in LIFO order in correct code, but tolerate out-of-order
   // ends (close an outer span while an inner one is open).
   auto it = std::find(open_stack_.begin(), open_stack_.end(), id);
@@ -113,15 +118,15 @@ void Registry::EndSpan(uint64_t id) {
 void Registry::SetSpanAttribute(uint64_t id, std::string_view key,
                                 AttrValue value) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (id == 0 || id > spans_.size()) return;
-  SpanRecord& span = spans_[id - 1];
-  for (auto& attr : span.attributes) {
+  SpanRecord* span = FindSpanLocked(id);
+  if (span == nullptr) return;
+  for (auto& attr : span->attributes) {
     if (attr.key == key) {
       attr.value = std::move(value);
       return;
     }
   }
-  span.attributes.push_back({std::string(key), std::move(value)});
+  span->attributes.push_back({std::string(key), std::move(value)});
 }
 
 uint64_t Registry::AddCompleteSpan(std::string_view name,
@@ -131,7 +136,7 @@ uint64_t Registry::AddCompleteSpan(std::string_view name,
                                    std::vector<Attribute> attributes) {
   std::lock_guard<std::mutex> lock(mutex_);
   SpanRecord span;
-  span.id = spans_.size() + 1;
+  span.id = next_span_id_++;
   span.parent_id =
       parent_id != 0 ? parent_id
                      : (open_stack_.empty() ? 0 : open_stack_.back());
@@ -142,13 +147,51 @@ uint64_t Registry::AddCompleteSpan(std::string_view name,
   span.end_sec = start_sec + duration_sec;
   span.closed = true;
   span.attributes = std::move(attributes);
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  const uint64_t id = span.id;
+  spans_.emplace(id, std::move(span));
+  return id;
 }
 
 std::vector<SpanRecord> Registry::spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return spans_;
+  std::vector<SpanRecord> out;
+  out.reserve(spans_.size());
+  for (const auto& [id, span] : spans_) out.push_back(span);
+  return out;
+}
+
+size_t Registry::SpansHeld() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Registry::DrainSpans(bool include_open, std::vector<SpanRecord>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = spans_.begin(); it != spans_.end();) {
+    if (it->second.closed || include_open) {
+      out->push_back(std::move(it->second));
+      it = spans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (include_open) open_stack_.clear();
+}
+
+void Registry::SetJobListener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_listener_ = std::move(listener);
+}
+
+void Registry::NotifyJobCompleted() {
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    listener = job_listener_;
+  }
+  // Invoked outside the mutex: the listener (the streaming exporter) will
+  // re-enter the registry to drain spans.
+  if (listener) listener();
 }
 
 }  // namespace spca::obs

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -101,8 +102,27 @@ class Registry {
                            uint64_t parent_id,
                            std::vector<Attribute> attributes = {});
 
-  /// Snapshot of all spans recorded so far (open spans have closed=false).
+  /// Snapshot of all spans currently held (open spans have closed=false;
+  /// spans already taken by DrainSpans are gone).
   std::vector<SpanRecord> spans() const;
+
+  /// Number of spans currently held. With a streaming exporter attached
+  /// this stays O(flush window + open spans) instead of O(total jobs).
+  size_t SpansHeld() const;
+
+  /// Moves every closed span (in id order) out of the registry into
+  /// `*out`; with `include_open` the still-open ones follow (final flush
+  /// at shutdown). Ids stay valid handles afterwards — closing or
+  /// attributing a drained span is a no-op — so long replayed sweeps
+  /// don't accumulate one record per job for the whole run.
+  void DrainSpans(bool include_open, std::vector<SpanRecord>* out);
+
+  /// Job-completion hook: Engine::FinishJob calls NotifyJobCompleted()
+  /// after each finished job, and the registered listener (at most one —
+  /// the streaming exporter) runs on the calling driver thread, outside
+  /// the registry mutex. Pass nullptr to detach.
+  void SetJobListener(std::function<void()> listener);
+  void NotifyJobCompleted();
 
   /// Wall seconds since this registry was created (the wall track's epoch).
   double NowSeconds() const {
@@ -124,12 +144,21 @@ class Registry {
     return it->second.get();
   }
 
+  /// Span lookup by id under the registry mutex; nullptr when the id was
+  /// never assigned or the span has been drained.
+  SpanRecord* FindSpanLocked(uint64_t id);
+
   mutable std::mutex mutex_;
   NamedMap<Counter> counters_;
   NamedMap<Gauge> gauges_;
   NamedMap<Histogram> histograms_;
-  std::vector<SpanRecord> spans_;       // id == index + 1
-  std::vector<uint64_t> open_stack_;    // innermost open span last
+  // Keyed by id so DrainSpans can remove closed spans from the middle
+  // (a child that closed while its parent is still open) without
+  // invalidating the ids the open ones hand out.
+  std::map<uint64_t, SpanRecord> spans_;
+  uint64_t next_span_id_ = 1;
+  std::vector<uint64_t> open_stack_;  // innermost open span last
+  std::function<void()> job_listener_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

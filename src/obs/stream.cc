@@ -1,0 +1,61 @@
+#include "obs/stream.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace spca::obs {
+
+TraceStreamer::TraceStreamer(Registry* registry, size_t flush_every)
+    : registry_(registry), flush_every_(std::max<size_t>(1, flush_every)) {}
+
+TraceStreamer::~TraceStreamer() { Close(); }
+
+Status TraceStreamer::Open(const std::string& path) {
+  if (is_open()) return Status::FailedPrecondition("stream already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open " + path + " for streaming");
+  }
+  path_ = path;
+  registry_->SetJobListener([this] { OnJobCompleted(); });
+  return Status::Ok();
+}
+
+Status TraceStreamer::Close() {
+  if (!is_open()) return status_;
+  registry_->SetJobListener(nullptr);
+  Flush(/*include_open=*/true);
+  WriteString(MetricsJsonLines(*registry_));
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::Internal("close failed for " + path_);
+  }
+  file_ = nullptr;
+  return status_;
+}
+
+void TraceStreamer::OnJobCompleted() {
+  if (++jobs_since_flush_ < flush_every_) return;
+  jobs_since_flush_ = 0;
+  Flush(/*include_open=*/false);
+}
+
+void TraceStreamer::Flush(bool include_open) {
+  std::vector<SpanRecord> drained;
+  registry_->DrainSpans(include_open, &drained);
+  for (const auto& span : drained) WriteString(SpanJsonLine(span));
+  if (!drained.empty()) std::fflush(file_);
+  spans_written_ += drained.size();
+  ++flushes_;
+}
+
+void TraceStreamer::WriteString(const std::string& data) {
+  if (file_ == nullptr || data.empty()) return;
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file_);
+  if (written != data.size() && status_.ok()) {
+    status_ = Status::Internal("short write to " + path_);
+  }
+}
+
+}  // namespace spca::obs

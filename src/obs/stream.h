@@ -1,0 +1,68 @@
+#ifndef SPCA_OBS_STREAM_H_
+#define SPCA_OBS_STREAM_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace spca::obs {
+
+/// Streaming trace exporter: attaches to a Registry's job-completion hook
+/// and, every `flush_every` completed jobs, drains the registry's closed
+/// spans and appends them to a file as JSON-lines records (SpanJsonLine).
+/// The registry therefore holds O(flush window + open spans) spans at any
+/// moment instead of one record per job for the whole run — which is what
+/// makes multi-thousand-job replayed sweeps (Figure 6 extrapolated to a
+/// billion rows) traceable without holding every span in memory.
+///
+/// Spans still open at a flush boundary stay in the registry and are
+/// written exactly once, by a later flush or by Close(). Close() performs
+/// the final drain (including still-open spans, marked "closed":false)
+/// and appends one metric record per registry metric in the
+/// MetricsJsonLines format.
+///
+/// Like span open/close itself, this class is driver-thread only.
+class TraceStreamer {
+ public:
+  static constexpr size_t kDefaultFlushEveryJobs = 32;
+
+  /// `registry` must outlive this object (or its Close()).
+  explicit TraceStreamer(Registry* registry,
+                         size_t flush_every = kDefaultFlushEveryJobs);
+  ~TraceStreamer();
+
+  TraceStreamer(const TraceStreamer&) = delete;
+  TraceStreamer& operator=(const TraceStreamer&) = delete;
+
+  /// Opens `path` for writing and attaches to the registry's job hook.
+  Status Open(const std::string& path);
+
+  /// Final drain + metric records, detach, close the file. Idempotent.
+  /// Returns the first write error encountered over the stream's life.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  size_t spans_written() const { return spans_written_; }
+  size_t flushes() const { return flushes_; }
+
+ private:
+  void OnJobCompleted();
+  void Flush(bool include_open);
+  void WriteString(const std::string& data);
+
+  Registry* registry_;
+  const size_t flush_every_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t jobs_since_flush_ = 0;
+  size_t spans_written_ = 0;
+  size_t flushes_ = 0;
+  Status status_ = Status::Ok();  // first write error, sticky
+};
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_STREAM_H_

@@ -1,0 +1,65 @@
+#ifndef SPCA_OBS_TRACE_FILE_H_
+#define SPCA_OBS_TRACE_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/registry.h"
+
+namespace spca::obs {
+
+/// One span read back from a trace file. Attribute numbers come back as
+/// doubles (JSON has one number type); strings round-trip exactly.
+struct ParsedSpan {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  std::string category;
+  Track track = Track::kWall;
+  double start_sec = 0.0;
+  double dur_sec = 0.0;
+  bool closed = true;
+  std::vector<Attribute> attributes;
+
+  const AttrValue* FindAttribute(std::string_view key) const;
+  /// The attribute as a double (uint64 attributes widen), or `fallback`.
+  double AttributeNumberOr(std::string_view key, double fallback) const;
+};
+
+/// A whole trace file read back: spans in id order, plus — for the
+/// streaming JSON-lines format, which appends metric records on Close —
+/// the final metric values.
+struct ParsedTrace {
+  std::vector<ParsedSpan> spans;
+
+  struct HistogramSummary {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Spans with the given name, in id order.
+  std::vector<const ParsedSpan*> SpansNamed(std::string_view name) const;
+  /// Direct children of `parent_id`, in id order.
+  std::vector<const ParsedSpan*> ChildrenOf(uint64_t parent_id) const;
+};
+
+/// Parses trace file contents in either of the repository's two formats —
+/// Chrome trace-event JSON (--trace-out) or streaming JSON lines
+/// (--trace-stream) — detected from the document shape.
+StatusOr<ParsedTrace> ParseTrace(std::string_view content);
+
+/// Reads `path` and parses it with ParseTrace.
+StatusOr<ParsedTrace> LoadTraceFile(const std::string& path);
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_TRACE_FILE_H_

@@ -1,0 +1,126 @@
+#include "obs/trace_report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spca::obs {
+namespace {
+
+constexpr std::string_view kPhaseCounterPrefix = "engine.phase.";
+constexpr std::string_view kSimSecondsSuffix = ".sim_seconds";
+constexpr std::string_view kJobsSuffix = ".jobs";
+
+struct PhaseTotals {
+  uint64_t jobs = 0;
+  double sim_seconds = 0.0;
+};
+
+std::string PhaseTable(const std::map<std::string, PhaseTotals>& phases) {
+  std::string out = "Per-phase simulated time (phase, jobs, sim_s):\n";
+  double total = 0.0;
+  uint64_t total_jobs = 0;
+  char line[160];
+  for (const auto& [phase, totals] : phases) {
+    std::snprintf(line, sizeof(line), "  %-24s %6llu %14.3f\n", phase.c_str(),
+                  static_cast<unsigned long long>(totals.jobs),
+                  totals.sim_seconds);
+    out += line;
+    total += totals.sim_seconds;
+    total_jobs += totals.jobs;
+  }
+  std::snprintf(line, sizeof(line), "  %-24s %6llu %14.3f\n", "total",
+                static_cast<unsigned long long>(total_jobs), total);
+  out += line;
+  return out;
+}
+
+}  // namespace
+
+std::string AccuracyTimeReport(const ParsedTrace& trace) {
+  std::string out;
+  for (const ParsedSpan* fit : trace.SpansNamed("spca.fit")) {
+    // Collect this fit's iterations; a trace may hold several fits (the
+    // Figure 5 benchmark runs three solvers against one registry).
+    std::vector<const ParsedSpan*> iterations;
+    for (const ParsedSpan* child : trace.ChildrenOf(fit->id)) {
+      if (child->name != "spca.em_iteration") continue;
+      if (child->FindAttribute("accuracy_percent") == nullptr) continue;
+      iterations.push_back(child);
+    }
+    std::sort(iterations.begin(), iterations.end(),
+              [](const ParsedSpan* a, const ParsedSpan* b) {
+                return a->AttributeNumberOr("iteration", 0) <
+                       b->AttributeNumberOr("iteration", 0);
+              });
+    if (iterations.empty()) continue;
+
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "spca.fit #%llu rows=%.0f cols=%.0f components=%.0f "
+                  "(time_s, accuracy_%%):\n",
+                  static_cast<unsigned long long>(fit->id),
+                  fit->AttributeNumberOr("rows", 0),
+                  fit->AttributeNumberOr("cols", 0),
+                  fit->AttributeNumberOr("components", 0));
+    out += line;
+    for (const ParsedSpan* iter : iterations) {
+      // Byte-identical to the PrintSeries rows in bench_fig4/bench_fig5.
+      std::snprintf(line, sizeof(line), "  %10.1f  %6.2f\n",
+                    iter->AttributeNumberOr("sim_seconds", 0.0),
+                    iter->AttributeNumberOr("accuracy_percent", 0.0));
+      out += line;
+    }
+  }
+  if (out.empty()) {
+    out = "no spca.fit spans with accuracy-traced iterations in this file\n";
+  }
+  return out;
+}
+
+std::string PhaseBreakdownReport(const ParsedTrace& trace) {
+  std::map<std::string, PhaseTotals> phases;
+
+  // Streaming traces carry the final engine.phase.* counters; those are
+  // authoritative (they include jobs whose spans predate any reset).
+  for (const auto& [name, value] : trace.counters) {
+    if (name.rfind(kPhaseCounterPrefix, 0) != 0) continue;
+    const std::string_view rest =
+        std::string_view(name).substr(kPhaseCounterPrefix.size());
+    if (rest.size() > kSimSecondsSuffix.size() &&
+        rest.substr(rest.size() - kSimSecondsSuffix.size()) ==
+            kSimSecondsSuffix) {
+      const std::string phase(
+          rest.substr(0, rest.size() - kSimSecondsSuffix.size()));
+      phases[phase].sim_seconds = value;
+    } else if (rest.size() > kJobsSuffix.size() &&
+               rest.substr(rest.size() - kJobsSuffix.size()) == kJobsSuffix) {
+      const std::string phase(rest.substr(0, rest.size() - kJobsSuffix.size()));
+      phases[phase].jobs = static_cast<uint64_t>(value);
+    }
+  }
+  if (!phases.empty()) return PhaseTable(phases);
+
+  // Chrome traces carry spans only: aggregate job spans by phase attribute.
+  for (const ParsedSpan& span : trace.spans) {
+    if (span.category != "job") continue;
+    const AttrValue* phase_attr = span.FindAttribute("phase");
+    std::string phase = "(none)";
+    if (const auto* s = phase_attr != nullptr
+                            ? std::get_if<std::string>(phase_attr)
+                            : nullptr) {
+      phase = *s;
+    }
+    PhaseTotals& totals = phases[phase];
+    ++totals.jobs;
+    totals.sim_seconds += span.AttributeNumberOr("sim_seconds", 0.0);
+  }
+  if (phases.empty()) return "no job spans or phase counters in this file\n";
+  return PhaseTable(phases);
+}
+
+}  // namespace spca::obs

@@ -1,0 +1,28 @@
+#ifndef SPCA_OBS_TRACE_REPORT_H_
+#define SPCA_OBS_TRACE_REPORT_H_
+
+#include <string>
+
+#include "obs/trace_file.h"
+
+namespace spca::obs {
+
+/// Regenerates the Figure 4/5 accuracy-versus-time table from a trace file
+/// alone: for every `spca.fit` span, its `spca.em_iteration` children are
+/// listed in iteration order as
+///   "  %10.1f  %6.2f\n"  <- (sim_seconds, accuracy_percent)
+/// — the exact row format bench_fig4/bench_fig5 print, so a run captured
+/// with --trace-out or --trace-stream reproduces the benchmark table
+/// byte-for-byte. Iterations without accuracy attributes (runs that did not
+/// request an accuracy trace) are skipped.
+std::string AccuracyTimeReport(const ParsedTrace& trace);
+
+/// Per-phase simulated-seconds breakdown. Prefers the engine.phase.*
+/// counters appended by the streaming exporter; falls back to aggregating
+/// job spans (category "job") by their `phase` attribute when the trace
+/// carries spans only (--trace-out files).
+std::string PhaseBreakdownReport(const ParsedTrace& trace);
+
+}  // namespace spca::obs
+
+#endif  // SPCA_OBS_TRACE_REPORT_H_

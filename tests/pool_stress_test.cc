@@ -1,0 +1,119 @@
+// Concurrency stress tests, meant to run under TSan (-DSPCA_SANITIZE=thread)
+// as well as plain builds:
+//
+//  * WorkerPool hammered with many small jobs while verifying every task
+//    runs exactly once per job.
+//  * An Engine running real jobs while a monitor thread concurrently polls
+//    Engine::StatsSnapshot() and the registry's counters — the supported
+//    cross-thread read path. (Engine::stats() materializes into a shared
+//    snapshot under a mutex; StatsSnapshot() reads the atomic counters
+//    directly and is what a monitor should use.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+#include "dist/worker_pool.h"
+#include "linalg/sparse_matrix.h"
+#include "obs/registry.h"
+#include "workload/synthetic.h"
+
+namespace spca {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using dist::TaskContext;
+using dist::WorkerPool;
+
+TEST(PoolStress, EveryTaskRunsExactlyOncePerJob) {
+  WorkerPool pool(4);
+  constexpr size_t kJobs = 200;
+  constexpr size_t kTasks = 64;
+  for (size_t job = 0; job < kJobs; ++job) {
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    std::atomic<uint64_t> sum{0};
+    pool.Run(kTasks, [&](size_t task) {
+      hits[task].fetch_add(1, std::memory_order_relaxed);
+      sum.fetch_add(task, std::memory_order_relaxed);
+    });
+    for (size_t task = 0; task < kTasks; ++task) {
+      ASSERT_EQ(hits[task].load(std::memory_order_relaxed), 1)
+          << "job " << job << " task " << task;
+    }
+    ASSERT_EQ(sum.load(std::memory_order_relaxed),
+              kTasks * (kTasks - 1) / 2);
+  }
+}
+
+TEST(PoolStress, ConcurrentStatsSnapshotsDuringJobs) {
+  workload::BagOfWordsConfig config;
+  config.rows = 400;
+  config.vocab = 120;
+  config.words_per_row = 6;
+  config.seed = 9;
+  const DistMatrix matrix =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 8);
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  engine.SetLocalWorkers(4);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+  // The monitor does what a dashboard thread would: poll the thread-safe
+  // snapshot and the registry counters while the driver runs jobs, checking
+  // that the job counter never goes backwards.
+  std::thread monitor([&] {
+    uint64_t last_jobs = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const dist::CommStats snap = engine.StatsSnapshot();
+      ASSERT_GE(snap.jobs_launched, last_jobs);
+      last_jobs = snap.jobs_launched;
+      const obs::Counter* flops =
+          engine.registry()->FindCounter("engine.task_flops");
+      if (flops != nullptr) {
+        ASSERT_GE(flops->value(), 0.0);
+      }
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  constexpr size_t kJobs = 120;
+  constexpr uint64_t kFlopsPerTask = 1000;
+  uint64_t expected_sum = 0;
+  for (size_t job = 0; job < kJobs; ++job) {
+    const auto partials = engine.RunMap<uint64_t>(
+        "stress_job", matrix, [&](const dist::RowRange& range,
+                                  TaskContext* ctx) -> uint64_t {
+          ctx->CountFlops(kFlopsPerTask);
+          uint64_t rows = 0;
+          for (size_t i = range.begin; i < range.end; ++i) ++rows;
+          return rows;
+        });
+    uint64_t total_rows = 0;
+    for (const uint64_t partial : partials) total_rows += partial;
+    // Results stay deterministic and exact no matter what the monitor
+    // thread is doing.
+    ASSERT_EQ(total_rows, matrix.rows());
+    expected_sum += total_rows;
+  }
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  const dist::CommStats final_stats = engine.StatsSnapshot();
+  EXPECT_EQ(final_stats.jobs_launched, kJobs);
+  EXPECT_EQ(final_stats.task_flops,
+            kJobs * matrix.num_partitions() * kFlopsPerTask);
+  EXPECT_EQ(expected_sum, kJobs * matrix.rows());
+  EXPECT_GT(snapshots_taken.load(std::memory_order_relaxed), 0u);
+}
+
+}  // namespace
+}  // namespace spca

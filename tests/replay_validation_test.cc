@@ -111,5 +111,80 @@ TEST_P(ReplayValidation, ScaledReplayMatchesRealScaledRun) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, ReplayValidation, ::testing::Values(2, 4, 8));
 
+// Property: replaying a recorded job under the *same* spec and mode with
+// unit scales is the identity — it must reproduce the accounted
+// launch/compute/data split (and their sum, the job's simulated seconds)
+// to within 1e-9, for any cluster spec, partitioning, platform, failure
+// rate, and optimization-toggle combination. This is the contract that
+// makes ComputeJobCost safe to share between FinishJob and the replay
+// path: if either side diverged, some randomized case here would break.
+TEST(ReplayIdentityProperty, UnitScaleReplayMatchesAccountedCost) {
+  Rng rng(0x5eedf00d2026ULL);
+  int cases = 0;
+  int jobs_checked = 0;
+  while (cases < 100) {
+    dist::ClusterSpec spec;
+    spec.num_nodes = 1 + static_cast<int>(rng.NextUint64Below(16));
+    spec.cores_per_node = 1 + static_cast<int>(rng.NextUint64Below(8));
+    spec.flops_per_sec_per_core = 1e8 * (1.0 + 99.0 * rng.NextDouble());
+    spec.disk_bandwidth_per_node = 1e6 * (1.0 + 999.0 * rng.NextDouble());
+    spec.network_bandwidth_per_node = 1e6 * (1.0 + 999.0 * rng.NextDouble());
+    spec.mapreduce_job_launch_sec = 0.5 + 15.0 * rng.NextDouble();
+    spec.spark_stage_launch_sec = 0.05 + 1.0 * rng.NextDouble();
+    spec.task_failure_probability =
+        cases % 3 == 0 ? 0.4 * rng.NextDouble() : 0.0;
+    spec.max_task_attempts = 1 + static_cast<int>(rng.NextUint64Below(4));
+    const EngineMode mode = rng.NextUint64Below(2) == 0
+                                ? EngineMode::kSpark
+                                : EngineMode::kMapReduce;
+
+    workload::BagOfWordsConfig config;
+    config.rows = 40 + rng.NextUint64Below(160);
+    config.vocab = 20 + rng.NextUint64Below(60);
+    config.words_per_row = 3 + rng.NextUint64Below(8);
+    config.seed = rng.NextUint64();
+    const size_t partitions = 1 + rng.NextUint64Below(10);
+    const DistMatrix matrix =
+        DistMatrix::FromSparse(workload::GenerateBagOfWords(config),
+                               partitions);
+
+    core::SpcaOptions options;
+    options.num_components = 2 + rng.NextUint64Below(4);
+    options.max_iterations = 1 + static_cast<int>(rng.NextUint64Below(3));
+    options.target_accuracy_fraction = 2.0;
+    options.compute_accuracy_trace = false;
+    options.mean_propagation = rng.NextUint64Below(2) == 0;
+    options.minimize_intermediate_data = rng.NextUint64Below(2) == 0;
+    options.consolidate_jobs = rng.NextUint64Below(2) == 0;
+    options.efficient_frobenius = rng.NextUint64Below(2) == 0;
+    options.ss3_associativity = rng.NextUint64Below(2) == 0;
+    options.seed = rng.NextUint64();
+
+    Engine engine(spec, mode);
+    auto fit = core::Spca(&engine, options).Fit(matrix);
+    ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+    ASSERT_FALSE(engine.traces().size() == 0);
+
+    const dist::ReplayScales unit;  // all multipliers 1.0
+    for (const dist::JobTrace& trace : engine.traces()) {
+      const dist::JobCost cost = dist::ReplayJobCost(trace, spec, mode, unit);
+      EXPECT_NEAR(cost.launch_sec, trace.launch_sec, 1e-9);
+      EXPECT_NEAR(cost.compute_sec, trace.compute_sec, 1e-9);
+      EXPECT_NEAR(cost.data_sec, trace.data_sec, 1e-9);
+      const double replayed = dist::ReplayJobSeconds(trace, spec, mode, unit);
+      EXPECT_NEAR(replayed,
+                  trace.launch_sec + trace.compute_sec + trace.data_sec,
+                  1e-9)
+          << "job " << trace.name << " mode "
+          << dist::EngineModeToString(mode);
+      EXPECT_NEAR(replayed, trace.stats.simulated_seconds, 1e-9);
+      ++jobs_checked;
+    }
+    ++cases;
+  }
+  EXPECT_GE(cases, 100);
+  EXPECT_GT(jobs_checked, cases);  // every case exercised several jobs
+}
+
 }  // namespace
 }  // namespace spca

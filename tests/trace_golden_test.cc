@@ -1,0 +1,98 @@
+// Golden-trace regression test: the span *schema* of a fixed-seed sPCA fit
+// — every span's name, category, track, and nesting depth, in creation
+// order — is compared against a checked-in golden file. Catches accidental
+// changes to the instrumentation shape (a renamed span, a lost parent
+// link, a phase child emitted on the wrong track) that value-based tests
+// cannot see.
+//
+// To update after an intentional instrumentation change:
+//   SPCA_REGENERATE_GOLDEN=1 ./trace_golden_test
+// and commit the rewritten tests/golden/spca_trace_schema.golden.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "obs/export.h"
+#include "obs/trace_file.h"
+#include "workload/synthetic.h"
+
+namespace spca {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+using obs::ParsedSpan;
+using obs::ParsedTrace;
+
+std::string SchemaOf(const ParsedTrace& trace) {
+  std::string out;
+  const std::function<void(uint64_t, int)> visit = [&](uint64_t parent,
+                                                       int depth) {
+    for (const ParsedSpan* span : trace.ChildrenOf(parent)) {
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+      out += span->name + " [" + span->category + "] " +
+             (span->track == obs::Track::kSim ? "sim" : "wall") + "\n";
+      visit(span->id, depth + 1);
+    }
+  };
+  visit(0, 0);
+  return out;
+}
+
+TEST(TraceGolden, FitSpanSchemaMatchesGolden) {
+  workload::BagOfWordsConfig config;
+  config.rows = 240;
+  config.vocab = 60;
+  config.words_per_row = 5;
+  config.seed = 5;
+  const DistMatrix matrix =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 3);
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  engine.SetLocalWorkers(1);  // fully deterministic span creation order
+
+  core::SpcaOptions options;
+  options.num_components = 3;
+  options.max_iterations = 2;
+  options.target_accuracy_fraction = 2.0;  // run both iterations
+  options.compute_accuracy_trace = true;
+  options.ideal_error_override = 1.0;  // skip the hidden anchor fit
+  options.seed = 7;
+  auto fit = core::Spca(&engine, options).Fit(matrix);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+  auto parsed = obs::ParseTrace(obs::ChromeTraceJson(*engine.registry()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string schema = SchemaOf(parsed.value());
+  ASSERT_FALSE(schema.empty());
+
+  const std::string golden_path =
+      std::string(SPCA_TEST_SRCDIR) + "/golden/spca_trace_schema.golden";
+  if (std::getenv("SPCA_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << schema;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with SPCA_REGENERATE_GOLDEN=1 to create)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(schema, golden.str())
+      << "trace schema drifted from the checked-in golden; if the change "
+         "is intentional, regenerate with SPCA_REGENERATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace spca

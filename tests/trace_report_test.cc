@@ -1,0 +1,127 @@
+// Verifies the trace_report pipeline's core promise: the accuracy-vs-time
+// table regenerated from a trace *file* alone equals, byte for byte, what
+// the in-memory SpcaResult trace would print — through both trace formats
+// (Chrome --trace-out JSON and streamed --trace-stream JSON-lines,
+// including mid-run flushes that drain spans out of the registry).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/spca.h"
+#include "dist/engine.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stream.h"
+#include "obs/trace_file.h"
+#include "obs/trace_report.h"
+#include "workload/synthetic.h"
+
+namespace spca {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+
+DistMatrix TestMatrix() {
+  workload::BagOfWordsConfig config;
+  config.rows = 400;
+  config.vocab = 100;
+  config.words_per_row = 6;
+  config.seed = 31;
+  return DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 4);
+}
+
+core::SpcaOptions TestOptions() {
+  core::SpcaOptions options;
+  options.num_components = 4;
+  options.max_iterations = 4;
+  options.target_accuracy_fraction = 2.0;  // run all iterations
+  options.compute_accuracy_trace = true;
+  options.ideal_error_override = 1.0;  // skip the hidden anchor fit
+  options.seed = 11;
+  return options;
+}
+
+// The rows a benchmark prints from the in-memory result — the byte-exact
+// reference AccuracyTimeReport must reproduce from the file.
+std::string ExpectedReport(uint64_t fit_span_id, const DistMatrix& matrix,
+                           const core::SpcaResult& result) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "spca.fit #%llu rows=%zu cols=%zu components=4 "
+                "(time_s, accuracy_%%):\n",
+                static_cast<unsigned long long>(fit_span_id), matrix.rows(),
+                matrix.cols());
+  std::string expected = line;
+  for (const core::IterationTrace& point : result.trace) {
+    std::snprintf(line, sizeof(line), "  %10.1f  %6.2f\n",
+                  point.simulated_seconds, point.accuracy_percent);
+    expected += line;
+  }
+  return expected;
+}
+
+TEST(TraceReport, ChromeTraceReproducesAccuracyTableExactly) {
+  const DistMatrix matrix = TestMatrix();
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  auto fit = core::Spca(&engine, TestOptions()).Fit(matrix);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  ASSERT_EQ(fit->trace.size(), 4u);
+
+  auto parsed = obs::ParseTrace(obs::ChromeTraceJson(*engine.registry()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto fits = parsed->SpansNamed("spca.fit");
+  ASSERT_EQ(fits.size(), 1u);
+
+  EXPECT_EQ(obs::AccuracyTimeReport(parsed.value()),
+            ExpectedReport(fits[0]->id, matrix, fit.value()));
+
+  const std::string phases = obs::PhaseBreakdownReport(parsed.value());
+  EXPECT_NE(phases.find("em_iteration"), std::string::npos);
+  EXPECT_NE(phases.find("preprocess"), std::string::npos);
+  EXPECT_NE(phases.find("total"), std::string::npos);
+}
+
+TEST(TraceReport, StreamedTraceReproducesAccuracyTableExactly) {
+  const std::string path = ::testing::TempDir() + "/report_stream.jsonl";
+  const DistMatrix matrix = TestMatrix();
+
+  obs::Registry registry;
+  // flush_every=3 forces several mid-run drains: the report must work on
+  // spans that left the registry long before the run ended.
+  obs::TraceStreamer streamer(&registry, /*flush_every=*/3);
+  ASSERT_TRUE(streamer.Open(path).ok());
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark, &registry);
+  auto fit = core::Spca(&engine, TestOptions()).Fit(matrix);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  ASSERT_GT(streamer.flushes(), 1u);
+  ASSERT_TRUE(streamer.Close().ok());
+
+  auto parsed = obs::LoadTraceFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto fits = parsed->SpansNamed("spca.fit");
+  ASSERT_EQ(fits.size(), 1u);
+
+  EXPECT_EQ(obs::AccuracyTimeReport(parsed.value()),
+            ExpectedReport(fits[0]->id, matrix, fit.value()));
+
+  // The streamed file carries the final engine.phase.* counters, so the
+  // phase breakdown comes from the authoritative metric path — and must
+  // agree with the span-aggregation path the Chrome format uses.
+  Engine chrome_engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  auto chrome_fit = core::Spca(&chrome_engine, TestOptions()).Fit(matrix);
+  ASSERT_TRUE(chrome_fit.ok());
+  auto chrome_parsed =
+      obs::ParseTrace(obs::ChromeTraceJson(*chrome_engine.registry()));
+  ASSERT_TRUE(chrome_parsed.ok());
+  EXPECT_EQ(obs::PhaseBreakdownReport(parsed.value()),
+            obs::PhaseBreakdownReport(chrome_parsed.value()));
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spca

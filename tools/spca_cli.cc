@@ -16,6 +16,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "baselines/cov_eig_pca.h"
 #include "baselines/lanczos_pca.h"
@@ -24,8 +25,10 @@
 #include "common/format.h"
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "dist/replay.h"
 #include "obs/export.h"
 #include "obs/registry.h"
+#include "obs/stream.h"
 #include "workload/datasets.h"
 #include "workload/io.h"
 
@@ -65,6 +68,19 @@ Observability:
   --metrics             print the metrics registry (counters/gauges/histograms)
   --trace-out PATH      write a Chrome trace-event JSON of the run; load it in
                         chrome://tracing or https://ui.perfetto.dev
+  --trace-stream PATH   stream spans to PATH as JSON-lines *while* running,
+                        draining the in-memory registry every --flush-every
+                        completed jobs (so long sweeps stay bounded-memory);
+                        read the result back with tools/trace_report. With
+                        --trace-stream active, a simultaneous --trace-out
+                        only holds the spans still live at exit.
+  --flush-every N       flush window for --trace-stream (default 32 jobs)
+
+Replay (cost-model extrapolation, see EXPERIMENTS.md):
+  --replay-rows LIST    after the run, replay its recorded jobs at each row
+                        count in the comma-separated LIST (e.g.
+                        "1e6,70e6,1e9"), scaling per-row work and data
+                        linearly, and print the extrapolated cluster times
 
 Flags accept both "--flag value" and "--flag=value".
 )";
@@ -92,7 +108,8 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--cols",       "--text-cols",  "--algorithm", "--platform",
       "--components", "--iterations", "--target",    "--partitions",
       "--nodes",      "--failures",   "--output",    "--output-bin",
-      "--seed",       "--trace-out"};
+      "--seed",       "--trace-out",  "--trace-stream", "--flush-every",
+      "--replay-rows"};
   static const char* kFlagsBare[] = {"--smart-guess", "--metrics", "--help"};
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -134,6 +151,31 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     if (!matched) return Status::InvalidArgument("unknown flag " + flag);
   }
   return args;
+}
+
+StatusOr<std::vector<double>> ParseRowCounts(const std::string& list) {
+  std::vector<double> rows;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      char* end = nullptr;
+      const double value = std::strtod(item.c_str(), &end);
+      if (end == item.c_str() || *end != '\0' || !(value > 0.0)) {
+        return Status::InvalidArgument("bad --replay-rows entry '" + item +
+                                       "'");
+      }
+      rows.push_back(value);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("--replay-rows needs at least one count");
+  }
+  return rows;
 }
 
 StatusOr<spca::dist::DistMatrix> LoadInput(const Args& args,
@@ -288,6 +330,22 @@ int Main(int argc, char** argv) {
       platform == "mapreduce" ? spca::dist::EngineMode::kMapReduce
                               : spca::dist::EngineMode::kSpark;
   spca::obs::Registry registry;
+  const long flush_every = args->GetInt(
+      "--flush-every",
+      static_cast<long>(spca::obs::TraceStreamer::kDefaultFlushEveryJobs));
+  if (flush_every <= 0) {
+    std::fprintf(stderr, "error: --flush-every must be positive\n");
+    return 2;
+  }
+  spca::obs::TraceStreamer streamer(&registry,
+                                    static_cast<size_t>(flush_every));
+  if (args->Has("--trace-stream")) {
+    const Status status = streamer.Open(args->Get("--trace-stream", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   spca::dist::Engine engine(spec, mode, &registry);
 
   auto model = RunAlgorithm(*args, &engine, matrix.value());
@@ -302,6 +360,38 @@ int Main(int argc, char** argv) {
               spca::HumanSeconds(engine.SimulatedSeconds()).c_str(),
               spec.num_nodes, spca::dist::EngineModeToString(mode));
   std::printf("communication: %s\n", engine.stats().ToString().c_str());
+
+  if (args->Has("--replay-rows")) {
+    auto row_counts = ParseRowCounts(args->Get("--replay-rows", ""));
+    if (!row_counts.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   row_counts.status().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "\nreplayed at other row counts (cost model; per-row work and data "
+        "scaled linearly, driver algebra and broadcasts held fixed):\n");
+    double cursor = engine.SimulatedSeconds();
+    for (const double rows : row_counts.value()) {
+      const double scale = rows / static_cast<double>(matrix->rows());
+      char label[48];
+      std::snprintf(label, sizeof(label), "%.0frows", rows);
+      const double seconds = spca::dist::ReplayRun(
+          engine.traces(), engine.stats(), spec, mode,
+          [scale](const spca::dist::JobTrace&) {
+            spca::dist::ReplayScales scales;
+            scales.flops = scale;
+            scales.input_bytes = scale;
+            scales.intermediate_bytes = scale;
+            scales.result_bytes = 1.0;
+            return scales;
+          },
+          &registry, label, cursor);
+      cursor += seconds;
+      std::printf("  %14.0f rows: %s\n", rows,
+                  spca::HumanSeconds(seconds).c_str());
+    }
+  }
 
   if (args->Has("--output")) {
     const Status status = spca::workload::SaveDenseText(
@@ -320,6 +410,17 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", args->Get("--output-bin", "").c_str());
+  }
+  if (streamer.is_open()) {
+    const size_t live_spans = registry.SpansHeld();
+    const Status status = streamer.Close();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("streamed %zu spans in %zu flushes to %s (%zu live at exit)\n",
+                streamer.spans_written(), streamer.flushes(),
+                streamer.path().c_str(), live_spans);
   }
   if (args->Has("--metrics")) {
     std::printf("\n%s", spca::obs::MetricsTable(registry).c_str());

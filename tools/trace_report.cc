@@ -1,0 +1,61 @@
+// trace_report — regenerate the paper's accuracy-vs-time tables (Figures
+// 4/5) and a per-phase breakdown from a trace file alone, without rerunning
+// the benchmark that produced it.
+//
+// Accepts either trace format the repository writes:
+//   * Chrome trace-event JSON   (spca_cli --trace-out, bench --trace-out)
+//   * streamed JSON-lines       (spca_cli --trace-stream, bench
+//                                --trace-stream)
+//
+// Examples:
+//   spca_cli --generate biotext --components 10 --trace-stream run.jsonl
+//   trace_report run.jsonl
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/trace_file.h"
+#include "obs/trace_report.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: trace_report TRACE_FILE...
+
+Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
+(--trace-stream) files and prints, per file:
+  * the accuracy-vs-time table for every spca.fit recorded in the trace
+    (the Figure 4/5 rows, regenerated from span attributes alone)
+  * a per-phase job/sim-seconds breakdown (from the engine.phase.* counters
+    when the trace carries metrics, else aggregated from the job spans)
+)";
+
+int ReportOne(const char* path, bool print_heading) {
+  auto trace = spca::obs::LoadTraceFile(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path,
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+  if (print_heading) std::printf("==> %s <==\n", path);
+  std::printf("%zu spans\n\n", trace->spans.size());
+  std::fputs(spca::obs::AccuracyTimeReport(trace.value()).c_str(), stdout);
+  std::printf("\n%s", spca::obs::PhaseBreakdownReport(trace.value()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    std::fputs(kUsage, argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  int exit_code = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) std::printf("\n");
+    if (ReportOne(argv[i], argc > 2) != 0) exit_code = 1;
+  }
+  return exit_code;
+}
