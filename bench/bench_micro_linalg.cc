@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/rng.h"
 #include "linalg/eigen_sym.h"
+#include "linalg/kernels.h"
 #include "linalg/ops.h"
 #include "linalg/solve.h"
 #include "linalg/svd.h"
@@ -20,6 +23,175 @@ DenseMatrix Random(size_t rows, size_t cols, uint64_t seed) {
   Rng rng(seed);
   return DenseMatrix::GaussianRandom(rows, cols, &rng);
 }
+
+// ---- Naive references: the pre-kernel-layer scalar loops ---------------
+//
+// Verbatim copies of the element-indexed triple loops the kernel layer
+// replaced, kept here so the naive-vs-kernel pairs below measure the
+// before/after of the rewrite on the exact hot-loop shapes (tracked in
+// BENCH_kernels.json via tools/bench_kernels.sh).
+
+DenseVector NaiveSparseRowTimesMatrix(const SparseRowView& row,
+                                      const DenseMatrix& b) {
+  DenseVector out(b.cols());
+  for (const auto& e : row) {
+    for (size_t j = 0; j < b.cols(); ++j) out[j] += e.value * b(e.index, j);
+  }
+  return out;
+}
+
+void NaiveRank1Update(const DenseVector& a, const DenseVector& b,
+                      DenseMatrix* out) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double ai = a[i];
+    if (ai == 0.0) continue;
+    for (size_t j = 0; j < b.size(); ++j) (*out)(i, j) += ai * b[j];
+  }
+}
+
+void NaiveXtXUpdate(const DenseVector& x, DenseMatrix* xtx) {
+  const size_t d = x.size();
+  for (size_t a = 0; a < d; ++a) {
+    const double xa = x[a];
+    for (size_t b = 0; b < d; ++b) (*xtx)(a, b) += xa * x[b];
+  }
+}
+
+DenseVector NaiveRowTimesMatrix(const DenseVector& row,
+                                const DenseMatrix& b) {
+  DenseVector out(b.cols());
+  for (size_t k = 0; k < b.rows(); ++k) {
+    const double v = row[k];
+    if (v == 0.0) continue;
+    for (size_t j = 0; j < b.cols(); ++j) out[j] += v * b(k, j);
+  }
+  return out;
+}
+
+SparseVector MakeSparseRow(size_t dim, size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparseEntry> entries;
+  for (size_t k = 0; k < nnz; ++k) {
+    entries.push_back({static_cast<uint32_t>(k * dim / nnz),
+                       rng.NextGaussian()});
+  }
+  return SparseVector(std::move(entries), dim);
+}
+
+// ---- Naive-vs-kernel pairs (state.range(0) = nnz or d) -----------------
+
+void BM_NaiveSparseRowDense(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const size_t dim = 16000, d = 50;
+  const DenseMatrix b = Random(dim, d, 7);
+  const SparseVector row = MakeSparseRow(dim, nnz, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveSparseRowTimesMatrix(row.View(), b));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz * d);
+}
+BENCHMARK(BM_NaiveSparseRowDense)->Arg(10)->Arg(100);
+
+void BM_KernelSparseRowDense(benchmark::State& state) {
+  const size_t nnz = static_cast<size_t>(state.range(0));
+  const size_t dim = 16000, d = 50;
+  const DenseMatrix b = Random(dim, d, 7);
+  const SparseVector row = MakeSparseRow(dim, nnz, 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseRowTimesMatrix(row.View(), b));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz * d);
+}
+BENCHMARK(BM_KernelSparseRowDense)->Arg(10)->Arg(100);
+
+void BM_NaiveRank1Update(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(22);
+  DenseVector x(d);
+  for (size_t i = 0; i < d; ++i) x[i] = rng.NextGaussian();
+  DenseMatrix xtx(d, d);
+  for (auto _ : state) {
+    NaiveXtXUpdate(x, &xtx);
+    benchmark::DoNotOptimize(xtx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * d);
+}
+BENCHMARK(BM_NaiveRank1Update)->Arg(10)->Arg(50)->Arg(100);
+
+// The kernel-layer XtX update: upper triangle per row, one mirror per
+// partition (amortized here over the rows-per-partition of the paper's
+// workloads; the mirror is outside the per-row loop in RunYtXPartition).
+void BM_KernelRank1Update(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  constexpr size_t kRowsPerMirror = 128;
+  Rng rng(22);
+  DenseVector x(d);
+  for (size_t i = 0; i < d; ++i) x[i] = rng.NextGaussian();
+  DenseMatrix xtx(d, d);
+  size_t rows = 0;
+  for (auto _ : state) {
+    kernels::SymRank1Update(x.data(), d, xtx.data(), xtx.row_stride());
+    if (++rows == kRowsPerMirror) {
+      kernels::SymMirrorLower(xtx.data(), d, xtx.row_stride());
+      rows = 0;
+    }
+    benchmark::DoNotOptimize(xtx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * d);
+}
+BENCHMARK(BM_KernelRank1Update)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_NaiveDenseRowGemm(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const DenseMatrix b = Random(dim, 50, 5);
+  Rng rng(6);
+  DenseVector row(dim);
+  for (size_t i = 0; i < dim; ++i) row[i] = rng.NextGaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(NaiveRowTimesMatrix(row, b));
+  state.SetItemsProcessed(state.iterations() * dim * 50);
+}
+BENCHMARK(BM_NaiveDenseRowGemm)->Arg(2000);
+
+void BM_KernelDenseRowGemm(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const DenseMatrix b = Random(dim, 50, 5);
+  Rng rng(6);
+  DenseVector row(dim);
+  for (size_t i = 0; i < dim; ++i) row[i] = rng.NextGaussian();
+  for (auto _ : state) benchmark::DoNotOptimize(RowTimesMatrix(row, b));
+  state.SetItemsProcessed(state.iterations() * dim * 50);
+}
+BENCHMARK(BM_KernelDenseRowGemm)->Arg(2000);
+
+void BM_NaiveDenseOuterProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  DenseVector a(dim), b(50);
+  for (size_t i = 0; i < dim; ++i) a[i] = rng.NextGaussian();
+  for (size_t i = 0; i < 50; ++i) b[i] = rng.NextGaussian();
+  DenseMatrix out(dim, 50);
+  for (auto _ : state) {
+    NaiveRank1Update(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 50);
+}
+BENCHMARK(BM_NaiveDenseOuterProduct)->Arg(2000);
+
+void BM_KernelDenseOuterProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  DenseVector a(dim), b(50);
+  for (size_t i = 0; i < dim; ++i) a[i] = rng.NextGaussian();
+  for (size_t i = 0; i < 50; ++i) b[i] = rng.NextGaussian();
+  DenseMatrix out(dim, 50);
+  for (auto _ : state) {
+    AddOuterProduct(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * dim * 50);
+}
+BENCHMARK(BM_KernelDenseOuterProduct)->Arg(2000);
 
 void BM_Multiply(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

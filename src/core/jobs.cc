@@ -1,10 +1,12 @@
 #include "core/jobs.h"
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "common/check.h"
+#include "linalg/kernels.h"
 
 namespace spca::core {
 
@@ -37,11 +39,8 @@ uint64_t ComputeXRow(const DistMatrix& y, size_t i, const DenseMatrix& cm,
   for (size_t k = 0; k < dim; ++k) (*dense_scratch)[k] = -ym[k];
   y.ForEachEntry(i, [&](size_t k, double v) { (*dense_scratch)[k] += v; });
   x_row->SetZero();
-  for (size_t k = 0; k < dim; ++k) {
-    const double v = (*dense_scratch)[k];
-    if (v == 0.0) continue;
-    for (size_t j = 0; j < d; ++j) (*x_row)[j] += v * cm(k, j);
-  }
+  linalg::kernels::RowGemm(dense_scratch->data(), dim, cm.data(),
+                           cm.row_stride(), d, x_row->data());
   return 2ull * dim * d + dim;
 }
 
@@ -139,7 +138,10 @@ double FrobeniusNormJob(Engine* engine, const DistMatrix& y,
           for (size_t i = range.begin; i < range.end; ++i) {
             for (size_t k = 0; k < dim; ++k) dense[k] = -ym[k];
             y.ForEachEntry(i, [&](size_t k, double v) { dense[k] += v; });
-            for (size_t k = 0; k < dim; ++k) sum += dense[k] * dense[k];
+            // DotRow's `init` splices the squares into the running sum
+            // left-to-right, exactly like the scalar loop it replaces.
+            sum = linalg::kernels::DotRow(dense.data(), dense.data(), dim,
+                                          sum);
           }
           ctx->CountFlops(3ull * dim * range.size());
           ctx->EmitResult(sizeof(double));
@@ -166,7 +168,7 @@ DenseMatrix MaterializeXJob(Engine* engine, const DistMatrix& y,
         for (size_t i = range.begin; i < range.end; ++i) {
           flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
                                &dense_scratch, &x_row);
-          for (size_t j = 0; j < d; ++j) x(i, j) = x_row[j];
+          std::memcpy(x.RowPtr(i), x_row.data(), d * sizeof(double));
         }
         ctx->CountFlops(flops);
         // X is intermediate data: written out for the consumer jobs.
@@ -205,17 +207,19 @@ YtXPartial RunYtXPartition(const DistMatrix& y, const RowRange& range,
   uint64_t flops = 0;
   for (size_t i = range.begin; i < range.end; ++i) {
     if (materialized_x != nullptr) {
-      for (size_t j = 0; j < d; ++j) x_row[j] = (*materialized_x)(i, j);
+      std::memcpy(x_row.data(), materialized_x->RowPtr(i),
+                  d * sizeof(double));
     } else {
       flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
                            &dense_scratch, &x_row);
     }
     partial.xc_sum.Add(x_row);
     if (want_xtx) {
-      for (size_t a = 0; a < d; ++a) {
-        const double xa = x_row[a];
-        for (size_t b = 0; b < d; ++b) partial.xtx(a, b) += xa * x_row[b];
-      }
+      // Upper triangle only; mirrored once after the row loop. The flop
+      // count stays the cost model's full 2*d*d — the model charges the
+      // algorithmic work, not this implementation's execution speed.
+      linalg::kernels::SymRank1Update(x_row.data(), d, partial.xtx.data(),
+                                      partial.xtx.row_stride());
       flops += 2ull * d * d;
     }
     if (want_ytx) {
@@ -224,7 +228,7 @@ YtXPartial RunYtXPartition(const DistMatrix& y, const RowRange& range,
         // applied once on the driver.
         y.ForEachEntry(i, [&](size_t k, double v) {
           touched[k] = 1;
-          for (size_t j = 0; j < d; ++j) partial.ytx(k, j) += v * x_row[j];
+          linalg::kernels::AxpyRow(v, x_row.data(), d, partial.ytx.RowPtr(k));
         });
         flops += 2ull * y.RowNnz(i) * d;
       } else {
@@ -232,14 +236,16 @@ YtXPartial RunYtXPartition(const DistMatrix& y, const RowRange& range,
         for (size_t k = 0; k < dim; ++k) dense_scratch[k] = -ym[k];
         y.ForEachEntry(i,
                        [&](size_t k, double v) { dense_scratch[k] += v; });
-        for (size_t k = 0; k < dim; ++k) {
-          const double v = dense_scratch[k];
-          if (v == 0.0) continue;
-          for (size_t j = 0; j < d; ++j) partial.ytx(k, j) += v * x_row[j];
-        }
+        linalg::kernels::Rank1Update(dense_scratch.data(), dim, x_row.data(),
+                                     d, partial.ytx.data(),
+                                     partial.ytx.row_stride());
         flops += 2ull * dim * d + dim;
       }
     }
+  }
+  if (want_xtx) {
+    linalg::kernels::SymMirrorLower(partial.xtx.data(), d,
+                                    partial.xtx.row_stride());
   }
   if (want_ytx) {
     for (uint8_t t : touched) partial.touched_rows += t;
@@ -310,10 +316,12 @@ YtXResult YtXJob(Engine* engine, const DistMatrix& y, const DenseVector& ym,
   }
   if (toggles.mean_propagation) {
     // YtX = sum_i Y_i' (x) Xc_i  -  Ym (x) sum_i Xc_i  (mean propagation).
+    // AxpyRow with -m: (-m)*s and then adding is bit-identical to
+    // subtracting m*s (IEEE negation is exact).
     for (size_t k = 0; k < dim; ++k) {
       const double m = ym[k];
       if (m == 0.0) continue;
-      for (size_t j = 0; j < d; ++j) result.ytx(k, j) -= m * xc_sum[j];
+      linalg::kernels::AxpyRow(-m, xc_sum.data(), d, result.ytx.RowPtr(k));
     }
     engine->CountDriverFlops(2ull * dim * d);
   }
@@ -337,7 +345,7 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
     for (size_t k = 0; k < dim; ++k) {
       const double m = ym[k];
       if (m == 0.0) continue;
-      for (size_t j = 0; j < d; ++j) ctym[j] += m * c(k, j);
+      linalg::kernels::AxpyRow(m, c.RowPtr(k), d, ctym.data());
     }
     engine->CountDriverFlops(2ull * dim * d);
   }
@@ -353,7 +361,8 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
         uint64_t flops = 0;
         for (size_t i = range.begin; i < range.end; ++i) {
           if (materialized_x != nullptr) {
-            for (size_t j = 0; j < d; ++j) x_row[j] = (*materialized_x)(i, j);
+            std::memcpy(x_row.data(), materialized_x->RowPtr(i),
+                        d * sizeof(double));
           } else {
             flops += ComputeXRow(y, i, cm, ym, xm, toggles.mean_propagation,
                                  &dense_scratch, &x_row);
@@ -363,7 +372,7 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
             if (toggles.mean_propagation) {
               v.SetZero();
               y.ForEachEntry(i, [&](size_t k, double val) {
-                for (size_t j = 0; j < d; ++j) v[j] += val * c(k, j);
+                linalg::kernels::AxpyRow(val, c.RowPtr(k), d, v.data());
               });
               v.Subtract(ctym);
               flops += 2ull * y.RowNnz(i) * d + d;
@@ -372,11 +381,8 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
               y.ForEachEntry(
                   i, [&](size_t k, double val) { dense_scratch[k] += val; });
               v.SetZero();
-              for (size_t k = 0; k < dim; ++k) {
-                const double val = dense_scratch[k];
-                if (val == 0.0) continue;
-                for (size_t j = 0; j < d; ++j) v[j] += val * c(k, j);
-              }
+              linalg::kernels::RowGemm(dense_scratch.data(), dim, c.data(),
+                                       c.row_stride(), d, v.data());
               flops += 2ull * dim * d + dim;
             }
             sum += x_row.Dot(v);
@@ -384,9 +390,7 @@ double Ss3Job(Engine* engine, const DistMatrix& y, const DenseVector& ym,
           } else {
             // Inefficient order: u = X_i * C' (a dense D-vector) first.
             for (size_t k = 0; k < dim; ++k) {
-              double value = 0.0;
-              for (size_t j = 0; j < d; ++j) value += x_row[j] * c(k, j);
-              u[k] = value;
+              u[k] = linalg::kernels::DotRow(x_row.data(), c.RowPtr(k), d);
             }
             flops += 2ull * dim * d;
             // Then u . Yc_i' (mean-propagated or dense).

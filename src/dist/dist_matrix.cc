@@ -1,7 +1,9 @@
 #include "dist/dist_matrix.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "linalg/kernels.h"
 #include "linalg/ops.h"
 
 namespace spca::dist {
@@ -76,18 +78,12 @@ void DistMatrix::RowTimesMatrix(size_t i, const DenseMatrix& b,
   SPCA_CHECK_EQ(out->size(), b.cols());
   out->SetZero();
   if (is_sparse()) {
-    for (const auto& e : sparse_->Row(i)) {
-      for (size_t j = 0; j < b.cols(); ++j) {
-        (*out)[j] += e.value * b(e.index, j);
-      }
-    }
+    const auto row = sparse_->Row(i);
+    linalg::kernels::SparseRowGemv(row.begin(), row.nnz(), b.data(),
+                                   b.row_stride(), b.cols(), out->data());
   } else {
-    const auto row = dense_->Row(i);
-    for (size_t k = 0; k < row.size(); ++k) {
-      const double v = row[k];
-      if (v == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) (*out)[j] += v * b(k, j);
-    }
+    linalg::kernels::RowGemm(dense_->RowPtr(i), cols_, b.data(),
+                             b.row_stride(), b.cols(), out->data());
   }
 }
 
@@ -97,35 +93,25 @@ void DistMatrix::AddRowOuterProduct(size_t i, const DenseVector& x,
   SPCA_CHECK_EQ(out->cols(), x.size());
   if (is_sparse()) {
     for (const auto& e : sparse_->Row(i)) {
-      for (size_t j = 0; j < x.size(); ++j) {
-        (*out)(e.index, j) += e.value * x[j];
-      }
+      linalg::kernels::AxpyRow(e.value, x.data(), x.size(),
+                               out->RowPtr(e.index));
     }
   } else {
-    const auto row = dense_->Row(i);
-    for (size_t k = 0; k < row.size(); ++k) {
-      const double v = row[k];
-      if (v == 0.0) continue;
-      for (size_t j = 0; j < x.size(); ++j) (*out)(k, j) += v * x[j];
-    }
+    linalg::kernels::Rank1Update(dense_->RowPtr(i), cols_, x.data(), x.size(),
+                                 out->data(), out->row_stride());
   }
 }
 
 double DistMatrix::RowDot(size_t i, const DenseVector& v) const {
   SPCA_CHECK_EQ(v.size(), cols_);
   if (is_sparse()) return sparse_->Row(i).Dot(v);
-  const auto row = dense_->Row(i);
-  double sum = 0.0;
-  for (size_t j = 0; j < row.size(); ++j) sum += row[j] * v[j];
-  return sum;
+  return linalg::kernels::DotRow(dense_->RowPtr(i), v.data(), cols_);
 }
 
 double DistMatrix::RowSquaredNorm(size_t i) const {
   if (is_sparse()) return sparse_->Row(i).SquaredNorm();
-  const auto row = dense_->Row(i);
-  double sum = 0.0;
-  for (double v : row) sum += v * v;
-  return sum;
+  const double* row = dense_->RowPtr(i);
+  return linalg::kernels::DotRow(row, row, cols_);
 }
 
 double DistMatrix::RowSum(size_t i) const {
@@ -148,8 +134,15 @@ DenseMatrix DistMatrix::ToDenseSlice(size_t begin, size_t end) const {
   SPCA_CHECK_LE(begin, end);
   SPCA_CHECK_LE(end, rows_);
   DenseMatrix slice(end - begin, cols_);
-  for (size_t i = begin; i < end; ++i) {
-    ForEachEntry(i, [&](size_t j, double v) { slice(i - begin, j) = v; });
+  if (is_sparse()) {
+    for (size_t i = begin; i < end; ++i) {
+      ForEachEntry(i, [&](size_t j, double v) { slice(i - begin, j) = v; });
+    }
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      std::memcpy(slice.RowPtr(i - begin), dense_->RowPtr(i),
+                  cols_ * sizeof(double));
+    }
   }
   return slice;
 }
@@ -172,8 +165,8 @@ DistMatrix DistMatrix::SampleRows(std::span<const size_t> row_indices,
   for (size_t out = 0; out < row_indices.size(); ++out) {
     const size_t i = row_indices[out];
     SPCA_CHECK_LT(i, rows_);
-    const auto row = dense_->Row(i);
-    for (size_t j = 0; j < cols_; ++j) sample(out, j) = row[j];
+    std::memcpy(sample.RowPtr(out), dense_->RowPtr(i),
+                cols_ * sizeof(double));
   }
   return FromDense(std::move(sample), num_partitions);
 }

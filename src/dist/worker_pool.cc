@@ -25,6 +25,7 @@ void WorkerPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   std::unique_lock<std::mutex> lock(mutex_);
   fn_ = &fn;
   num_tasks_ = num_tasks;
+  grain_ = std::max<size_t>(1, num_tasks / (8 * threads_.size()));
   next_task_.store(0, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);
   ++generation_;
@@ -44,6 +45,7 @@ void WorkerPool::WorkerLoop() {
   for (;;) {
     const std::function<void(size_t)>* fn = nullptr;
     size_t num_tasks = 0;
+    size_t grain = 1;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       // fn_ is null between jobs; a worker that slept through an entire
@@ -57,13 +59,16 @@ void WorkerPool::WorkerLoop() {
       seen_generation = generation_;
       fn = fn_;
       num_tasks = num_tasks_;
+      grain = grain_;
       ++active_workers_;
     }
     for (;;) {
-      const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
-      if (task >= num_tasks) break;
-      (*fn)(task);
-      completed_.fetch_add(1, std::memory_order_acq_rel);
+      const size_t begin =
+          next_task_.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= num_tasks) break;
+      const size_t end = std::min(begin + grain, num_tasks);
+      for (size_t task = begin; task < end; ++task) (*fn)(task);
+      completed_.fetch_add(end - begin, std::memory_order_acq_rel);
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

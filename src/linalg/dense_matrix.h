@@ -91,6 +91,14 @@ class DenseMatrix {
     return {data_.data() + i * cols_, cols_};
   }
 
+  /// Raw pointer to the first element of row i; rows are contiguous and
+  /// row_stride() doubles apart. This is what the linalg/kernels.h
+  /// micro-kernels consume.
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  /// Distance in doubles between consecutive rows (== cols()).
+  size_t row_stride() const { return cols_; }
+
   const double* data() const { return data_.data(); }
   double* data() { return data_.data(); }
 

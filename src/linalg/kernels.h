@@ -1,0 +1,72 @@
+#ifndef SPCA_LINALG_KERNELS_H_
+#define SPCA_LINALG_KERNELS_H_
+
+#include <cstddef>
+
+#include "linalg/sparse_matrix.h"
+
+namespace spca::linalg::kernels {
+
+// Cache-friendly micro-kernels for the per-row operations that dominate the
+// EM inner loops (Section 3.3's in-memory multiplication and the XtX / YtX
+// accumulations). All kernels operate on contiguous double* rows obtained
+// via DenseMatrix::RowPtr() and unroll only across the *output* (column)
+// dimension: every output element sees exactly the same sequence of
+// floating-point operations as the scalar loops they replace, so results
+// are bit-identical. Reductions (DotRow) keep a single sequential
+// accumulation chain for the same reason.
+//
+// The kernels live in their own translation unit (kernels.cc) compiled
+// with more aggressive optimization flags than the rest of the library;
+// see src/linalg/CMakeLists.txt.
+
+/// out[j] += v * b[j] for j in [0, n). The axpy at the heart of every
+/// row-times-matrix product and outer-product accumulation.
+void AxpyRow(double v, const double* b, size_t n, double* out);
+
+/// out[j] += b[j] for j in [0, n) (the v == 1 axpy without the multiply).
+void AddRow(const double* b, size_t n, double* out);
+
+/// Returns init + sum_j a[j] * b[j], accumulated strictly left to right
+/// (a single dependency chain, never reassociated). Pass the running sum
+/// as `init` to splice the product terms into an existing chain
+/// bit-identically.
+double DotRow(const double* a, const double* b, size_t n, double init = 0.0);
+
+/// out(i, j) += a[i] * b[j] over the full rows x cols rectangle, where out
+/// is row-major with the given stride. Rows with a[i] == 0 are skipped
+/// (matching the scalar loops this replaces).
+void Rank1Update(const double* a, size_t rows, const double* b, size_t cols,
+                 double* out, size_t out_stride);
+
+/// out += x * x' for a symmetric d x d accumulator (the XtX update),
+/// touching the upper triangle (including the diagonal) ONLY — half the
+/// multiply-adds of the full rectangle. Callers accumulate any number of
+/// rows this way and then mirror once per partition with SymMirrorLower.
+/// Since IEEE multiplication is exactly commutative (x[a]*x[b] ==
+/// x[b]*x[a] bitwise), upper-then-mirror is bit-identical to the
+/// full-rectangle scalar update it replaces.
+void SymRank1Update(const double* x, size_t d, double* out, size_t stride);
+
+/// Copies the upper triangle of a d x d row-major matrix into its lower
+/// triangle (the finishing step after a run of SymRank1Update calls).
+void SymMirrorLower(double* out, size_t d, size_t stride);
+
+/// out[j] += sum_k entries[k].value * b(entries[k].index, j) for j in
+/// [0, d): one CSR row times a dense (D x d) matrix with row stride
+/// b_stride. Columns are processed in register-sized chunks, iterating the
+/// entries innermost, so the accumulators stay in registers instead of
+/// round-tripping through out[] once per entry. Per output element the
+/// entry order is unchanged, so accumulation is bit-identical.
+void SparseRowGemv(const SparseEntry* entries, size_t nnz, const double* b,
+                   size_t b_stride, size_t d, double* out);
+
+/// c_row[j] += sum_k a_row[k] * b(k, j): one output row of C = A * B with
+/// b row-major of stride b_stride. Zero a_row[k] are skipped (matching the
+/// scalar loops).
+void RowGemm(const double* a_row, size_t k, const double* b, size_t b_stride,
+             size_t n, double* c_row);
+
+}  // namespace spca::linalg::kernels
+
+#endif  // SPCA_LINALG_KERNELS_H_

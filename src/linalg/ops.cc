@@ -1,18 +1,20 @@
 #include "linalg/ops.h"
 
+#include "linalg/kernels.h"
+
 namespace spca::linalg {
+
+// Every routine here is a thin loop over the contiguous-row micro-kernels
+// in linalg/kernels.h. The kernels unroll only across output columns and
+// keep reductions as single sequential chains, so each function produces
+// bit-identical results to the scalar triple loops it replaced.
 
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
   SPCA_CHECK_EQ(a.cols(), b.rows());
   DenseMatrix c(a.rows(), b.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += aik * b(k, j);
-      }
-    }
+    kernels::RowGemm(a.RowPtr(i), a.cols(), b.data(), b.row_stride(),
+                     b.cols(), c.RowPtr(i));
   }
   return c;
 }
@@ -20,15 +22,11 @@ DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b) {
 DenseMatrix TransposeMultiply(const DenseMatrix& a, const DenseMatrix& b) {
   SPCA_CHECK_EQ(a.rows(), b.rows());
   DenseMatrix c(a.cols(), b.cols());
-  // sum_r (A_r)' * B_r: stream one row of each operand at a time.
+  // sum_r (A_r)' * B_r: stream one row of each operand at a time (the
+  // paper's Equation 2) as a rank-1 update of C.
   for (size_t r = 0; r < a.rows(); ++r) {
-    for (size_t i = 0; i < a.cols(); ++i) {
-      const double ari = a(r, i);
-      if (ari == 0.0) continue;
-      for (size_t j = 0; j < b.cols(); ++j) {
-        c(i, j) += ari * b(r, j);
-      }
-    }
+    kernels::Rank1Update(a.RowPtr(r), a.cols(), b.RowPtr(r), b.cols(),
+                         c.data(), c.row_stride());
   }
   return c;
 }
@@ -37,10 +35,10 @@ DenseMatrix MultiplyTranspose(const DenseMatrix& a, const DenseMatrix& b) {
   SPCA_CHECK_EQ(a.cols(), b.cols());
   DenseMatrix c(a.rows(), b.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.RowPtr(i);
+    double* c_row = c.RowPtr(i);
     for (size_t j = 0; j < b.rows(); ++j) {
-      double sum = 0.0;
-      for (size_t k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
-      c(i, j) = sum;
+      c_row[j] = kernels::DotRow(a_row, b.RowPtr(j), a.cols());
     }
   }
   return c;
@@ -50,9 +48,7 @@ DenseVector MultiplyVector(const DenseMatrix& a, const DenseVector& x) {
   SPCA_CHECK_EQ(a.cols(), x.size());
   DenseVector y(a.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
-    double sum = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) sum += a(i, j) * x[j];
-    y[i] = sum;
+    y[i] = kernels::DotRow(a.RowPtr(i), x.data(), a.cols());
   }
   return y;
 }
@@ -64,7 +60,7 @@ DenseVector TransposeMultiplyVector(const DenseMatrix& a,
   for (size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
+    kernels::AxpyRow(xi, a.RowPtr(i), a.cols(), y.data());
   }
   return y;
 }
@@ -72,11 +68,8 @@ DenseVector TransposeMultiplyVector(const DenseMatrix& a,
 DenseVector RowTimesMatrix(const DenseVector& row, const DenseMatrix& b) {
   SPCA_CHECK_EQ(row.size(), b.rows());
   DenseVector out(b.cols());
-  for (size_t k = 0; k < b.rows(); ++k) {
-    const double v = row[k];
-    if (v == 0.0) continue;
-    for (size_t j = 0; j < b.cols(); ++j) out[j] += v * b(k, j);
-  }
+  kernels::RowGemm(row.data(), row.size(), b.data(), b.row_stride(), b.cols(),
+                   out.data());
   return out;
 }
 
@@ -84,9 +77,8 @@ DenseVector SparseRowTimesMatrix(const SparseRowView& row,
                                  const DenseMatrix& b) {
   SPCA_CHECK_EQ(row.dim(), b.rows());
   DenseVector out(b.cols());
-  for (const auto& e : row) {
-    for (size_t j = 0; j < b.cols(); ++j) out[j] += e.value * b(e.index, j);
-  }
+  kernels::SparseRowGemv(row.begin(), row.nnz(), b.data(), b.row_stride(),
+                         b.cols(), out.data());
   return out;
 }
 
@@ -94,11 +86,8 @@ void AddOuterProduct(const DenseVector& a, const DenseVector& b,
                      DenseMatrix* out) {
   SPCA_CHECK_EQ(out->rows(), a.size());
   SPCA_CHECK_EQ(out->cols(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double ai = a[i];
-    if (ai == 0.0) continue;
-    for (size_t j = 0; j < b.size(); ++j) (*out)(i, j) += ai * b[j];
-  }
+  kernels::Rank1Update(a.data(), a.size(), b.data(), b.size(), out->data(),
+                       out->row_stride());
 }
 
 void AddSparseOuterProduct(const SparseRowView& row, const DenseVector& b,
@@ -106,9 +95,7 @@ void AddSparseOuterProduct(const SparseRowView& row, const DenseVector& b,
   SPCA_CHECK_EQ(out->rows(), row.dim());
   SPCA_CHECK_EQ(out->cols(), b.size());
   for (const auto& e : row) {
-    for (size_t j = 0; j < b.size(); ++j) {
-      (*out)(e.index, j) += e.value * b[j];
-    }
+    kernels::AxpyRow(e.value, b.data(), b.size(), out->RowPtr(e.index));
   }
 }
 
@@ -116,10 +103,9 @@ DenseMatrix SparseTimesDense(const SparseMatrix& y, const DenseMatrix& b) {
   SPCA_CHECK_EQ(y.cols(), b.rows());
   DenseMatrix c(y.rows(), b.cols());
   for (size_t i = 0; i < y.rows(); ++i) {
-    auto out = c.Row(i);
-    for (const auto& e : y.Row(i)) {
-      for (size_t j = 0; j < b.cols(); ++j) out[j] += e.value * b(e.index, j);
-    }
+    const auto row = y.Row(i);
+    kernels::SparseRowGemv(row.begin(), row.nnz(), b.data(), b.row_stride(),
+                           b.cols(), c.RowPtr(i));
   }
   return c;
 }
@@ -128,7 +114,9 @@ DenseMatrix MeanCenter(const DenseMatrix& a, const DenseVector& mean) {
   SPCA_CHECK_EQ(a.cols(), mean.size());
   DenseMatrix c(a.rows(), a.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) - mean[j];
+    const double* a_row = a.RowPtr(i);
+    double* c_row = c.RowPtr(i);
+    for (size_t j = 0; j < a.cols(); ++j) c_row[j] = a_row[j] - mean[j];
   }
   return c;
 }
@@ -136,7 +124,7 @@ DenseMatrix MeanCenter(const DenseMatrix& a, const DenseVector& mean) {
 DenseVector ColumnMeans(const DenseMatrix& a) {
   DenseVector means(a.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < a.cols(); ++j) means[j] += a(i, j);
+    kernels::AddRow(a.RowPtr(i), a.cols(), means.data());
   }
   if (a.rows() > 0) means.Scale(1.0 / static_cast<double>(a.rows()));
   return means;

@@ -53,6 +53,29 @@ TEST(PoolStress, EveryTaskRunsExactlyOncePerJob) {
   }
 }
 
+// Chunked claiming hands each fetch_add a contiguous run of
+// max(1, num_tasks / (8 * threads)) tasks. Sweep task counts around the
+// grain boundaries (grain 1 below 8*threads, ragged final chunks above)
+// and verify exactly-once execution either way.
+TEST(PoolStress, ChunkedClaimingCoversRaggedTaskCounts) {
+  WorkerPool pool(3);
+  // With 3 threads, grain goes above 1 at 48 tasks; 49/50/97 leave ragged
+  // final chunks, 1000 gives grain 41 with a short tail.
+  for (const size_t tasks :
+       {size_t{1}, size_t{2}, size_t{23}, size_t{47}, size_t{48}, size_t{49},
+        size_t{50}, size_t{97}, size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(tasks);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.Run(tasks, [&](size_t task) {
+      hits[task].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t task = 0; task < tasks; ++task) {
+      ASSERT_EQ(hits[task].load(std::memory_order_relaxed), 1)
+          << "tasks=" << tasks << " task=" << task;
+    }
+  }
+}
+
 TEST(PoolStress, ConcurrentStatsSnapshotsDuringJobs) {
   workload::BagOfWordsConfig config;
   config.rows = 400;

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Runs the kernel-layer micro benchmarks (naive-vs-kernel pairs in
+# bench_micro_linalg) plus a fixed end-to-end sPCA workload, and emits
+# BENCH_kernels.json recording ns/op for each pair, the speedups, and the
+# per-iteration wall_seconds from the spca.em_iteration spans. The first
+# checked-in BENCH_kernels.json (from the PR that introduced the kernel
+# layer) is the baseline of the perf trajectory.
+#
+# Usage: tools/bench_kernels.sh [build_dir] [output_json]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_kernels.json}"
+cd "$(dirname "$0")/.."
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro_linalg" ]]; then
+  echo "bench_micro_linalg not built in $BUILD_DIR; configure with" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+MICRO_JSON="$(mktemp)"
+TRACE_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$TRACE_JSON"' EXIT
+
+"$BUILD_DIR/bench/bench_micro_linalg" \
+  --benchmark_filter='Naive|Kernel' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json >"$MICRO_JSON"
+
+# Fixed end-to-end workload: the tweets-shaped sparse fit the verify drive
+# uses, with wall_seconds read off the spca.em_iteration spans.
+"$BUILD_DIR/tools/spca_cli" --generate=tweets --rows=2000 --cols=300 \
+  --components=10 --iterations=3 --target=2.0 \
+  --trace-out="$TRACE_JSON" >/dev/null
+
+python3 - "$MICRO_JSON" "$TRACE_JSON" "$OUT" <<'EOF'
+import json
+import sys
+
+micro_path, trace_path, out_path = sys.argv[1:4]
+
+micro = json.load(open(micro_path))
+bench_ns = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    bench_ns[b["name"]] = b["real_time"]  # already ns (time_unit default)
+
+pairs = {}
+for name, ns in sorted(bench_ns.items()):
+    if not name.startswith("BM_Naive"):
+        continue
+    kernel_name = name.replace("BM_Naive", "BM_Kernel", 1)
+    if kernel_name not in bench_ns:
+        continue
+    pairs[name.removeprefix("BM_Naive")] = {
+        "naive_ns_per_op": round(ns, 2),
+        "kernel_ns_per_op": round(bench_ns[kernel_name], 2),
+        "speedup": round(ns / bench_ns[kernel_name], 3),
+    }
+
+trace = json.load(open(trace_path))
+iters = [
+    e["args"]["wall_seconds"]
+    for e in trace.get("traceEvents", [])
+    if e.get("name") == "spca.em_iteration" and "wall_seconds" in e.get("args", {})
+]
+
+result = {
+    "schema": "spca.bench_kernels.v1",
+    "workload": {
+        "micro": "bench_micro_linalg --benchmark_filter=Naive|Kernel",
+        "end_to_end": ("spca_cli --generate=tweets --rows=2000 --cols=300 "
+                       "--components=10 --iterations=3 --target=2.0"),
+    },
+    "kernel_pairs": pairs,
+    "end_to_end": {
+        "em_iterations": len(iters),
+        "wall_seconds_per_iteration": [round(w, 6) for w in iters],
+        "wall_seconds_total": round(sum(iters), 6),
+    },
+}
+
+# The headline gate: the hot-path shapes (d=50 sparse row product, the
+# XtX rank-1 update) must hold >= 2x over the pre-kernel scalar loops.
+headline = {k: v["speedup"] for k, v in pairs.items()
+            if k in ("SparseRowDense/100", "Rank1Update/50")}
+result["headline_speedups"] = headline
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+for k, v in pairs.items():
+    print(f"  {k:28s} naive {v['naive_ns_per_op']:>10.1f} ns  "
+          f"kernel {v['kernel_ns_per_op']:>10.1f} ns  {v['speedup']:.2f}x")
+low = {k: s for k, s in headline.items() if s < 2.0}
+if low:
+    print(f"WARNING: headline kernels below 2x: {low}")
+    sys.exit(1)
+EOF
