@@ -16,13 +16,32 @@ constexpr const char* kBenchUsage =
     "  --metrics            print the metrics table after the bench\n"
     "  --trace-out FILE     write a Chrome trace (chrome://tracing) at exit\n"
     "  --trace-stream FILE  stream spans as JSON lines while running\n"
-    "  --flush-every N      streaming flush window in jobs (default 32)\n";
+    "  --flush-every N      streaming flush window in jobs (default 32)\n"
+    "  --fault-rate P       deterministic task failure probability\n"
+    "  --straggler-rate P   straggler probability\n"
+    "  --straggler-slowdown F  straggler compute multiplier (default 4)\n"
+    "  --max-retries N      retries per task (default 3)\n"
+    "  --retry-backoff SEC  rescheduling delay charged per retry\n"
+    "  --fault-seed N       seed of the fault schedule\n";
+
+// Installed by BenchEnv from the fault flags; consulted by every Run*
+// helper (results are bit-identical either way — only the charged
+// recovery cost changes).
+dist::FaultPlan g_fault_plan;
+
+// Applies the bench-wide fault plan to a freshly constructed engine.
+void ApplyBenchFaults(dist::Engine* engine) {
+  if (g_fault_plan.active()) engine->SetFaultPlan(g_fault_plan);
+}
 
 }  // namespace
+
+const dist::FaultPlan& BenchFaultPlan() { return g_fault_plan; }
 
 BenchEnv::BenchEnv(int argc, char** argv) {
   std::string stream_path;
   size_t flush_every = obs::TraceStreamer::kDefaultFlushEveryJobs;
+  dist::FaultSpec fault_spec;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     // Accepts --flag=value and --flag value; returns false when `arg` is a
@@ -58,11 +77,56 @@ BenchEnv::BenchEnv(int argc, char** argv) {
         std::exit(2);
       }
       flush_every = static_cast<size_t>(n);
+    } else if (take_value("--fault-rate", &value)) {
+      fault_spec.task_failure_probability = std::atof(value.c_str());
+      if (fault_spec.task_failure_probability < 0.0 ||
+          fault_spec.task_failure_probability >= 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1)\n");
+        std::exit(2);
+      }
+    } else if (take_value("--straggler-rate", &value)) {
+      fault_spec.straggler_probability = std::atof(value.c_str());
+      if (fault_spec.straggler_probability < 0.0 ||
+          fault_spec.straggler_probability > 1.0) {
+        std::fprintf(stderr, "--straggler-rate must be in [0, 1]\n");
+        std::exit(2);
+      }
+    } else if (take_value("--straggler-slowdown", &value)) {
+      fault_spec.straggler_slowdown = std::atof(value.c_str());
+      if (fault_spec.straggler_slowdown < 1.0) {
+        std::fprintf(stderr, "--straggler-slowdown must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (take_value("--max-retries", &value)) {
+      const long retries = std::atol(value.c_str());
+      if (retries < 0) {
+        std::fprintf(stderr, "--max-retries must be non-negative\n");
+        std::exit(2);
+      }
+      fault_spec.max_task_attempts = 1 + static_cast<int>(retries);
+    } else if (take_value("--retry-backoff", &value)) {
+      fault_spec.retry_backoff_sec = std::atof(value.c_str());
+      if (fault_spec.retry_backoff_sec < 0.0) {
+        std::fprintf(stderr, "--retry-backoff must be non-negative\n");
+        std::exit(2);
+      }
+    } else if (take_value("--fault-seed", &value)) {
+      fault_spec.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n%s",
                    std::string(arg).c_str(), kBenchUsage);
       std::exit(2);
     }
+  }
+  g_fault_plan = dist::FaultPlan(fault_spec);
+  if (g_fault_plan.active()) {
+    std::printf(
+        "[fault injection: rate %.3g, straggler %.3g x%.3g, max retries %d, "
+        "seed %llu — results identical, recovery cost charged]\n",
+        fault_spec.task_failure_probability,
+        fault_spec.straggler_probability, fault_spec.straggler_slowdown,
+        fault_spec.max_task_attempts - 1,
+        static_cast<unsigned long long>(fault_spec.seed));
   }
   if (!stream_path.empty()) {
     streamer_ = std::make_unique<obs::TraceStreamer>(&registry_, flush_every);
@@ -137,6 +201,7 @@ RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
   if (smart_guess) outcome.algorithm = "sPCA-SG";
 
   dist::Engine engine(PaperSpec(), mode, registry);
+  ApplyBenchFaults(&engine);
   core::SpcaOptions options;
   options.num_components = d;
   options.max_iterations = max_iterations;
@@ -167,6 +232,7 @@ RunOutcome RunMahoutPca(const dist::DistMatrix& matrix, size_t d,
   RunOutcome outcome;
   outcome.algorithm = "Mahout-PCA";
   dist::Engine engine(PaperSpec(), dist::EngineMode::kMapReduce, registry);
+  ApplyBenchFaults(&engine);
   baselines::SsvdOptions options;
   options.num_components = d;
   options.max_power_iterations = max_power_iterations;
@@ -194,6 +260,7 @@ RunOutcome RunMllibPca(const dist::DistMatrix& matrix, size_t d,
   RunOutcome outcome;
   outcome.algorithm = "MLlib-PCA";
   dist::Engine engine(PaperSpec(), dist::EngineMode::kSpark, registry);
+  ApplyBenchFaults(&engine);
   baselines::CovEigOptions options;
   options.num_components = d;
   // Keep the stand-in subspace iteration affordable on one machine; the

@@ -12,6 +12,7 @@
 #include "core/spca.h"
 #include "dist/cluster_spec.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
 #include "dist/replay.h"
 #include "obs/stream.h"
 #include "workload/datasets.h"
@@ -25,6 +26,16 @@ namespace spca::bench {
 ///   --trace-out=FILE       write a Chrome trace (all spans) at exit
 ///   --trace-stream=FILE    stream spans as JSON lines while running
 ///   --flush-every=N        streaming flush window in jobs (default 32)
+///   --fault-rate=P         deterministic task failure probability
+///   --straggler-rate=P     straggler probability (slowdown via
+///   --straggler-slowdown=F, default 4)
+///   --max-retries=N        retries per task (default 3)
+///   --retry-backoff=SEC    rescheduling delay charged per retry
+///   --fault-seed=N         seed of the fault schedule
+/// The fault flags install a process-wide FaultPlan (BenchFaultPlan())
+/// that every Run* helper's engine consults, so a whole bench can be
+/// re-run under injected failures; results stay bit-identical, only the
+/// simulated times move.
 /// Both `--flag value` and `--flag=value` spellings work; an unknown flag
 /// prints usage and exits with status 2. With --trace-stream active, spans
 /// are drained out of the registry as the bench runs, so a simultaneous
@@ -56,6 +67,12 @@ class BenchEnv {
 /// 32 GB each. All simulated times in the benchmark output assume this
 /// cluster unless a bench says otherwise.
 dist::ClusterSpec PaperSpec();
+
+/// The fault plan installed by BenchEnv's --fault-rate/--straggler-rate
+/// family of flags (inactive by default). Run* helpers apply it to the
+/// engines they construct; benches building their own engines should do
+/// the same via Engine::SetFaultPlan.
+const dist::FaultPlan& BenchFaultPlan();
 
 /// Scale factor for the synthetic datasets, settable via the environment
 /// variable SPCA_BENCH_SCALE (default 1.0). 2.0 doubles row counts.

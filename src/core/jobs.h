@@ -7,6 +7,14 @@
 
 namespace spca::core {
 
+// Purity contract: every task function these jobs submit to
+// Engine::RunMap must depend only on its partition and the broadcast
+// inputs — no mutable shared state, no ambient randomness. The
+// fault-injection layer (dist/fault.h) re-executes failed attempts of the
+// same partition function and discards all but the final attempt, so any
+// hidden state would make recovery observable; purity is what keeps
+// faulted runs bit-identical to clean ones (asserted by the chaos suite).
+
 /// Per-iteration optimization toggles threaded through the distributed
 /// jobs (see SpcaOptions for semantics).
 struct JobToggles {

@@ -7,7 +7,7 @@
 namespace spca::dist {
 
 std::string CommStats::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "jobs=%llu sim=%s wall=%.2fs intermediate=%s broadcast=%s "
                 "result=%s flops=%s",
@@ -17,7 +17,14 @@ std::string CommStats::ToString() const {
                 HumanBytes(static_cast<double>(broadcast_bytes)).c_str(),
                 HumanBytes(static_cast<double>(result_bytes)).c_str(),
                 HumanCount(task_flops + driver_flops).c_str());
-  return buf;
+  std::string out = buf;
+  if (task_retries > 0 || straggler_tasks > 0) {
+    std::snprintf(buf, sizeof(buf), " retries=%llu stragglers=%llu",
+                  static_cast<unsigned long long>(task_retries),
+                  static_cast<unsigned long long>(straggler_tasks));
+    out += buf;
+  }
+  return out;
 }
 
 CommStats StatsDiff(const CommStats& after, const CommStats& before) {
@@ -29,6 +36,8 @@ CommStats StatsDiff(const CommStats& after, const CommStats& before) {
   diff.task_flops = after.task_flops - before.task_flops;
   diff.driver_flops = after.driver_flops - before.driver_flops;
   diff.jobs_launched = after.jobs_launched - before.jobs_launched;
+  diff.task_retries = after.task_retries - before.task_retries;
+  diff.straggler_tasks = after.straggler_tasks - before.straggler_tasks;
   diff.simulated_seconds = after.simulated_seconds - before.simulated_seconds;
   diff.wall_seconds = after.wall_seconds - before.wall_seconds;
   return diff;

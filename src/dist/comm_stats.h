@@ -25,6 +25,12 @@ struct CommStats {
   uint64_t driver_flops = 0;
   /// Number of distributed jobs launched.
   uint64_t jobs_launched = 0;
+  /// Failed task attempts re-executed by the fault-injection layer; their
+  /// compute and re-shipped bytes are already folded into task_flops /
+  /// intermediate_bytes / result_bytes above.
+  uint64_t task_retries = 0;
+  /// Tasks whose committing attempt ran at the straggler slowdown.
+  uint64_t straggler_tasks = 0;
 
   /// Modeled cluster time (seconds) — see dist::Engine for the model.
   double simulated_seconds = 0.0;
@@ -43,6 +49,8 @@ struct CommStats {
     task_flops += other.task_flops;
     driver_flops += other.driver_flops;
     jobs_launched += other.jobs_launched;
+    task_retries += other.task_retries;
+    straggler_tasks += other.straggler_tasks;
     simulated_seconds += other.simulated_seconds;
     wall_seconds += other.wall_seconds;
   }

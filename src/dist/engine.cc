@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/format.h"
-#include "common/rng.h"
 
 namespace spca::dist {
 
@@ -17,9 +16,21 @@ constexpr const char* kDriverFlops = "engine.driver_flops";
 constexpr const char* kIntermediateBytes = "engine.intermediate_bytes";
 constexpr const char* kBroadcastBytes = "engine.broadcast_bytes";
 constexpr const char* kResultBytes = "engine.result_bytes";
-constexpr const char* kTaskRetries = "engine.task_retries";
 constexpr const char* kSimSeconds = "engine.simulated_seconds";
 constexpr const char* kWallSeconds = "engine.wall_seconds";
+
+// Fault-injection recovery accounting (created only when a plan is
+// active, so fault-free runs keep their metric tables unchanged).
+constexpr const char* kRetryAttempts = "engine.retries.attempts";
+constexpr const char* kRetryTasks = "engine.retries.tasks";
+constexpr const char* kRetryFlops = "engine.retries.flops";
+constexpr const char* kRetryIntermediateBytes =
+    "engine.retries.reshipped_intermediate_bytes";
+constexpr const char* kRetryResultBytes =
+    "engine.retries.reshipped_result_bytes";
+constexpr const char* kRetryBackoffSec = "engine.retries.backoff_sec";
+constexpr const char* kStragglerTasks = "engine.stragglers.tasks";
+constexpr const char* kStragglerExtraFlops = "engine.stragglers.extra_flops";
 
 }  // namespace
 
@@ -39,6 +50,8 @@ CommStats Engine::StatsSnapshot() const {
   snapshot.intermediate_bytes = counter_value(kIntermediateBytes);
   snapshot.broadcast_bytes = counter_value(kBroadcastBytes);
   snapshot.result_bytes = counter_value(kResultBytes);
+  snapshot.task_retries = counter_value(kRetryAttempts);
+  snapshot.straggler_tasks = counter_value(kStragglerTasks);
   const obs::Counter* sim = registry_->FindCounter(kSimSeconds);
   snapshot.simulated_seconds = sim == nullptr ? 0.0 : sim->value();
   const obs::Counter* wall = registry_->FindCounter(kWallSeconds);
@@ -60,6 +73,7 @@ double Engine::SimulatedSeconds() const {
 void Engine::ResetStats() {
   registry_->ResetMetricsWithPrefix("engine.");
   traces_.clear();
+  next_job_index_ = 0;  // fault draws restart with the job numbering
   driver_memory_ = 0;
   peak_driver_memory_ = 0;
   cached_inputs_.clear();
@@ -124,38 +138,47 @@ WorkerPool* Engine::EnsureWorkerPool(size_t num_threads) {
 
 void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
                        const std::vector<TaskContext>& contexts,
+                       const std::vector<TaskFault>& faults,
                        double wall_seconds, obs::Span* span) {
   JobTrace trace;
   trace.name = job.name;
   trace.phase = job.phase;
   trace.num_tasks = contexts.size();
 
+  // Fault recovery accounting: every failed attempt re-paid its task's
+  // compute and re-shipped the bytes it had emitted; stragglers pay the
+  // slowdown on their committing attempt. All of it lands in the same
+  // counters CommStats reads, plus the engine.retries.* /
+  // engine.stragglers.* breakdown.
   uint64_t total_flops = 0;
   uint64_t intermediate = 0;
   uint64_t result = 0;
+  uint64_t reshipped_intermediate = 0;
+  uint64_t reshipped_result = 0;
+  uint64_t straggler_extra_flops = 0;
   trace.task_flops.reserve(contexts.size());
   for (size_t task = 0; task < contexts.size(); ++task) {
     const auto& ctx = contexts[task];
-    // Fault injection: failed attempts are transparently re-executed by
-    // the platform; every retry re-pays the task's compute. The draw is
-    // deterministic in (job index, task index) so runs are reproducible.
-    uint64_t charged_flops = ctx.flops();
-    if (spec_.task_failure_probability > 0.0) {
-      Rng task_rng(0x5ca1ab1eULL ^ (traces_.size() * 0x9e3779b97f4a7c15ULL) ^
-                   task);
-      int attempts = 1;
-      while (attempts < std::max(1, spec_.max_task_attempts) &&
-             task_rng.NextDouble() < spec_.task_failure_probability) {
-        ++attempts;
-      }
-      charged_flops *= attempts;
-      trace.task_retries += attempts - 1;
-    }
+    const TaskFault& fault = faults[task];
+    const uint64_t charged_flops = ChargedTaskFlops(ctx.flops(), fault);
     trace.task_flops.push_back(charged_flops);
     total_flops += charged_flops;
-    intermediate += ctx.intermediate_bytes();
-    result += ctx.result_bytes();
+    const uint64_t extra = static_cast<uint64_t>(fault.extra_attempts);
+    if (extra > 0) {
+      trace.task_retries += extra;
+      trace.retry_flops += ctx.flops() * extra;
+      reshipped_intermediate += ctx.intermediate_bytes() * extra;
+      reshipped_result += ctx.result_bytes() * extra;
+    }
+    if (fault.slowdown > 1.0) {
+      ++trace.straggler_tasks;
+      straggler_extra_flops +=
+          charged_flops - ctx.flops() * extra - ctx.flops();
+    }
+    intermediate += ctx.intermediate_bytes() * (1 + extra);
+    result += ctx.result_bytes() * (1 + extra);
   }
+  trace.backoff_sec = fault_plan_.BackoffSeconds(trace.task_retries);
 
   // MapReduce re-reads the input from the DFS every job; Spark caches the
   // RDD in cluster memory after the first job touches it (unless the job
@@ -170,7 +193,7 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   const JobCost cost = ComputeJobCost(
       spec_, mode_, trace.task_flops, /*flop_scale=*/1.0,
       trace.charged_input_bytes, static_cast<double>(intermediate),
-      static_cast<double>(result));
+      static_cast<double>(result), trace.backoff_sec);
   trace.launch_sec = cost.launch_sec;
   trace.compute_sec = cost.compute_sec;
   trace.data_sec = cost.data_sec;
@@ -179,6 +202,8 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   trace.stats.task_flops = total_flops;
   trace.stats.intermediate_bytes = intermediate;
   trace.stats.result_bytes = result;
+  trace.stats.task_retries = trace.task_retries;
+  trace.stats.straggler_tasks = trace.straggler_tasks;
   trace.stats.wall_seconds = wall_seconds;
   trace.stats.simulated_seconds = cost.Total();
 
@@ -189,10 +214,28 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   registry_->counter(kIntermediateBytes)
       ->Add(static_cast<double>(intermediate));
   registry_->counter(kResultBytes)->Add(static_cast<double>(result));
-  registry_->counter(kTaskRetries)
-      ->Add(static_cast<double>(trace.task_retries));
   registry_->counter(kSimSeconds)->Add(cost.Total());
   registry_->counter(kWallSeconds)->Add(wall_seconds);
+  if (fault_plan_.active()) {
+    size_t retried_tasks = 0;
+    for (const TaskFault& fault : faults) {
+      if (fault.extra_attempts > 0) ++retried_tasks;
+    }
+    registry_->counter(kRetryAttempts)
+        ->Add(static_cast<double>(trace.task_retries));
+    registry_->counter(kRetryTasks)->Add(static_cast<double>(retried_tasks));
+    registry_->counter(kRetryFlops)
+        ->Add(static_cast<double>(trace.retry_flops));
+    registry_->counter(kRetryIntermediateBytes)
+        ->Add(static_cast<double>(reshipped_intermediate));
+    registry_->counter(kRetryResultBytes)
+        ->Add(static_cast<double>(reshipped_result));
+    registry_->counter(kRetryBackoffSec)->Add(trace.backoff_sec);
+    registry_->counter(kStragglerTasks)
+        ->Add(static_cast<double>(trace.straggler_tasks));
+    registry_->counter(kStragglerExtraFlops)
+        ->Add(static_cast<double>(straggler_extra_flops));
+  }
 
   // Per-job distributions (the Section 5.2 per-job breakdown).
   registry_->histogram("engine.job.launch_sec")->Observe(cost.launch_sec);
@@ -217,6 +260,16 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
     span->SetAttribute("retries", static_cast<uint64_t>(trace.task_retries));
     span->SetAttribute("sim_seconds", cost.Total());
     if (!job.phase.empty()) span->SetAttribute("phase", job.phase);
+    if (fault_plan_.active()) {
+      span->SetAttribute("fault.retries",
+                         static_cast<uint64_t>(trace.task_retries));
+      span->SetAttribute("fault.retry_flops", trace.retry_flops);
+      span->SetAttribute("fault.reshipped_bytes",
+                         reshipped_intermediate + reshipped_result);
+      span->SetAttribute("fault.straggler_tasks",
+                         static_cast<uint64_t>(trace.straggler_tasks));
+      span->SetAttribute("fault.backoff_sec", trace.backoff_sec);
+    }
 
     double cursor = sim_before;
     registry_->AddCompleteSpan("launch", "sim_phase", obs::Track::kSim,

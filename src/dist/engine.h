@@ -15,6 +15,7 @@
 #include "dist/cluster_spec.h"
 #include "dist/comm_stats.h"
 #include "dist/dist_matrix.h"
+#include "dist/fault.h"
 #include "dist/job_desc.h"
 #include "dist/replay.h"
 #include "dist/worker_pool.h"
@@ -72,12 +73,21 @@ class TaskContext {
 /// there is exactly one source of truth.
 class Engine {
  public:
-  /// `registry`, when non-null, must outlive the engine.
+  /// `registry`, when non-null, must outlive the engine. A ClusterSpec
+  /// with task_failure_probability > 0 implicitly installs the equivalent
+  /// failure-only FaultPlan (the legacy knob); SetFaultPlan overrides it.
   explicit Engine(const ClusterSpec& spec, EngineMode mode,
                   obs::Registry* registry = nullptr)
       : spec_(spec),
         mode_(mode),
-        registry_(registry != nullptr ? registry : &owned_registry_) {}
+        registry_(registry != nullptr ? registry : &owned_registry_) {
+    if (spec.task_failure_probability > 0.0) {
+      FaultSpec fault_spec;
+      fault_spec.task_failure_probability = spec.task_failure_probability;
+      fault_spec.max_task_attempts = spec.max_task_attempts;
+      fault_plan_ = FaultPlan(fault_spec);
+    }
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -107,15 +117,33 @@ class Engine {
   /// thread scheduling). Fn: (const RowRange&, TaskContext*) -> T.
   /// `job` carries the name/phase/cacheability; a bare string still works
   /// (JobDesc is implicitly constructible from one).
+  ///
+  /// Fault injection: when a FaultPlan is active, each task's faults are
+  /// drawn on the driver before execution (keyed by job index and task
+  /// index, never by scheduling), failed attempts really re-run the same
+  /// partition function with a scratch TaskContext whose result is
+  /// discarded, and only the final attempt commits into the returned
+  /// vector — exactly once per task. Because partition functions are pure
+  /// (see core/jobs.h), results are bit-identical to a no-fault run; only
+  /// the accounted cost changes.
   template <typename T, typename Fn>
   std::vector<T> RunMap(const JobDesc& job, const DistMatrix& matrix,
                         Fn&& fn) {
     const size_t num_tasks = matrix.num_partitions();
     std::vector<T> results(num_tasks);
     std::vector<TaskContext> contexts(num_tasks);
+    const uint64_t job_index = next_job_index_++;
+    const std::vector<TaskFault> faults =
+        fault_plan_.DrawJob(job_index, num_tasks);
 
     obs::Span span(registry_, job.name, "job");
     Stopwatch wall;
+    auto run_attempt = [&](size_t p, int /*attempt*/, bool is_final) {
+      TaskContext scratch;
+      TaskContext* ctx = is_final ? &contexts[p] : &scratch;
+      T value = fn(matrix.partition(p), ctx);
+      if (is_final) results[p] = std::move(value);
+    };
     const size_t hardware =
         local_workers_ > 0
             ? local_workers_
@@ -123,16 +151,20 @@ class Engine {
     const size_t num_workers = std::min(num_tasks, hardware);
     if (num_workers <= 1) {
       for (size_t p = 0; p < num_tasks; ++p) {
-        results[p] = fn(matrix.partition(p), &contexts[p]);
+        const int attempts = 1 + faults[p].extra_attempts;
+        for (int a = 0; a < attempts; ++a) {
+          run_attempt(p, a, a + 1 == attempts);
+        }
       }
     } else {
       WorkerPool* pool = EnsureWorkerPool(hardware);
-      pool->Run(num_tasks, [&](size_t p) {
-        results[p] = fn(matrix.partition(p), &contexts[p]);
-      });
+      pool->RunAttempts(
+          num_tasks,
+          [&](size_t p) { return 1 + faults[p].extra_attempts; },
+          run_attempt);
     }
 
-    FinishJob(job, matrix, contexts, wall.ElapsedSeconds(), &span);
+    FinishJob(job, matrix, contexts, faults, wall.ElapsedSeconds(), &span);
     return results;
   }
 
@@ -162,16 +194,26 @@ class Engine {
   /// before the first job that would create the pool.
   void SetLocalWorkers(size_t n) { local_workers_ = n; }
 
+  /// Installs the fault-injection plan every subsequent job consults.
+  /// Call before the first job for a reproducible fault schedule (draws
+  /// are keyed by the engine's job counter). Overrides any plan implied by
+  /// ClusterSpec::task_failure_probability; a default-constructed plan
+  /// turns fault injection off.
+  void SetFaultPlan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
  private:
   /// Lazily creates the persistent worker pool and records the spawn /
   /// reuse bookkeeping (engine.pool.* metrics).
   WorkerPool* EnsureWorkerPool(size_t num_threads);
 
-  /// Converts per-task accounting into simulated time, updates the
-  /// registry, and appends the JobTrace snapshot.
+  /// Converts per-task accounting (including `faults` — the retry and
+  /// straggler charges) into simulated time, updates the registry, and
+  /// appends the JobTrace snapshot.
   void FinishJob(const JobDesc& job, const DistMatrix& matrix,
                  const std::vector<TaskContext>& contexts,
-                 double wall_seconds, obs::Span* span);
+                 const std::vector<TaskFault>& faults, double wall_seconds,
+                 obs::Span* span);
 
   ClusterSpec spec_;
   EngineMode mode_;
@@ -183,6 +225,11 @@ class Engine {
   mutable std::mutex stats_mutex_;
   mutable CommStats stats_snapshot_;
   std::vector<JobTrace> traces_;
+  FaultPlan fault_plan_;
+  // Jobs launched since construction / ResetStats — the job index faults
+  // are keyed by, deliberately independent of traces_ so draining traces
+  // could never perturb the fault schedule.
+  uint64_t next_job_index_ = 0;
   size_t local_workers_ = 0;  // 0 = hardware concurrency
   std::unique_ptr<WorkerPool> pool_;
   uint64_t driver_memory_ = 0;

@@ -1,0 +1,55 @@
+#include "dist/fault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spca::dist {
+
+FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec) {
+  SPCA_CHECK_GE(spec_.task_failure_probability, 0.0);
+  SPCA_CHECK_GE(spec_.straggler_probability, 0.0);
+  SPCA_CHECK_GE(spec_.straggler_slowdown, 1.0);
+  SPCA_CHECK_GE(spec_.retry_backoff_sec, 0.0);
+}
+
+TaskFault FaultPlan::Draw(uint64_t job_index, uint64_t task_index) const {
+  TaskFault fault;
+  if (!active()) return fault;
+  // One independent stream per (job, task): the per-task uniforms never
+  // depend on how many draws other tasks consumed, so the schedule is
+  // stable under any execution order. The +1 offsets keep job 0 / task 0
+  // from collapsing onto the bare seed.
+  Rng rng(spec_.seed ^ ((job_index + 1) * 0x9e3779b97f4a7c15ULL) ^
+          ((task_index + 1) * 0xbf58476d1ce4e5b9ULL));
+  const int max_extra = std::max(1, spec_.max_task_attempts) - 1;
+  while (fault.extra_attempts < max_extra &&
+         rng.NextDouble() < spec_.task_failure_probability) {
+    ++fault.extra_attempts;
+  }
+  if (spec_.straggler_probability > 0.0 &&
+      rng.NextDouble() < spec_.straggler_probability) {
+    fault.slowdown = spec_.straggler_slowdown;
+  }
+  return fault;
+}
+
+std::vector<TaskFault> FaultPlan::DrawJob(uint64_t job_index,
+                                          size_t num_tasks) const {
+  std::vector<TaskFault> faults(num_tasks);
+  if (!active()) return faults;
+  for (size_t task = 0; task < num_tasks; ++task) {
+    faults[task] = Draw(job_index, task);
+  }
+  return faults;
+}
+
+uint64_t ChargedTaskFlops(uint64_t committed_flops, const TaskFault& fault) {
+  const double straggled =
+      static_cast<double>(committed_flops) * fault.slowdown;
+  return static_cast<uint64_t>(straggled + 0.5) +
+         committed_flops * static_cast<uint64_t>(fault.extra_attempts);
+}
+
+}  // namespace spca::dist

@@ -1,0 +1,96 @@
+#ifndef SPCA_DIST_FAULT_H_
+#define SPCA_DIST_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spca::dist {
+
+/// Configuration of the fault-injection layer: how often individual
+/// partition tasks fail (and are re-executed by the platform) or straggle
+/// (run at a fraction of the healthy compute rate). This models the
+/// failure behaviour the paper's platforms provide "for free" (Section 1):
+/// MapReduce re-executes failed/straggler tasks per job, Spark recomputes
+/// lineage — either way the re-execution re-pays the task's compute and
+/// re-ships its output, which is the recovery overhead the engine charges.
+struct FaultSpec {
+  /// Seed of the deterministic fault stream. Two runs with the same seed,
+  /// job sequence, and partition counts see exactly the same faults,
+  /// independent of thread scheduling.
+  uint64_t seed = 0x5ca1ab1eULL;
+
+  /// Probability that any single task attempt fails and must be retried.
+  double task_failure_probability = 0.0;
+
+  /// Hard cap on attempts per task (1 original + retries). Matches the
+  /// platforms' mapred.map.max.attempts / spark.task.maxFailures knobs;
+  /// the final attempt always succeeds in the simulation, so results are
+  /// unaffected by where the cap lands.
+  int max_task_attempts = 4;
+
+  /// Scheduling delay charged per retry (the platform notices the failure,
+  /// reschedules, and re-localizes the split). Added to the job's
+  /// simulated launch time, never to wall time.
+  double retry_backoff_sec = 0.0;
+
+  /// Probability that a task's *successful* attempt runs on a degraded
+  /// executor and takes straggler_slowdown times its healthy compute time.
+  double straggler_probability = 0.0;
+
+  /// Compute-time multiplier for straggler tasks (>= 1).
+  double straggler_slowdown = 4.0;
+
+  bool active() const {
+    return task_failure_probability > 0.0 || straggler_probability > 0.0;
+  }
+};
+
+/// The faults one (job, task) pair experiences: how many attempts fail
+/// before the committing attempt, and how slow the committing attempt is.
+struct TaskFault {
+  int extra_attempts = 0;  // failed attempts before the success
+  double slowdown = 1.0;   // compute multiplier of the successful attempt
+
+  bool clean() const { return extra_attempts == 0 && slowdown == 1.0; }
+};
+
+/// Seeded, deterministic fault schedule. Draw(job, task) is a pure
+/// function of (spec.seed, job index, task index): the engine draws every
+/// task's fault on the driver before the job starts, so worker scheduling
+/// can never change which faults occur, and replay can re-derive the exact
+/// same schedule from the same plan. A default-constructed plan injects
+/// nothing and costs nothing.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+  bool active() const { return spec_.active(); }
+
+  /// The fault assigned to task `task_index` of the `job_index`-th job.
+  TaskFault Draw(uint64_t job_index, uint64_t task_index) const;
+
+  /// Draw() for every task of one job, in task order.
+  std::vector<TaskFault> DrawJob(uint64_t job_index, size_t num_tasks) const;
+
+  /// Total rescheduling delay for `extra_attempts` failed attempts.
+  double BackoffSeconds(uint64_t extra_attempts) const {
+    return spec_.retry_backoff_sec * static_cast<double>(extra_attempts);
+  }
+
+ private:
+  FaultSpec spec_;
+};
+
+/// Simulated compute charged for one task under `fault`: every failed
+/// attempt re-pays the committed attempt's flops at full price, and the
+/// successful attempt pays the straggler slowdown. Shared by live
+/// accounting (Engine::FinishJob) and fault-injecting replay so both
+/// charge identically.
+uint64_t ChargedTaskFlops(uint64_t committed_flops, const TaskFault& fault);
+
+}  // namespace spca::dist
+
+#endif  // SPCA_DIST_FAULT_H_

@@ -8,9 +8,10 @@ namespace spca::dist {
 JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
                        const std::vector<uint64_t>& task_flops,
                        double flop_scale, double input_bytes,
-                       double intermediate_bytes, double result_bytes) {
+                       double intermediate_bytes, double result_bytes,
+                       double backoff_sec) {
   JobCost cost;
-  cost.launch_sec = spec.job_launch_sec(mode);
+  cost.launch_sec = spec.job_launch_sec(mode) + backoff_sec;
 
   // Schedule tasks onto cores (in-order greedy onto the least-loaded core;
   // deterministic and close to LPT for near-equal tasks).
@@ -47,7 +48,39 @@ JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
       trace.charged_input_bytes * scales.input_bytes,
       static_cast<double>(trace.stats.intermediate_bytes) *
           scales.intermediate_bytes,
-      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes);
+      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes,
+      trace.backoff_sec);
+}
+
+JobCost ReplayJobCostWithFaults(const JobTrace& trace,
+                                const ClusterSpec& spec, EngineMode mode,
+                                const ReplayScales& scales,
+                                const FaultPlan& plan, uint64_t job_index) {
+  if (!plan.active()) return ReplayJobCost(trace, spec, mode, scales);
+  std::vector<uint64_t> task_flops;
+  task_flops.reserve(trace.task_flops.size());
+  uint64_t extra_attempts = 0;
+  for (size_t task = 0; task < trace.task_flops.size(); ++task) {
+    const TaskFault fault = plan.Draw(job_index, task);
+    task_flops.push_back(ChargedTaskFlops(trace.task_flops[task], fault));
+    extra_attempts += static_cast<uint64_t>(fault.extra_attempts);
+  }
+  // Failed attempts re-ship their task's output. The trace only records
+  // per-job byte totals, so each retry re-ships the per-task average —
+  // exact when the job's tasks emit uniformly (sPCA's partials all do).
+  const double reship_factor =
+      trace.task_flops.empty()
+          ? 0.0
+          : static_cast<double>(extra_attempts) /
+                static_cast<double>(trace.task_flops.size());
+  return ComputeJobCost(
+      spec, mode, task_flops, scales.flops,
+      trace.charged_input_bytes * scales.input_bytes,
+      static_cast<double>(trace.stats.intermediate_bytes) *
+          scales.intermediate_bytes * (1.0 + reship_factor),
+      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes *
+          (1.0 + reship_factor),
+      trace.backoff_sec + plan.BackoffSeconds(extra_attempts));
 }
 
 double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
@@ -58,8 +91,13 @@ double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
 double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
                  EngineMode mode, const ReplayScales& scales,
                  obs::Registry* registry, double sim_start_sec,
-                 uint64_t parent_span_id) {
-  const JobCost cost = ReplayJobCost(trace, spec, mode, scales);
+                 uint64_t parent_span_id, const FaultPlan* fault_plan,
+                 uint64_t job_index) {
+  const bool injecting = fault_plan != nullptr && fault_plan->active();
+  const JobCost cost =
+      injecting ? ReplayJobCostWithFaults(trace, spec, mode, scales,
+                                          *fault_plan, job_index)
+                : ReplayJobCost(trace, spec, mode, scales);
   if (registry != nullptr) {
     std::vector<obs::Attribute> attrs;
     attrs.push_back({"tasks", static_cast<uint64_t>(trace.num_tasks)});
@@ -69,6 +107,19 @@ double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
     attrs.push_back({"scale_input_bytes", scales.input_bytes});
     attrs.push_back({"scale_intermediate_bytes", scales.intermediate_bytes});
     attrs.push_back({"scale_result_bytes", scales.result_bytes});
+    if (injecting) {
+      uint64_t retries = 0;
+      uint64_t stragglers = 0;
+      for (size_t task = 0; task < trace.task_flops.size(); ++task) {
+        const TaskFault fault = fault_plan->Draw(job_index, task);
+        retries += static_cast<uint64_t>(fault.extra_attempts);
+        if (fault.slowdown > 1.0) ++stragglers;
+      }
+      attrs.push_back({"fault.retries", retries});
+      attrs.push_back({"fault.straggler_tasks", stragglers});
+      attrs.push_back({"fault.backoff_sec",
+                       fault_plan->BackoffSeconds(retries)});
+    }
     const uint64_t job_span = registry->AddCompleteSpan(
         "replay." + trace.name, "replay_job", obs::Track::kSim, sim_start_sec,
         cost.Total(), parent_span_id, std::move(attrs));
@@ -92,7 +143,8 @@ double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
 double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
                  const ClusterSpec& spec, EngineMode mode,
                  const ReplayScalesFn& scales_for_job, obs::Registry* registry,
-                 const std::string& label, double sim_start_sec) {
+                 const std::string& label, double sim_start_sec,
+                 const FaultPlan* fault_plan) {
   // Driver algebra and broadcasts are row-count independent; broadcasts
   // still pay one copy per node of the replay cluster.
   const double driver_sec =
@@ -105,9 +157,15 @@ double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
   std::vector<ReplayScales> scales;
   scales.reserve(traces.size());
   double jobs_sec = 0.0;
-  for (const auto& trace : traces) {
-    scales.push_back(scales_for_job(trace));
-    jobs_sec += ReplayJobSeconds(trace, spec, mode, scales.back());
+  const bool injecting = fault_plan != nullptr && fault_plan->active();
+  for (size_t i = 0; i < traces.size(); ++i) {
+    scales.push_back(scales_for_job(traces[i]));
+    jobs_sec +=
+        injecting
+            ? ReplayJobCostWithFaults(traces[i], spec, mode, scales.back(),
+                                      *fault_plan, i)
+                  .Total()
+            : ReplayJobSeconds(traces[i], spec, mode, scales.back());
   }
   const double total_sec = jobs_sec + driver_sec;
 
@@ -125,7 +183,7 @@ double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
   double cursor = sim_start_sec;
   for (size_t i = 0; i < traces.size(); ++i) {
     cursor += ReplayJob(traces[i], spec, mode, scales[i], registry, cursor,
-                        sweep_span);
+                        sweep_span, fault_plan, i);
   }
   if (registry != nullptr) {
     std::vector<obs::Attribute> attrs;

@@ -8,6 +8,7 @@
 
 #include "dist/cluster_spec.h"
 #include "dist/comm_stats.h"
+#include "dist/fault.h"
 #include "obs/registry.h"
 
 namespace spca::dist {
@@ -24,11 +25,19 @@ struct JobTrace {
   double launch_sec = 0.0;
   double compute_sec = 0.0;  // max-over-cores task compute time
   double data_sec = 0.0;     // input + intermediate + result movement
-  /// Per-task *charged* flop counts (including fault-injection retries),
-  /// for replaying the job under a different ClusterSpec or data scale.
+  /// Per-task *charged* flop counts (including fault-injection retries and
+  /// straggler slowdowns), for replaying the job under a different
+  /// ClusterSpec or data scale.
   std::vector<uint64_t> task_flops;
   /// Number of re-executed task attempts injected by the failure model.
   size_t task_retries = 0;
+  /// Tasks whose committing attempt ran at the straggler slowdown.
+  size_t straggler_tasks = 0;
+  /// Extra worker flops charged for failed attempts (already included in
+  /// task_flops; recorded for recovery-overhead reporting).
+  uint64_t retry_flops = 0;
+  /// Retry rescheduling delay charged into this job's launch time.
+  double backoff_sec = 0.0;
   /// Input bytes actually charged for this job (0 when the input RDD was
   /// already cached in cluster memory).
   double charged_input_bytes = 0.0;
@@ -58,15 +67,37 @@ struct JobCost {
 /// The cluster cost model, shared by live accounting (Engine::FinishJob)
 /// and trace replay — the replay-equals-live identity the validation tests
 /// assert depends on both paths calling exactly this function.
+/// `backoff_sec` is the fault layer's retry rescheduling delay; it is added
+/// to the job's launch time (a retry stalls the job, it does not move
+/// data).
 JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
                        const std::vector<uint64_t>& task_flops,
                        double flop_scale, double input_bytes,
-                       double intermediate_bytes, double result_bytes);
+                       double intermediate_bytes, double result_bytes,
+                       double backoff_sec = 0.0);
 
 /// Recomputes one recorded job's cost under a (possibly different) cluster
-/// and engine mode, with the given scale multipliers.
+/// and engine mode, with the given scale multipliers. Fault charges the
+/// live run recorded (retry flops, re-shipped bytes, backoff) replay
+/// as-is, so unit-scale replay of a faulted run reproduces its cost.
 JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
                       EngineMode mode, const ReplayScales& scales);
+
+/// ReplayJobCost with *additional* fault injection: applies `plan`'s
+/// deterministic per-task draws (keyed by `job_index`, matching the
+/// engine's own job numbering) to the recorded job — failed attempts
+/// re-pay each task's recorded compute and re-ship the job's per-task
+/// average intermediate/result bytes, stragglers slow their task, and
+/// retry backoff is added to launch. Meant for injecting hypothetical
+/// faults into a *clean* recorded run ("what does a 2% failure rate cost
+/// at a billion rows"); injecting into an already-faulted trace charges
+/// the recorded and the injected faults both. For jobs whose tasks emit
+/// uniform byte counts this reproduces exactly what a live run under the
+/// same plan would charge.
+JobCost ReplayJobCostWithFaults(const JobTrace& trace,
+                                const ClusterSpec& spec, EngineMode mode,
+                                const ReplayScales& scales,
+                                const FaultPlan& plan, uint64_t job_index);
 
 /// ReplayJobCost(...).Total() — the historical scalar entry point.
 double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
@@ -80,11 +111,15 @@ double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
 /// extrapolation is inspectable in chrome://tracing exactly like the run it
 /// was replayed from. Fires the registry's job-completion hook, so a
 /// streaming exporter drains replayed spans at its usual cadence. Returns
-/// the job's replayed seconds.
+/// the job's replayed seconds. A non-null `fault_plan` injects that plan's
+/// faults (see ReplayJobCostWithFaults); the span then carries fault.*
+/// attributes describing the injected recovery overhead.
 double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
                  EngineMode mode, const ReplayScales& scales,
                  obs::Registry* registry, double sim_start_sec,
-                 uint64_t parent_span_id = 0);
+                 uint64_t parent_span_id = 0,
+                 const FaultPlan* fault_plan = nullptr,
+                 uint64_t job_index = 0);
 
 /// Chooses the scale multipliers for one recorded job (jobs differ: e.g.
 /// reduce-side intermediate data may not grow with the row count).
@@ -96,12 +131,17 @@ using ReplayScalesFn = std::function<ReplayScales(const JobTrace&)>;
 /// `registry` is non-null the sweep is emitted as a `replay.<label>` span
 /// tree on the simulated-time track starting at `sim_start_sec`, with one
 /// ReplayJob span per job and a final `replay.driver` span for the tail.
+/// A non-null `fault_plan` injects that plan's faults into every replayed
+/// job, numbering jobs by their position in `traces` — the same numbering
+/// a live engine would use — so a replayed sweep answers what a given
+/// failure/straggler rate costs at any scale.
 double ReplayRun(const std::vector<JobTrace>& traces, const CommStats& stats,
                  const ClusterSpec& spec, EngineMode mode,
                  const ReplayScalesFn& scales_for_job,
                  obs::Registry* registry = nullptr,
                  const std::string& label = "sweep",
-                 double sim_start_sec = 0.0);
+                 double sim_start_sec = 0.0,
+                 const FaultPlan* fault_plan = nullptr);
 
 }  // namespace spca::dist
 

@@ -40,6 +40,22 @@ void WorkerPool::Run(size_t num_tasks, const std::function<void(size_t)>& fn) {
   fn_ = nullptr;
 }
 
+void WorkerPool::RunAttempts(size_t num_tasks,
+                             const std::function<int(size_t)>& attempts,
+                             const std::function<void(size_t, int, bool)>& fn) {
+  if (num_tasks == 0) return;
+  // The attempt loop rides on the plain task queue: the claiming worker
+  // re-runs its task inline until the final attempt, so retry scheduling
+  // adds no pool state and inherits Run()'s completion barrier.
+  const std::function<void(size_t)> task_fn = [&](size_t task) {
+    const int total = std::max(1, attempts(task));
+    for (int attempt = 0; attempt < total; ++attempt) {
+      fn(task, attempt, attempt + 1 == total);
+    }
+  };
+  Run(num_tasks, task_fn);
+}
+
 void WorkerPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {

@@ -39,6 +39,19 @@ class WorkerPool {
   /// outputs stay task-ordered and deterministic either way.
   void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
 
+  /// Run() with task-level retry, for the fault-injection layer: each task
+  /// is invoked `attempts(task)` times (at least once) as
+  /// `fn(task, attempt, is_final)` with attempt = 0 .. attempts-1 and
+  /// is_final true exactly on the last invocation. All attempts of one
+  /// task run serially on the worker that claimed it — a re-executed
+  /// attempt never overlaps an earlier attempt of the same task, exactly
+  /// like a platform rescheduling a failed partition — so a caller that
+  /// commits results only when is_final is set gets exactly-once
+  /// commitment with no synchronization beyond the pool's own barrier.
+  void RunAttempts(size_t num_tasks,
+                   const std::function<int(size_t)>& attempts,
+                   const std::function<void(size_t, int, bool)>& fn);
+
  private:
   void WorkerLoop();
 

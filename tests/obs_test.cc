@@ -11,6 +11,7 @@
 
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
 #include "dist/worker_pool.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -416,6 +417,84 @@ TEST(ObsEngineTest, CommStatsAndJobTracesMatchRegistryCounters) {
   const Histogram* compute = registry->FindHistogram("engine.job.compute_sec");
   ASSERT_NE(compute, nullptr);
   EXPECT_EQ(compute->count(), stats.jobs_launched);
+}
+
+// The registry==CommStats identity must survive task re-execution: with an
+// active FaultPlan the engine re-runs failed attempts and charges retry
+// flops / re-shipped bytes, and everything StatsSnapshot() reports — the
+// fault fields included — must still equal the registry counters, with the
+// trace sums agreeing in turn.
+TEST(ObsEngineTest, CommStatsMatchRegistryCountersUnderReExecution) {
+  const DistMatrix y = SmallData(150, 12, 2);
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  engine.SetLocalWorkers(3);  // route jobs through the worker pool
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 17;
+  fault_spec.task_failure_probability = 0.4;
+  fault_spec.straggler_probability = 0.3;
+  fault_spec.retry_backoff_sec = 0.25;
+  engine.SetFaultPlan(dist::FaultPlan(fault_spec));
+
+  core::SpcaOptions options;
+  options.num_components = 3;
+  options.max_iterations = 4;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  auto result = core::Spca(&engine, options).Fit(y);
+  ASSERT_TRUE(result.ok());
+
+  const Registry* registry = engine.registry();
+  const dist::CommStats stats = engine.StatsSnapshot();
+  auto counter = [&](const char* name) {
+    const Counter* c = registry->FindCounter(name);
+    return c == nullptr ? 0.0 : c->value();
+  };
+  // Re-execution must actually have happened for this test to mean
+  // anything (rate 0.4 across 4 iterations' jobs always fires).
+  EXPECT_GT(stats.task_retries, 0u);
+  EXPECT_EQ(stats.task_retries,
+            static_cast<uint64_t>(counter("engine.retries.attempts")));
+  EXPECT_EQ(stats.straggler_tasks,
+            static_cast<uint64_t>(counter("engine.stragglers.tasks")));
+  EXPECT_EQ(stats.jobs_launched,
+            static_cast<uint64_t>(counter("engine.jobs_launched")));
+  EXPECT_EQ(stats.task_flops,
+            static_cast<uint64_t>(counter("engine.task_flops")));
+  EXPECT_EQ(stats.intermediate_bytes,
+            static_cast<uint64_t>(counter("engine.intermediate_bytes")));
+  EXPECT_EQ(stats.result_bytes,
+            static_cast<uint64_t>(counter("engine.result_bytes")));
+  EXPECT_DOUBLE_EQ(stats.simulated_seconds,
+                   counter("engine.simulated_seconds"));
+
+  // Retry breakdown: attempts land per-task, the distinct-task counter
+  // can only be smaller, and the re-shipped share never exceeds the total
+  // shipped bytes.
+  EXPECT_LE(counter("engine.retries.tasks"),
+            counter("engine.retries.attempts"));
+  EXPECT_LE(counter("engine.retries.reshipped_intermediate_bytes"),
+            counter("engine.intermediate_bytes"));
+  EXPECT_LE(counter("engine.retries.reshipped_result_bytes"),
+            counter("engine.result_bytes"));
+  EXPECT_DOUBLE_EQ(counter("engine.retries.backoff_sec"),
+                   fault_spec.retry_backoff_sec *
+                       counter("engine.retries.attempts"));
+
+  // Trace sums reproduce the counters even though tasks ran 1 + extra
+  // times: the fault fields ride in each JobTrace's stats.
+  dist::CommStats from_traces;
+  for (const auto& trace : engine.traces()) from_traces.Add(trace.stats);
+  EXPECT_EQ(from_traces.jobs_launched, stats.jobs_launched);
+  EXPECT_EQ(from_traces.task_flops, stats.task_flops);
+  EXPECT_EQ(from_traces.intermediate_bytes, stats.intermediate_bytes);
+  EXPECT_EQ(from_traces.result_bytes, stats.result_bytes);
+  EXPECT_EQ(from_traces.task_retries, stats.task_retries);
+  EXPECT_EQ(from_traces.straggler_tasks, stats.straggler_tasks);
+
+  // The pool gauge reflects the worker override, re-execution or not.
+  const Gauge* threads = registry->FindGauge("engine.pool.threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_DOUBLE_EQ(threads->value(), 3.0);
 }
 
 TEST(ObsEngineTest, EmIterationSpansArePresentAndNested) {

@@ -18,6 +18,7 @@
 
 #include "dist/dist_matrix.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
 #include "dist/worker_pool.h"
 #include "linalg/sparse_matrix.h"
 #include "obs/registry.h"
@@ -74,6 +75,101 @@ TEST(PoolStress, ChunkedClaimingCoversRaggedTaskCounts) {
           << "tasks=" << tasks << " task=" << task;
     }
   }
+}
+
+// RunAttempts under the same hammer: attempts of one task must serialize
+// (a retry never overlaps an earlier attempt of its own task), the final
+// attempt must come last, and commitment is exactly-once — all visible to
+// TSan through the non-atomic per-task scratch each attempt writes.
+TEST(PoolStress, RetryAttemptsSerializePerTask) {
+  WorkerPool pool(4);
+  constexpr size_t kJobs = 100;
+  constexpr size_t kTasks = 64;
+  for (size_t job = 0; job < kJobs; ++job) {
+    // Non-atomic per-task state: safe exactly because all attempts of a
+    // task run serially on one worker. TSan flags any violation.
+    std::vector<int> scratch(kTasks, 0);
+    std::vector<int> committed(kTasks, -1);
+    std::vector<std::atomic<int>> finals(kTasks);
+    for (auto& f : finals) f.store(0, std::memory_order_relaxed);
+    const auto attempts = [&](size_t task) {
+      return 1 + static_cast<int>((task + job) % 4);
+    };
+    pool.RunAttempts(kTasks, attempts,
+                     [&](size_t task, int attempt, bool is_final) {
+                       ASSERT_EQ(scratch[task], attempt);
+                       ++scratch[task];
+                       if (is_final) {
+                         finals[task].fetch_add(1, std::memory_order_relaxed);
+                         committed[task] = attempt;
+                       }
+                     });
+    for (size_t task = 0; task < kTasks; ++task) {
+      ASSERT_EQ(scratch[task], attempts(task)) << "task " << task;
+      ASSERT_EQ(finals[task].load(std::memory_order_relaxed), 1);
+      ASSERT_EQ(committed[task], attempts(task) - 1);
+    }
+  }
+}
+
+// An engine running fault-injected jobs (real re-execution through the
+// pool) while a monitor thread concurrently polls StatsSnapshot() — the
+// retry counters are atomics like everything else and must never go
+// backwards or tear.
+TEST(PoolStress, ConcurrentSnapshotsDuringFaultRetries) {
+  workload::BagOfWordsConfig config;
+  config.rows = 400;
+  config.vocab = 120;
+  config.words_per_row = 6;
+  config.seed = 11;
+  const DistMatrix matrix =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 8);
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  engine.SetLocalWorkers(4);
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 23;
+  fault_spec.task_failure_probability = 0.45;
+  fault_spec.straggler_probability = 0.2;
+  const dist::FaultPlan plan(fault_spec);
+  engine.SetFaultPlan(plan);
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    uint64_t last_retries = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const dist::CommStats snap = engine.StatsSnapshot();
+      ASSERT_GE(snap.task_retries, last_retries);
+      last_retries = snap.task_retries;
+    }
+  });
+
+  constexpr size_t kJobs = 60;
+  for (size_t job = 0; job < kJobs; ++job) {
+    const auto partials = engine.RunMap<uint64_t>(
+        "retry_stress", matrix,
+        [&](const dist::RowRange& range, TaskContext* ctx) -> uint64_t {
+          ctx->CountFlops(500);
+          return range.end - range.begin;
+        });
+    uint64_t total_rows = 0;
+    for (const uint64_t partial : partials) total_rows += partial;
+    ASSERT_EQ(total_rows, matrix.rows());
+  }
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  // The final counters equal the deterministic schedule, scheduling and
+  // monitor interleaving notwithstanding.
+  uint64_t expected_retries = 0;
+  for (size_t job = 0; job < kJobs; ++job) {
+    for (const dist::TaskFault& fault :
+         plan.DrawJob(job, matrix.num_partitions())) {
+      expected_retries += static_cast<uint64_t>(fault.extra_attempts);
+    }
+  }
+  EXPECT_GT(expected_retries, 0u);
+  EXPECT_EQ(engine.StatsSnapshot().task_retries, expected_retries);
 }
 
 TEST(PoolStress, ConcurrentStatsSnapshotsDuringJobs) {

@@ -11,14 +11,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
 #include "obs/export.h"
 #include "obs/trace_file.h"
 #include "workload/synthetic.h"
@@ -92,6 +95,88 @@ TEST(TraceGolden, FitSpanSchemaMatchesGolden) {
   EXPECT_EQ(schema, golden.str())
       << "trace schema drifted from the checked-in golden; if the change "
          "is intentional, regenerate with SPCA_REGENERATE_GOLDEN=1";
+}
+
+// Same fit with a deterministic FaultPlan active: the schema additionally
+// locks the sorted fault.* attribute keys each span carries, so renaming or
+// dropping a recovery attribute (fault.retries, fault.backoff_sec, ...)
+// breaks the golden. Regenerate tests/golden/spca_trace_schema_faulted.golden
+// with SPCA_REGENERATE_GOLDEN=1 after intentional changes.
+TEST(TraceGolden, FaultedFitSpanSchemaMatchesGolden) {
+  workload::BagOfWordsConfig config;
+  config.rows = 240;
+  config.vocab = 60;
+  config.words_per_row = 5;
+  config.seed = 5;
+  const DistMatrix matrix =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 3);
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  engine.SetLocalWorkers(1);
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 13;
+  fault_spec.task_failure_probability = 0.35;
+  fault_spec.straggler_probability = 0.3;
+  fault_spec.retry_backoff_sec = 0.25;
+  engine.SetFaultPlan(dist::FaultPlan(fault_spec));
+
+  core::SpcaOptions options;
+  options.num_components = 3;
+  options.max_iterations = 2;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = true;
+  options.ideal_error_override = 1.0;
+  options.seed = 7;
+  auto fit = core::Spca(&engine, options).Fit(matrix);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+  auto parsed = obs::ParseTrace(obs::ChromeTraceJson(*engine.registry()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  // The plain schema plus, per span, its sorted fault.* attribute keys.
+  std::string schema;
+  const std::function<void(uint64_t, int)> visit = [&](uint64_t parent,
+                                                       int depth) {
+    for (const ParsedSpan* span : parsed.value().ChildrenOf(parent)) {
+      schema.append(static_cast<size_t>(depth) * 2, ' ');
+      schema += span->name + " [" + span->category + "] " +
+                (span->track == obs::Track::kSim ? "sim" : "wall");
+      std::vector<std::string> fault_keys;
+      for (const obs::Attribute& attr : span->attributes) {
+        if (attr.key.rfind("fault.", 0) == 0) fault_keys.push_back(attr.key);
+      }
+      std::sort(fault_keys.begin(), fault_keys.end());
+      for (const std::string& key : fault_keys) schema += " " + key;
+      schema += "\n";
+      visit(span->id, depth + 1);
+    }
+  };
+  visit(0, 0);
+  ASSERT_FALSE(schema.empty());
+  // Every engine job span must carry the full fault.* attribute set when a
+  // plan is active — spot-check before the byte comparison so a failure
+  // reads clearly.
+  EXPECT_NE(schema.find("fault.retries"), std::string::npos);
+  EXPECT_NE(schema.find("fault.backoff_sec"), std::string::npos);
+
+  const std::string golden_path = std::string(SPCA_TEST_SRCDIR) +
+                                  "/golden/spca_trace_schema_faulted.golden";
+  if (std::getenv("SPCA_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << schema;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with SPCA_REGENERATE_GOLDEN=1 to create)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(schema, golden.str())
+      << "faulted trace schema drifted from the checked-in golden; if the "
+         "change is intentional, regenerate with SPCA_REGENERATE_GOLDEN=1";
 }
 
 }  // namespace

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Runs the kernel-layer micro benchmarks (naive-vs-kernel pairs in
-# bench_micro_linalg) plus a fixed end-to-end sPCA workload, and emits
-# BENCH_kernels.json recording ns/op for each pair, the speedups, and the
-# per-iteration wall_seconds from the spca.em_iteration spans. The first
-# checked-in BENCH_kernels.json (from the PR that introduced the kernel
-# layer) is the baseline of the perf trajectory.
+# Kernel-layer perf regression gate. Runs the naive-vs-kernel micro
+# benchmark pairs in bench_micro_linalg plus a fixed end-to-end sPCA
+# workload, emits BENCH_kernels.json recording ns/op for each pair, the
+# speedups, and the per-iteration wall_seconds from the spca.em_iteration
+# spans — and exits non-zero when a headline kernel (the d=50 sparse row
+# product, the XtX rank-1 update) falls below 2x over the pre-kernel
+# scalar loops. The first checked-in BENCH_kernels.json (from the PR that
+# introduced the kernel layer) is the baseline of the perf trajectory.
+#
+# Timing on shared CI runners is noisy, so a failed gate re-measures up to
+# BENCH_KERNELS_ATTEMPTS times (default 2) before failing the job.
 #
 # Usage: tools/bench_kernels.sh [build_dir] [output_json]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_kernels.json}"
+ATTEMPTS="${BENCH_KERNELS_ATTEMPTS:-2}"
 cd "$(dirname "$0")/.."
 
 if [[ ! -x "$BUILD_DIR/bench/bench_micro_linalg" ]]; then
@@ -23,18 +29,19 @@ MICRO_JSON="$(mktemp)"
 TRACE_JSON="$(mktemp)"
 trap 'rm -f "$MICRO_JSON" "$TRACE_JSON"' EXIT
 
-"$BUILD_DIR/bench/bench_micro_linalg" \
-  --benchmark_filter='Naive|Kernel' \
-  --benchmark_min_time=0.2 \
-  --benchmark_format=json >"$MICRO_JSON"
+measure_and_gate() {
+  "$BUILD_DIR/bench/bench_micro_linalg" \
+    --benchmark_filter='Naive|Kernel' \
+    --benchmark_min_time=0.2 \
+    --benchmark_format=json >"$MICRO_JSON"
 
-# Fixed end-to-end workload: the tweets-shaped sparse fit the verify drive
-# uses, with wall_seconds read off the spca.em_iteration spans.
-"$BUILD_DIR/tools/spca_cli" --generate=tweets --rows=2000 --cols=300 \
-  --components=10 --iterations=3 --target=2.0 \
-  --trace-out="$TRACE_JSON" >/dev/null
+  # Fixed end-to-end workload: the tweets-shaped sparse fit the verify
+  # drive uses, with wall_seconds read off the spca.em_iteration spans.
+  "$BUILD_DIR/tools/spca_cli" --generate=tweets --rows=2000 --cols=300 \
+    --components=10 --iterations=3 --target=2.0 \
+    --trace-out="$TRACE_JSON" >/dev/null
 
-python3 - "$MICRO_JSON" "$TRACE_JSON" "$OUT" <<'EOF'
+  python3 - "$MICRO_JSON" "$TRACE_JSON" "$OUT" <<'EOF'
 import json
 import sys
 
@@ -98,6 +105,18 @@ for k, v in pairs.items():
           f"kernel {v['kernel_ns_per_op']:>10.1f} ns  {v['speedup']:.2f}x")
 low = {k: s for k, s in headline.items() if s < 2.0}
 if low:
-    print(f"WARNING: headline kernels below 2x: {low}")
+    print(f"GATE FAILED: headline kernels below 2x: {low}")
     sys.exit(1)
 EOF
+}
+
+for attempt in $(seq 1 "$ATTEMPTS"); do
+  if measure_and_gate; then
+    exit 0
+  fi
+  if [[ "$attempt" -lt "$ATTEMPTS" ]]; then
+    echo "headline gate failed (attempt $attempt/$ATTEMPTS); re-measuring..." >&2
+  fi
+done
+echo "headline kernel speedups stayed below 2x after $ATTEMPTS attempts" >&2
+exit 1

@@ -25,6 +25,7 @@
 #include "common/format.h"
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
 #include "dist/replay.h"
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -57,7 +58,19 @@ Algorithm:
 Cluster model:
   --partitions N        row partitions (default 16)
   --nodes N             simulated cluster nodes (default 8, 8 cores each)
-  --failures P          per-task failure probability (default 0)
+
+Fault injection (deterministic; results are bit-identical to a clean run,
+only recovery cost is charged — see DESIGN.md "Fault injection & recovery"):
+  --fault-rate P        per-attempt task failure probability (default 0;
+                        --failures is a legacy alias)
+  --straggler-rate P    probability a task's committing attempt straggles
+  --straggler-slowdown F  straggler compute multiplier (default 4)
+  --max-retries N       retries per task before it must succeed (default 3)
+  --retry-backoff SEC   rescheduling delay charged per retry (default 0)
+  --fault-seed N        seed of the fault schedule (default 0x5ca1ab1e)
+  --replay-faults       keep the live run clean and inject the fault plan
+                        during --replay-rows instead ("what would a 2%%
+                        failure rate cost at a billion rows")
 
 Output:
   --output PATH         write components as text (rows = dimensions)
@@ -109,8 +122,10 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--components", "--iterations", "--target",    "--partitions",
       "--nodes",      "--failures",   "--output",    "--output-bin",
       "--seed",       "--trace-out",  "--trace-stream", "--flush-every",
-      "--replay-rows"};
-  static const char* kFlagsBare[] = {"--smart-guess", "--metrics", "--help"};
+      "--replay-rows", "--fault-rate", "--fault-seed", "--straggler-rate",
+      "--straggler-slowdown", "--max-retries", "--retry-backoff"};
+  static const char* kFlagsBare[] = {"--smart-guess", "--metrics",
+                                     "--replay-faults", "--help"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -324,7 +339,41 @@ int Main(int argc, char** argv) {
 
   spca::dist::ClusterSpec spec;
   spec.num_nodes = static_cast<int>(args->GetInt("--nodes", 8));
-  spec.task_failure_probability = args->GetDouble("--failures", 0.0);
+
+  spca::dist::FaultSpec fault_spec;
+  fault_spec.task_failure_probability =
+      args->GetDouble("--fault-rate", args->GetDouble("--failures", 0.0));
+  fault_spec.straggler_probability = args->GetDouble("--straggler-rate", 0.0);
+  fault_spec.straggler_slowdown =
+      args->GetDouble("--straggler-slowdown", fault_spec.straggler_slowdown);
+  fault_spec.max_task_attempts =
+      1 + static_cast<int>(args->GetInt("--max-retries", 3));
+  fault_spec.retry_backoff_sec = args->GetDouble("--retry-backoff", 0.0);
+  fault_spec.seed = static_cast<uint64_t>(
+      args->GetInt("--fault-seed", static_cast<long>(fault_spec.seed)));
+  if (fault_spec.task_failure_probability < 0.0 ||
+      fault_spec.task_failure_probability >= 1.0 ||
+      fault_spec.straggler_probability < 0.0 ||
+      fault_spec.straggler_probability > 1.0) {
+    std::fprintf(stderr,
+                 "error: --fault-rate must be in [0, 1) and "
+                 "--straggler-rate in [0, 1]\n");
+    return 2;
+  }
+  if (fault_spec.straggler_slowdown < 1.0 ||
+      fault_spec.max_task_attempts < 1 || fault_spec.retry_backoff_sec < 0.0) {
+    std::fprintf(stderr,
+                 "error: --straggler-slowdown must be >= 1, --max-retries and "
+                 "--retry-backoff non-negative\n");
+    return 2;
+  }
+  const spca::dist::FaultPlan fault_plan(fault_spec);
+  const bool replay_faults_only = args->Has("--replay-faults");
+  if (replay_faults_only && !args->Has("--replay-rows")) {
+    std::fprintf(stderr, "error: --replay-faults requires --replay-rows\n");
+    return 2;
+  }
+
   const std::string platform = args->Get("--platform", "spark");
   const spca::dist::EngineMode mode =
       platform == "mapreduce" ? spca::dist::EngineMode::kMapReduce
@@ -347,6 +396,9 @@ int Main(int argc, char** argv) {
     }
   }
   spca::dist::Engine engine(spec, mode, &registry);
+  if (fault_plan.active() && !replay_faults_only) {
+    engine.SetFaultPlan(fault_plan);
+  }
 
   auto model = RunAlgorithm(*args, &engine, matrix.value());
   if (!model.ok()) {
@@ -360,6 +412,17 @@ int Main(int argc, char** argv) {
               spca::HumanSeconds(engine.SimulatedSeconds()).c_str(),
               spec.num_nodes, spca::dist::EngineModeToString(mode));
   std::printf("communication: %s\n", engine.stats().ToString().c_str());
+  if (fault_plan.active() && !replay_faults_only) {
+    const spca::dist::CommStats& stats = engine.stats();
+    std::printf(
+        "fault recovery: %llu task retries, %llu stragglers "
+        "(seed %llu, rate %.3g, straggler rate %.3g)\n",
+        static_cast<unsigned long long>(stats.task_retries),
+        static_cast<unsigned long long>(stats.straggler_tasks),
+        static_cast<unsigned long long>(fault_spec.seed),
+        fault_spec.task_failure_probability,
+        fault_spec.straggler_probability);
+  }
 
   if (args->Has("--replay-rows")) {
     auto row_counts = ParseRowCounts(args->Get("--replay-rows", ""));
@@ -370,7 +433,8 @@ int Main(int argc, char** argv) {
     }
     std::printf(
         "\nreplayed at other row counts (cost model; per-row work and data "
-        "scaled linearly, driver algebra and broadcasts held fixed):\n");
+        "scaled linearly, driver algebra and broadcasts held fixed%s):\n",
+        replay_faults_only ? "; fault plan injected into each replay" : "");
     double cursor = engine.SimulatedSeconds();
     for (const double rows : row_counts.value()) {
       const double scale = rows / static_cast<double>(matrix->rows());
@@ -386,7 +450,8 @@ int Main(int argc, char** argv) {
             scales.result_bytes = 1.0;
             return scales;
           },
-          &registry, label, cursor);
+          &registry, label, cursor,
+          replay_faults_only ? &fault_plan : nullptr);
       cursor += seconds;
       std::printf("  %14.0f rows: %s\n", rows,
                   spca::HumanSeconds(seconds).c_str());
