@@ -1,0 +1,302 @@
+// bench_serve — throughput/latency benchmark of the projection service,
+// emitting BENCH_serve.json (the serving-layer perf baseline; see
+// EXPERIMENTS.md "Serving benchmark").
+//
+// A synthetic model (Gaussian components, deterministic seed) is saved and
+// reloaded through the model file format, then served under a closed-loop
+// load at several concurrency levels plus one open-loop point at the
+// seeded Poisson arrival schedule. Latency percentiles come from the
+// serve.latency_sec fine-bucket histogram — the same numbers spca_serve
+// --metrics prints.
+//
+// Usage: bench_serve [--out FILE] [--duration SEC] [--threads N]
+//                    [--batch-max N] [--dim D] [--components d]
+// (standalone flags; this bench does not use BenchEnv).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "serve/model_io.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+#include "workload/load_gen.h"
+
+namespace {
+
+using spca::obs::JsonNumber;
+
+struct BenchOptions {
+  std::string out = "BENCH_serve.json";
+  double duration_sec = 2.0;
+  size_t threads = 4;
+  size_t batch_max = 64;
+  size_t dim = 2000;
+  size_t components = 50;
+};
+
+struct LoadPoint {
+  std::string mode;  // "closed" | "open"
+  double offered_qps = 0.0;  // open loop only
+  size_t concurrency = 0;    // closed loop only
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+spca::core::PcaModel SyntheticModel(size_t dim, size_t components) {
+  spca::Rng rng(17);
+  spca::core::PcaModel model;
+  model.components =
+      spca::linalg::DenseMatrix::GaussianRandom(dim, components, &rng, 0.1);
+  model.mean = spca::linalg::DenseVector(dim);
+  for (size_t j = 0; j < dim; ++j) model.mean[j] = rng.NextGaussian(0.0, 0.5);
+  model.noise_variance = 0.01;
+  return model;
+}
+
+LoadPoint MeasurePoint(spca::obs::Registry* registry,
+                       spca::serve::ModelRegistry* models,
+                       const BenchOptions& options,
+                       const std::vector<spca::workload::Query>& queries,
+                       double offered_qps, size_t concurrency) {
+  registry->ResetMetricsWithPrefix("serve.");
+  spca::serve::ServiceOptions service_options;
+  service_options.num_threads = options.threads;
+  service_options.batch_max = options.batch_max;
+  service_options.queue_capacity = 4096;
+  service_options.metrics = registry;
+  spca::serve::ProjectionService service(models, service_options);
+  SPCA_CHECK(service.Start().ok());
+
+  LoadPoint point;
+  point.offered_qps = offered_qps;
+  point.concurrency = concurrency;
+  auto submit = [&](size_t i) {
+    spca::serve::ProjectionRequest request;
+    request.model = "bench";
+    request.sparse = queries[i % queries.size()].sparse;
+    return service.Submit(std::move(request));
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (offered_qps > 0.0) {
+    point.mode = "open";
+    spca::workload::ArrivalScheduleConfig schedule_config;
+    schedule_config.qps = offered_qps;
+    schedule_config.num_arrivals =
+        static_cast<size_t>(offered_qps * options.duration_sec);
+    schedule_config.seed = 3;
+    const std::vector<double> schedule =
+        spca::workload::GenerateArrivalSchedule(schedule_config);
+    std::vector<std::future<spca::serve::ProjectionResponse>> futures;
+    futures.reserve(schedule.size());
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      std::this_thread::sleep_until(
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(schedule[i])));
+      futures.push_back(submit(i));
+    }
+    for (auto& future : futures) {
+      const auto outcome = future.get().outcome;
+      if (outcome == spca::serve::RequestOutcome::kOk) ++point.ok;
+      if (outcome == spca::serve::RequestOutcome::kShed) ++point.shed;
+    }
+  } else {
+    point.mode = "closed";
+    std::vector<std::thread> drivers;
+    std::vector<uint64_t> ok_per_driver(concurrency, 0);
+    const auto deadline =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options.duration_sec));
+    for (size_t t = 0; t < concurrency; ++t) {
+      drivers.emplace_back([&, t] {
+        size_t i = t;
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (submit(i).get().outcome == spca::serve::RequestOutcome::kOk) {
+            ++ok_per_driver[t];
+          }
+          i += concurrency;
+        }
+      });
+    }
+    for (auto& driver : drivers) driver.join();
+    for (const uint64_t n : ok_per_driver) point.ok += n;
+  }
+  point.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  service.Stop();
+
+  point.qps = point.seconds > 0.0 ? static_cast<double>(point.ok) /
+                                        point.seconds
+                                  : 0.0;
+  if (const auto* latency = registry->FindHistogram("serve.latency_sec");
+      latency != nullptr && latency->count() > 0) {
+    point.p50_ms = 1e3 * latency->Quantile(0.50);
+    point.p95_ms = 1e3 * latency->Quantile(0.95);
+    point.p99_ms = 1e3 * latency->Quantile(0.99);
+  }
+  if (const auto* batches = registry->FindCounter("serve.batches");
+      batches != nullptr && batches->value() > 0) {
+    point.mean_batch = static_cast<double>(point.ok) / batches->value();
+  }
+  return point;
+}
+
+std::string PointJson(const LoadPoint& point) {
+  std::string json = "    {\"mode\":\"" + point.mode + "\"";
+  if (point.mode == "open") {
+    json += ",\"offered_qps\":" + JsonNumber(point.offered_qps);
+  } else {
+    json += ",\"concurrency\":" + JsonNumber(
+                                      static_cast<double>(point.concurrency));
+  }
+  json += ",\"ok\":" + JsonNumber(static_cast<double>(point.ok));
+  json += ",\"shed\":" + JsonNumber(static_cast<double>(point.shed));
+  json += ",\"seconds\":" + JsonNumber(point.seconds);
+  json += ",\"qps\":" + JsonNumber(point.qps);
+  json += ",\"p50_ms\":" + JsonNumber(point.p50_ms);
+  json += ",\"p95_ms\":" + JsonNumber(point.p95_ms);
+  json += ",\"p99_ms\":" + JsonNumber(point.p99_ms);
+  json += ",\"mean_batch\":" + JsonNumber(point.mean_batch);
+  json += "}";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[i + 1];
+    }
+    auto take = [&] {  // consume the separate-argument spelling
+      if (std::strchr(argv[i], '=') == nullptr) ++i;
+    };
+    if (flag == "--out") {
+      options.out = value;
+      take();
+    } else if (flag == "--duration") {
+      options.duration_sec = std::atof(value.c_str());
+      take();
+    } else if (flag == "--threads") {
+      options.threads = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--batch-max") {
+      options.batch_max = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--dim") {
+      options.dim = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--components") {
+      options.components = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--out FILE] [--duration SEC] "
+                   "[--threads N] [--batch-max N] [--dim D] "
+                   "[--components d]\n");
+      return 2;
+    }
+  }
+
+  std::printf("bench_serve: D=%zu d=%zu, %zu threads, batch max %zu, "
+              "%.1f s per point\n",
+              options.dim, options.components, options.threads,
+              options.batch_max, options.duration_sec);
+
+  // Round-trip the model through the on-disk format so the bench also
+  // covers the load path spca_serve takes.
+  const std::string model_path = options.out + ".model.tmp";
+  SPCA_CHECK(
+      spca::serve::SaveModel(SyntheticModel(options.dim, options.components),
+                             model_path)
+          .ok());
+  spca::obs::Registry registry;
+  spca::serve::ModelRegistry models(&registry);
+  SPCA_CHECK(models.Load("bench", model_path).ok());
+  std::remove(model_path.c_str());
+
+  spca::workload::QuerySetConfig query_config;
+  query_config.num_queries = 2048;
+  query_config.dim = options.dim;
+  query_config.nnz_per_query = 12.0;
+  query_config.seed = 5;
+  const std::vector<spca::workload::Query> queries =
+      spca::workload::GenerateQueries(query_config);
+
+  std::vector<LoadPoint> points;
+  for (const size_t concurrency : {1, 4, 16}) {
+    points.push_back(MeasurePoint(&registry, &models, options, queries,
+                                  /*offered_qps=*/0.0, concurrency));
+    const LoadPoint& p = points.back();
+    std::printf("  closed c=%-3zu %8.0f qps  p50 %7.3f ms  p95 %7.3f ms  "
+                "p99 %7.3f ms  mean batch %.1f\n",
+                p.concurrency, p.qps, p.p50_ms, p.p95_ms, p.p99_ms,
+                p.mean_batch);
+  }
+  {
+    // Open-loop point offered at half the best closed-loop throughput, so
+    // it measures latency under load rather than saturation.
+    double best_qps = 0.0;
+    for (const LoadPoint& p : points) best_qps = std::max(best_qps, p.qps);
+    const double offered = std::max(100.0, 0.5 * best_qps);
+    points.push_back(MeasurePoint(&registry, &models, options, queries,
+                                  offered, /*concurrency=*/0));
+    const LoadPoint& p = points.back();
+    std::printf("  open %6.0f of %6.0f qps  p50 %7.3f ms  p95 %7.3f ms  "
+                "p99 %7.3f ms  shed %llu\n",
+                p.qps, p.offered_qps, p.p50_ms, p.p95_ms, p.p99_ms,
+                static_cast<unsigned long long>(p.shed));
+  }
+
+  std::string json = "{\n  \"bench\": \"serve\",\n";
+  json += "  \"dim\": " + JsonNumber(static_cast<double>(options.dim)) + ",\n";
+  json += "  \"components\": " +
+          JsonNumber(static_cast<double>(options.components)) + ",\n";
+  json += "  \"threads\": " + JsonNumber(static_cast<double>(options.threads)) +
+          ",\n";
+  json += "  \"batch_max\": " +
+          JsonNumber(static_cast<double>(options.batch_max)) + ",\n";
+  json += "  \"duration_sec\": " + JsonNumber(options.duration_sec) + ",\n";
+  json += "  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    json += PointJson(points[i]);
+    if (i + 1 < points.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ]\n}\n";
+  const spca::Status status = spca::obs::WriteFile(options.out, json);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", options.out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

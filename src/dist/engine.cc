@@ -157,6 +157,8 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   uint64_t reshipped_result = 0;
   uint64_t straggler_extra_flops = 0;
   trace.task_flops.reserve(contexts.size());
+  trace.task_intermediate_bytes.reserve(contexts.size());
+  trace.task_result_bytes.reserve(contexts.size());
   for (size_t task = 0; task < contexts.size(); ++task) {
     const auto& ctx = contexts[task];
     const TaskFault& fault = faults[task];
@@ -175,6 +177,12 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
       straggler_extra_flops +=
           charged_flops - ctx.flops() * extra - ctx.flops();
     }
+    // Charged (retry-inclusive) per-task bytes, so fault-injecting replay
+    // can re-ship exactly the bytes a retried task emitted even when
+    // tasks emit non-uniformly (ragged final partitions).
+    trace.task_intermediate_bytes.push_back(ctx.intermediate_bytes() *
+                                            (1 + extra));
+    trace.task_result_bytes.push_back(ctx.result_bytes() * (1 + extra));
     intermediate += ctx.intermediate_bytes() * (1 + extra);
     result += ctx.result_bytes() * (1 + extra);
   }

@@ -57,30 +57,49 @@ JobCost ReplayJobCostWithFaults(const JobTrace& trace,
                                 const ReplayScales& scales,
                                 const FaultPlan& plan, uint64_t job_index) {
   if (!plan.active()) return ReplayJobCost(trace, spec, mode, scales);
+  const size_t num_tasks = trace.task_flops.size();
+  // Failed attempts re-ship their task's output. When the trace recorded
+  // per-task bytes, each injected retry re-ships exactly its own task's
+  // bytes — matching what a live run under the same plan charges even for
+  // jobs with ragged task outputs. Older traces only carry per-job byte
+  // totals; each retry then re-ships the per-task average, which is exact
+  // only when the job's tasks emit uniformly.
+  const bool have_task_bytes = trace.task_intermediate_bytes.size() ==
+                                   num_tasks &&
+                               trace.task_result_bytes.size() == num_tasks;
   std::vector<uint64_t> task_flops;
-  task_flops.reserve(trace.task_flops.size());
+  task_flops.reserve(num_tasks);
   uint64_t extra_attempts = 0;
-  for (size_t task = 0; task < trace.task_flops.size(); ++task) {
+  double intermediate_bytes = 0.0;
+  double result_bytes = 0.0;
+  for (size_t task = 0; task < num_tasks; ++task) {
     const TaskFault fault = plan.Draw(job_index, task);
     task_flops.push_back(ChargedTaskFlops(trace.task_flops[task], fault));
-    extra_attempts += static_cast<uint64_t>(fault.extra_attempts);
+    const uint64_t extra = static_cast<uint64_t>(fault.extra_attempts);
+    extra_attempts += extra;
+    if (have_task_bytes) {
+      const double factor = 1.0 + static_cast<double>(extra);
+      intermediate_bytes +=
+          static_cast<double>(trace.task_intermediate_bytes[task]) * factor;
+      result_bytes +=
+          static_cast<double>(trace.task_result_bytes[task]) * factor;
+    }
   }
-  // Failed attempts re-ship their task's output. The trace only records
-  // per-job byte totals, so each retry re-ships the per-task average —
-  // exact when the job's tasks emit uniformly (sPCA's partials all do).
-  const double reship_factor =
-      trace.task_flops.empty()
-          ? 0.0
-          : static_cast<double>(extra_attempts) /
-                static_cast<double>(trace.task_flops.size());
-  return ComputeJobCost(
-      spec, mode, task_flops, scales.flops,
-      trace.charged_input_bytes * scales.input_bytes,
-      static_cast<double>(trace.stats.intermediate_bytes) *
-          scales.intermediate_bytes * (1.0 + reship_factor),
-      static_cast<double>(trace.stats.result_bytes) * scales.result_bytes *
-          (1.0 + reship_factor),
-      trace.backoff_sec + plan.BackoffSeconds(extra_attempts));
+  if (!have_task_bytes) {
+    const double reship_factor =
+        num_tasks == 0 ? 0.0
+                       : static_cast<double>(extra_attempts) /
+                             static_cast<double>(num_tasks);
+    intermediate_bytes = static_cast<double>(trace.stats.intermediate_bytes) *
+                         (1.0 + reship_factor);
+    result_bytes =
+        static_cast<double>(trace.stats.result_bytes) * (1.0 + reship_factor);
+  }
+  return ComputeJobCost(spec, mode, task_flops, scales.flops,
+                        trace.charged_input_bytes * scales.input_bytes,
+                        intermediate_bytes * scales.intermediate_bytes,
+                        result_bytes * scales.result_bytes,
+                        trace.backoff_sec + plan.BackoffSeconds(extra_attempts));
 }
 
 double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,

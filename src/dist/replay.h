@@ -29,6 +29,16 @@ struct JobTrace {
   /// straggler slowdowns), for replaying the job under a different
   /// ClusterSpec or data scale.
   std::vector<uint64_t> task_flops;
+  /// Per-task *charged* intermediate/result bytes (each task's emitted
+  /// bytes times one-plus-its-recorded-extra-attempts; sums equal
+  /// stats.intermediate_bytes / stats.result_bytes). With these recorded,
+  /// ReplayJobCostWithFaults re-ships each retried task's own bytes
+  /// instead of the per-job average — exact for jobs whose tasks emit
+  /// non-uniformly (e.g. ragged final partitions). Empty in traces built
+  /// by hand or recorded before these fields existed; replay then falls
+  /// back to the average.
+  std::vector<uint64_t> task_intermediate_bytes;
+  std::vector<uint64_t> task_result_bytes;
   /// Number of re-executed task attempts injected by the failure model.
   size_t task_retries = 0;
   /// Tasks whose committing attempt ran at the straggler slowdown.
@@ -86,14 +96,15 @@ JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
 /// ReplayJobCost with *additional* fault injection: applies `plan`'s
 /// deterministic per-task draws (keyed by `job_index`, matching the
 /// engine's own job numbering) to the recorded job — failed attempts
-/// re-pay each task's recorded compute and re-ship the job's per-task
-/// average intermediate/result bytes, stragglers slow their task, and
-/// retry backoff is added to launch. Meant for injecting hypothetical
-/// faults into a *clean* recorded run ("what does a 2% failure rate cost
-/// at a billion rows"); injecting into an already-faulted trace charges
-/// the recorded and the injected faults both. For jobs whose tasks emit
-/// uniform byte counts this reproduces exactly what a live run under the
-/// same plan would charge.
+/// re-pay each task's recorded compute and re-ship that task's recorded
+/// intermediate/result bytes (the per-job average when the trace predates
+/// per-task byte recording), stragglers slow their task, and retry
+/// backoff is added to launch. Meant for injecting hypothetical faults
+/// into a *clean* recorded run ("what does a 2% failure rate cost at a
+/// billion rows"); injecting into an already-faulted trace charges the
+/// recorded and the injected faults both. With per-task bytes present
+/// this reproduces exactly what a live run under the same plan would
+/// charge, uniform task outputs or not.
 JobCost ReplayJobCostWithFaults(const JobTrace& trace,
                                 const ClusterSpec& spec, EngineMode mode,
                                 const ReplayScales& scales,

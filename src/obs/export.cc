@@ -60,10 +60,14 @@ std::string MetricsTable(const Registry& registry) {
   for (const auto& name : registry.HistogramNames()) {
     const Histogram* h = registry.FindHistogram(name);
     std::snprintf(line, sizeof(line),
-                  "%-48s histogram  count=%llu mean=%s min=%s max=%s\n",
+                  "%-48s histogram  count=%llu mean=%s min=%s max=%s "
+                  "p50=%s p95=%s p99=%s\n",
                   name.c_str(), static_cast<unsigned long long>(h->count()),
                   JsonNumber(h->mean()).c_str(), JsonNumber(h->min()).c_str(),
-                  JsonNumber(h->max()).c_str());
+                  JsonNumber(h->max()).c_str(),
+                  JsonNumber(h->Quantile(0.50)).c_str(),
+                  JsonNumber(h->Quantile(0.95)).c_str(),
+                  JsonNumber(h->Quantile(0.99)).c_str());
     out += line;
   }
   return out;
@@ -84,13 +88,17 @@ std::string MetricsJsonLines(const Registry& registry) {
   }
   for (const auto& name : registry.HistogramNames()) {
     const Histogram* h = registry.FindHistogram(name);
-    char buf[160];
+    char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "\",\"type\":\"histogram\",\"count\":%llu,\"sum\":%s,"
-                  "\"min\":%s,\"max\":%s,\"buckets\":[",
+                  "\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s,"
+                  "\"buckets\":[",
                   static_cast<unsigned long long>(h->count()),
                   JsonNumber(h->sum()).c_str(), JsonNumber(h->min()).c_str(),
-                  JsonNumber(h->max()).c_str());
+                  JsonNumber(h->max()).c_str(),
+                  JsonNumber(h->Quantile(0.50)).c_str(),
+                  JsonNumber(h->Quantile(0.95)).c_str(),
+                  JsonNumber(h->Quantile(0.99)).c_str());
     out += "{\"metric\":\"" + JsonEscape(name) + buf;
     const auto buckets = h->bucket_counts();
     for (size_t i = 0; i < buckets.size(); ++i) {

@@ -17,6 +17,13 @@ int Histogram::BucketIndex(double value) {
   return std::clamp(i, 0, kNumBuckets - 1);
 }
 
+int Histogram::FineBucketIndex(double value) {
+  if (!(value > 0.0)) return 0;
+  const int i = static_cast<int>(
+      std::floor((std::log10(value) + 9.0) * kFinePerDecade));
+  return std::clamp(i, 0, kNumFineBuckets - 1);
+}
+
 void Histogram::Observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) {
@@ -29,6 +36,28 @@ void Histogram::Observe(double value) {
   ++count_;
   sum_ += value;
   ++buckets_[BucketIndex(value)];
+  ++fine_[FineBucketIndex(value)];
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumFineBuckets; ++i) {
+    cumulative += fine_[i];
+    if (cumulative >= target) {
+      // Geometric midpoint of the fine bucket, half a sub-bucket above the
+      // lower bound 10^(i/kFinePerDecade - 9).
+      const double mid = std::pow(
+          10.0, (static_cast<double>(i) + 0.5) / kFinePerDecade - 9.0);
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
 }
 
 uint64_t Histogram::count() const {
@@ -68,6 +97,7 @@ void Histogram::Reset() {
   min_ = 0.0;
   max_ = 0.0;
   std::fill(buckets_, buckets_ + kNumBuckets, 0);
+  std::fill(fine_, fine_ + kNumFineBuckets, 0);
 }
 
 }  // namespace spca::obs

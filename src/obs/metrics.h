@@ -62,9 +62,25 @@ class Gauge {
 /// observations in (10^(i-9+1), ...] starting below 1e-9; everything is in
 /// base units (seconds, bytes), so the range 1e-9 .. 1e12 covers both a
 /// microsecond-scale stage launch and a terabyte of intermediate data.
+///
+/// Alongside the coarse decade buckets (whose layout the exporters and
+/// their goldens depend on), every observation also lands in a fine
+/// log-linear track — kFinePerDecade sub-buckets per decade over
+/// [1e-9, 1e3) — from which Quantile() estimates order statistics with
+/// bounded relative error (<= 10^(1/(2*kFinePerDecade)) - 1, ~3.7%). This
+/// is what the serving layer's p50/p95/p99 latency reporting reads.
 class Histogram {
  public:
   static constexpr int kNumBuckets = 22;  // <=1e-9 ... >1e12
+
+  // Fine quantile track: 32 sub-buckets per decade, 12 decades
+  // (1e-9 .. 1e3 — nanoseconds to ~17 minutes when observing seconds).
+  // Values outside the range clamp into the edge buckets; Quantile()
+  // additionally clamps into [min(), max()], so out-of-range tails still
+  // report sane numbers.
+  static constexpr int kFinePerDecade = 32;
+  static constexpr int kFineDecades = 12;
+  static constexpr int kNumFineBuckets = kFinePerDecade * kFineDecades;
 
   void Observe(double value);
 
@@ -73,11 +89,18 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;
   double mean() const;
+  /// Nearest-rank quantile estimate from the fine log-linear track (the
+  /// geometric midpoint of the bucket holding the target rank, clamped to
+  /// [min(), max()]). q <= 0 returns min(), q >= 1 returns max(); an empty
+  /// histogram returns 0.
+  double Quantile(double q) const;
   std::vector<uint64_t> bucket_counts() const;
   /// Upper bound of bucket `i` (+inf for the last).
   static double BucketUpperBound(int i);
   /// Index of the bucket `value` lands in.
   static int BucketIndex(double value);
+  /// Index of the fine bucket `value` lands in (clamped at the edges).
+  static int FineBucketIndex(double value);
 
   void Reset();
 
@@ -88,6 +111,7 @@ class Histogram {
   double min_ = 0.0;
   double max_ = 0.0;
   uint64_t buckets_[kNumBuckets] = {};
+  uint64_t fine_[kNumFineBuckets] = {};
 };
 
 }  // namespace spca::obs

@@ -70,6 +70,9 @@ Status ParseJsonLinesRecord(const JsonValue& record, ParsedTrace* trace) {
       h.sum = record.NumberOr("sum", 0.0);
       h.min = record.NumberOr("min", 0.0);
       h.max = record.NumberOr("max", 0.0);
+      h.p50 = record.NumberOr("p50", 0.0);
+      h.p95 = record.NumberOr("p95", 0.0);
+      h.p99 = record.NumberOr("p99", 0.0);
       trace->histograms[name] = h;
     } else {
       return Status::InvalidArgument("unknown metric type: " + type);

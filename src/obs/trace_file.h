@@ -41,6 +41,10 @@ struct ParsedTrace {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+    // Quantile estimates (0 in traces written before they were exported).
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
   };
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;

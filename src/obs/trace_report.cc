@@ -1,11 +1,14 @@
 #include "obs/trace_report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spca::obs {
@@ -37,6 +40,50 @@ std::string PhaseTable(const std::map<std::string, PhaseTotals>& phases) {
                 static_cast<unsigned long long>(total_jobs), total);
   out += line;
   return out;
+}
+
+/// The phase -> totals extraction shared by the breakdown report and the
+/// diff: engine.phase.* counters when the trace carries metrics, else job
+/// spans aggregated by their phase attribute.
+std::map<std::string, PhaseTotals> CollectPhaseTotals(
+    const ParsedTrace& trace) {
+  std::map<std::string, PhaseTotals> phases;
+
+  // Streaming traces carry the final engine.phase.* counters; those are
+  // authoritative (they include jobs whose spans predate any reset).
+  for (const auto& [name, value] : trace.counters) {
+    if (name.rfind(kPhaseCounterPrefix, 0) != 0) continue;
+    const std::string_view rest =
+        std::string_view(name).substr(kPhaseCounterPrefix.size());
+    if (rest.size() > kSimSecondsSuffix.size() &&
+        rest.substr(rest.size() - kSimSecondsSuffix.size()) ==
+            kSimSecondsSuffix) {
+      const std::string phase(
+          rest.substr(0, rest.size() - kSimSecondsSuffix.size()));
+      phases[phase].sim_seconds = value;
+    } else if (rest.size() > kJobsSuffix.size() &&
+               rest.substr(rest.size() - kJobsSuffix.size()) == kJobsSuffix) {
+      const std::string phase(rest.substr(0, rest.size() - kJobsSuffix.size()));
+      phases[phase].jobs = static_cast<uint64_t>(value);
+    }
+  }
+  if (!phases.empty()) return phases;
+
+  // Chrome traces carry spans only: aggregate job spans by phase attribute.
+  for (const ParsedSpan& span : trace.spans) {
+    if (span.category != "job") continue;
+    const AttrValue* phase_attr = span.FindAttribute("phase");
+    std::string phase = "(none)";
+    if (const auto* s = phase_attr != nullptr
+                            ? std::get_if<std::string>(phase_attr)
+                            : nullptr) {
+      phase = *s;
+    }
+    PhaseTotals& totals = phases[phase];
+    ++totals.jobs;
+    totals.sim_seconds += span.AttributeNumberOr("sim_seconds", 0.0);
+  }
+  return phases;
 }
 
 }  // namespace
@@ -83,44 +130,58 @@ std::string AccuracyTimeReport(const ParsedTrace& trace) {
 }
 
 std::string PhaseBreakdownReport(const ParsedTrace& trace) {
-  std::map<std::string, PhaseTotals> phases;
-
-  // Streaming traces carry the final engine.phase.* counters; those are
-  // authoritative (they include jobs whose spans predate any reset).
-  for (const auto& [name, value] : trace.counters) {
-    if (name.rfind(kPhaseCounterPrefix, 0) != 0) continue;
-    const std::string_view rest =
-        std::string_view(name).substr(kPhaseCounterPrefix.size());
-    if (rest.size() > kSimSecondsSuffix.size() &&
-        rest.substr(rest.size() - kSimSecondsSuffix.size()) ==
-            kSimSecondsSuffix) {
-      const std::string phase(
-          rest.substr(0, rest.size() - kSimSecondsSuffix.size()));
-      phases[phase].sim_seconds = value;
-    } else if (rest.size() > kJobsSuffix.size() &&
-               rest.substr(rest.size() - kJobsSuffix.size()) == kJobsSuffix) {
-      const std::string phase(rest.substr(0, rest.size() - kJobsSuffix.size()));
-      phases[phase].jobs = static_cast<uint64_t>(value);
-    }
-  }
-  if (!phases.empty()) return PhaseTable(phases);
-
-  // Chrome traces carry spans only: aggregate job spans by phase attribute.
-  for (const ParsedSpan& span : trace.spans) {
-    if (span.category != "job") continue;
-    const AttrValue* phase_attr = span.FindAttribute("phase");
-    std::string phase = "(none)";
-    if (const auto* s = phase_attr != nullptr
-                            ? std::get_if<std::string>(phase_attr)
-                            : nullptr) {
-      phase = *s;
-    }
-    PhaseTotals& totals = phases[phase];
-    ++totals.jobs;
-    totals.sim_seconds += span.AttributeNumberOr("sim_seconds", 0.0);
-  }
+  const std::map<std::string, PhaseTotals> phases = CollectPhaseTotals(trace);
   if (phases.empty()) return "no job spans or phase counters in this file\n";
   return PhaseTable(phases);
+}
+
+PhaseDiffResult PhaseBreakdownDiff(const ParsedTrace& trace_a,
+                                   const ParsedTrace& trace_b) {
+  const std::map<std::string, PhaseTotals> a = CollectPhaseTotals(trace_a);
+  const std::map<std::string, PhaseTotals> b = CollectPhaseTotals(trace_b);
+
+  std::map<std::string, std::pair<double, double>> merged;  // phase -> (A, B)
+  for (const auto& [phase, totals] : a) merged[phase].first = totals.sim_seconds;
+  for (const auto& [phase, totals] : b) {
+    merged[phase].second = totals.sim_seconds;
+  }
+
+  PhaseDiffResult result;
+  result.table =
+      "Per-phase sim-seconds diff (phase, A_s, B_s, delta_s, delta_%):\n";
+  double total_a = 0.0;
+  double total_b = 0.0;
+  char line[200];
+  for (const auto& [phase, seconds] : merged) {
+    const double sec_a = seconds.first;
+    const double sec_b = seconds.second;
+    const double delta = sec_b - sec_a;
+    double relative;
+    if (sec_a > 0.0) {
+      relative = std::abs(delta) / sec_a;
+    } else {
+      relative = sec_b > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+    }
+    if (relative > result.max_relative_delta) {
+      result.max_relative_delta = relative;
+      result.worst_phase = phase;
+    }
+    if (std::isinf(relative)) {
+      std::snprintf(line, sizeof(line), "  %-24s %12.3f %12.3f %+11.3f %8s\n",
+                    phase.c_str(), sec_a, sec_b, delta, "inf");
+    } else {
+      std::snprintf(line, sizeof(line), "  %-24s %12.3f %12.3f %+11.3f %+8.2f\n",
+                    phase.c_str(), sec_a, sec_b, delta, 100.0 * relative *
+                        (delta < 0.0 ? -1.0 : 1.0));
+    }
+    result.table += line;
+    total_a += sec_a;
+    total_b += sec_b;
+  }
+  std::snprintf(line, sizeof(line), "  %-24s %12.3f %12.3f %+11.3f\n", "total",
+                total_a, total_b, total_b - total_a);
+  result.table += line;
+  return result;
 }
 
 }  // namespace spca::obs

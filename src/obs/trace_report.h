@@ -23,6 +23,26 @@ std::string AccuracyTimeReport(const ParsedTrace& trace);
 /// carries spans only (--trace-out files).
 std::string PhaseBreakdownReport(const ParsedTrace& trace);
 
+/// Result of comparing two traces' per-phase simulated seconds
+/// (trace_report --diff). A phase present in only one trace counts as 0
+/// seconds in the other.
+struct PhaseDiffResult {
+  /// Rendered comparison table: phase, A sim_s, B sim_s, delta_s, delta%.
+  std::string table;
+  /// max over phases of |B - A| / A; infinity when a phase went from zero
+  /// seconds to non-zero. 0 for identical traces. The `total` row is not
+  /// included (per-phase regressions must not cancel out).
+  double max_relative_delta = 0.0;
+  /// Phase attaining max_relative_delta (empty when both traces are empty).
+  std::string worst_phase;
+};
+
+/// Compares per-phase sim-seconds of two traces (same extraction rules as
+/// PhaseBreakdownReport). Used as a regression gate: the trace_report tool
+/// exits non-zero when max_relative_delta exceeds its --tolerance.
+PhaseDiffResult PhaseBreakdownDiff(const ParsedTrace& trace_a,
+                                   const ParsedTrace& trace_b);
+
 }  // namespace spca::obs
 
 #endif  // SPCA_OBS_TRACE_REPORT_H_

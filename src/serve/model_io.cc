@@ -1,0 +1,136 @@
+#include "serve/model_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace spca::serve {
+
+namespace {
+
+// Dimensions above this are rejected as corrupt rather than attempted as
+// allocations (a flipped high byte in a header must not OOM the server).
+constexpr uint64_t kMaxDim = 1ull << 32;
+constexpr uint64_t kMaxElements = 1ull << 34;  // 128 GiB of doubles
+
+constexpr size_t kHeaderBytes =
+    sizeof(uint32_t) * 2 + sizeof(uint64_t) * 2 + sizeof(double);
+
+void AppendBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  uint64_t hash = seed;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t ModelFileSize(uint64_t input_dim, uint64_t num_components) {
+  return kHeaderBytes + (input_dim + input_dim * num_components) *
+                            sizeof(double) +
+         sizeof(uint64_t);
+}
+
+Status SaveModel(const core::PcaModel& model, const std::string& path) {
+  SPCA_CHECK_EQ(model.mean.size(), model.input_dim());
+  const uint64_t d_in = model.input_dim();
+  const uint64_t d_out = model.num_components();
+
+  std::string payload;
+  payload.reserve(static_cast<size_t>(ModelFileSize(d_in, d_out)));
+  AppendBytes(&payload, &kModelMagic, sizeof(kModelMagic));
+  AppendBytes(&payload, &kModelFormatVersion, sizeof(kModelFormatVersion));
+  AppendBytes(&payload, &d_in, sizeof(d_in));
+  AppendBytes(&payload, &d_out, sizeof(d_out));
+  AppendBytes(&payload, &model.noise_variance, sizeof(double));
+  AppendBytes(&payload, model.mean.data(), model.mean.size() * sizeof(double));
+  AppendBytes(&payload, model.components.data(),
+              model.components.size() * sizeof(double));
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  AppendBytes(&payload, &checksum, sizeof(checksum));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const int close_result = std::fclose(f);
+  if (written != payload.size() || close_result != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::PcaModel> LoadModel(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open model " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read failed for " + path);
+
+  auto corrupt = [&path](const std::string& why) {
+    return Status::InvalidArgument("corrupt model " + path + ": " + why);
+  };
+  if (content.size() < kHeaderBytes + sizeof(uint64_t)) {
+    return corrupt("truncated header");
+  }
+  size_t offset = 0;
+  auto read_pod = [&content, &offset](auto* out) {
+    std::memcpy(out, content.data() + offset, sizeof(*out));
+    offset += sizeof(*out);
+  };
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t d_in = 0;
+  uint64_t d_out = 0;
+  double noise_variance = 0.0;
+  read_pod(&magic);
+  read_pod(&version);
+  read_pod(&d_in);
+  read_pod(&d_out);
+  read_pod(&noise_variance);
+  if (magic != kModelMagic) return corrupt("bad magic");
+  if (version != kModelFormatVersion) {
+    return corrupt("unsupported format version " + std::to_string(version));
+  }
+  if (d_in == 0 || d_out == 0) return corrupt("zero dimension");
+  if (d_in > kMaxDim || d_out > kMaxDim || d_in * d_out > kMaxElements) {
+    return corrupt("implausible dimensions");
+  }
+  if (content.size() != ModelFileSize(d_in, d_out)) {
+    return corrupt("file size does not match header dimensions");
+  }
+  const size_t payload_size = content.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, content.data() + payload_size,
+              sizeof(stored_checksum));
+  if (Fnv1a64(content.data(), payload_size) != stored_checksum) {
+    return corrupt("checksum mismatch");
+  }
+
+  core::PcaModel model;
+  model.noise_variance = noise_variance;
+  model.mean = linalg::DenseVector(static_cast<size_t>(d_in));
+  std::memcpy(model.mean.data(), content.data() + offset,
+              static_cast<size_t>(d_in) * sizeof(double));
+  offset += static_cast<size_t>(d_in) * sizeof(double);
+  model.components = linalg::DenseMatrix(static_cast<size_t>(d_in),
+                                         static_cast<size_t>(d_out));
+  std::memcpy(model.components.data(), content.data() + offset,
+              static_cast<size_t>(d_in * d_out) * sizeof(double));
+  return model;
+}
+
+}  // namespace spca::serve

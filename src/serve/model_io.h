@@ -1,0 +1,47 @@
+#ifndef SPCA_SERVE_MODEL_IO_H_
+#define SPCA_SERVE_MODEL_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+
+namespace spca::serve {
+
+/// Versioned binary container for a fitted core::PcaModel — the durable
+/// artifact that decouples training (spca_cli --save-model) from serving
+/// (spca_serve --model). Layout, all little-endian, doubles as IEEE-754
+/// bits (so save/load round-trips are bit-identical on one platform):
+///
+///   u32  magic            'S','P','C','M' (0x4D435053 LE)
+///   u32  version          kModelFormatVersion
+///   u64  input_dim        D
+///   u64  num_components   d
+///   f64  noise_variance   ss
+///   f64  mean[D]
+///   f64  components[D*d]  row-major (row k = dimension k's loadings)
+///   u64  checksum         FNV-1a 64 over every preceding byte
+///
+/// LoadModel rejects wrong magic, unknown versions, truncated or oversized
+/// files, absurd dimensions, and any corruption the checksum catches.
+inline constexpr uint32_t kModelMagic = 0x4D435053u;  // "SPCM"
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Serialized size in bytes of a model with the given shape.
+uint64_t ModelFileSize(uint64_t input_dim, uint64_t num_components);
+
+/// FNV-1a 64-bit checksum (the format's integrity hash; exposed for tests).
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Writes `model` to `path` in the format above. The model's mean must
+/// have input_dim elements (CHECKed).
+Status SaveModel(const core::PcaModel& model, const std::string& path);
+
+/// Reads a model written by SaveModel, validating magic, version, shape,
+/// exact file size, and checksum.
+StatusOr<core::PcaModel> LoadModel(const std::string& path);
+
+}  // namespace spca::serve
+
+#endif  // SPCA_SERVE_MODEL_IO_H_

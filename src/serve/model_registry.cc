@@ -1,0 +1,76 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "serve/model_io.h"
+
+namespace spca::serve {
+
+Status ModelRegistry::Load(const std::string& name, const std::string& path) {
+  auto model = LoadModel(path);
+  if (!model.ok()) return model.status();
+  auto projector = Projector::Create(std::move(model).value());
+  if (!projector.ok()) return projector.status();
+  Swap(name, std::make_shared<const Projector>(std::move(projector).value()));
+  if (metrics_ != nullptr) metrics_->counter("serve.model_loads")->Add(1);
+  return Status::Ok();
+}
+
+Status ModelRegistry::Install(const std::string& name, core::PcaModel model) {
+  auto projector = Projector::Create(std::move(model));
+  if (!projector.ok()) return projector.status();
+  Swap(name, std::make_shared<const Projector>(std::move(projector).value()));
+  return Status::Ok();
+}
+
+void ModelRegistry::Swap(const std::string& name,
+                         std::shared_ptr<const Projector> projector) {
+  std::shared_ptr<const Projector> replaced;  // destroyed outside the lock
+  bool swapped = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto& slot = models_[name];
+    swapped = slot != nullptr;
+    replaced = std::exchange(slot, std::move(projector));
+  }
+  if (swapped && metrics_ != nullptr) {
+    metrics_->counter("serve.model_swaps")->Add(1);
+  }
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  std::shared_ptr<const Projector> removed;  // destroyed outside the lock
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return false;
+  removed = std::move(it->second);
+  models_.erase(it);
+  return true;
+}
+
+std::shared_ptr<const Projector> ModelRegistry::Get(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return nullptr;
+  return it->second;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    names.reserve(models_.size());
+    for (const auto& [name, _] : models_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace spca::serve

@@ -1,0 +1,66 @@
+#ifndef SPCA_SERVE_MODEL_REGISTRY_H_
+#define SPCA_SERVE_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "obs/registry.h"
+#include "serve/projector.h"
+
+namespace spca::serve {
+
+/// Named, hot-swappable collection of servable models. Readers take an
+/// atomic snapshot — a shared_ptr<const Projector> — and keep using it for
+/// the duration of a batch even if the name is swapped or removed
+/// concurrently; the old projector is freed when the last in-flight batch
+/// drops its reference. Writers (Load/Install/Remove) exclude each other
+/// and readers only for the duration of the map update, never while the
+/// replacement projector's factor is being computed.
+class ModelRegistry {
+ public:
+  /// `metrics` may be null; when set, serve.model_loads / serve.model_swaps
+  /// counters are recorded.
+  explicit ModelRegistry(obs::Registry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Reads a model file (serve/model_io.h) and installs it under `name`,
+  /// replacing any previous model with that name. The swap is atomic:
+  /// concurrent Get() sees either the old or the new projector, never a
+  /// partial state. On error the previous model (if any) is left serving.
+  Status Load(const std::string& name, const std::string& path);
+
+  /// Installs an in-memory model under `name` (same swap semantics).
+  Status Install(const std::string& name, core::PcaModel model);
+
+  /// Removes `name`. Returns false when it was not present. In-flight
+  /// batches holding a snapshot keep serving from it.
+  bool Remove(const std::string& name);
+
+  /// Snapshot of the projector for `name`, or nullptr when absent.
+  std::shared_ptr<const Projector> Get(const std::string& name) const;
+
+  /// Sorted names of the currently installed models.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  void Swap(const std::string& name,
+            std::shared_ptr<const Projector> projector);
+
+  obs::Registry* metrics_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Projector>> models_;
+};
+
+}  // namespace spca::serve
+
+#endif  // SPCA_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,98 @@
+#include "serve/projector.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "linalg/kernels.h"
+#include "linalg/solve.h"
+
+namespace spca::serve {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+StatusOr<Projector> Projector::Create(core::PcaModel model) {
+  if (model.input_dim() == 0 || model.num_components() == 0) {
+    return Status::InvalidArgument("projector needs a non-empty model");
+  }
+  if (model.mean.size() != model.input_dim()) {
+    return Status::InvalidArgument("model mean/components shape mismatch");
+  }
+  const size_t big_d = model.input_dim();
+  const size_t d = model.num_components();
+
+  // M = C'C + ss*I, accumulated row-by-row with the symmetric rank-1
+  // kernel (exactly how the training XtX job accumulates).
+  DenseMatrix m(d, d);
+  for (size_t k = 0; k < big_d; ++k) {
+    linalg::kernels::SymRank1Update(model.components.RowPtr(k), d, m.data(),
+                                    d);
+  }
+  linalg::kernels::SymMirrorLower(m.data(), d, d);
+  m.AddScaledIdentity(model.noise_variance);
+
+  auto factor = linalg::Inverse(m);
+  if (!factor.ok()) {
+    return Status::InvalidArgument(
+        "model is not servable: C'C + ss*I is singular (" +
+        factor.status().message() + ")");
+  }
+
+  Projector projector;
+  projector.factor_ = std::move(factor.value());
+  // C' * mean via the same sparse-row kernel queries use (mean entries that
+  // are zero cost nothing).
+  projector.mean_projection_ = DenseVector(d);
+  for (size_t k = 0; k < big_d; ++k) {
+    const double v = model.mean[k];
+    if (v == 0.0) continue;
+    linalg::kernels::AxpyRow(v, model.components.RowPtr(k), d,
+                             projector.mean_projection_.data());
+  }
+  projector.model_ = std::move(model);
+  return projector;
+}
+
+void Projector::FinishProjection(double* scratch, double* out) const {
+  const size_t d = num_components();
+  for (size_t j = 0; j < d; ++j) scratch[j] -= mean_projection_[j];
+  std::memset(out, 0, d * sizeof(double));
+  // x = F * t with F symmetric, computed as the row-vector product t' * F
+  // so the d x d multiply reuses the RowGemm kernel.
+  linalg::kernels::RowGemm(scratch, d, factor_.data(), factor_.row_stride(),
+                           d, out);
+}
+
+void Projector::ProjectSparse(linalg::SparseRowView row, double* out) const {
+  SPCA_CHECK_EQ(row.dim(), input_dim());
+  const size_t d = num_components();
+  std::vector<double> t(d, 0.0);
+  linalg::kernels::SparseRowGemv(row.begin(), row.nnz(),
+                                 model_.components.RowPtr(0),
+                                 model_.components.row_stride(), d, t.data());
+  FinishProjection(t.data(), out);
+}
+
+void Projector::ProjectDense(const double* row, double* out) const {
+  const size_t d = num_components();
+  std::vector<double> t(d, 0.0);
+  linalg::kernels::RowGemm(row, input_dim(), model_.components.RowPtr(0),
+                           model_.components.row_stride(), d, t.data());
+  FinishProjection(t.data(), out);
+}
+
+DenseVector Projector::Project(const linalg::SparseVector& query) const {
+  DenseVector out(num_components());
+  ProjectSparse(query.View(), out.data());
+  return out;
+}
+
+DenseVector Projector::Project(const DenseVector& query) const {
+  SPCA_CHECK_EQ(query.size(), input_dim());
+  DenseVector out(num_components());
+  ProjectDense(query.data(), out.data());
+  return out;
+}
+
+}  // namespace spca::serve

@@ -1,0 +1,247 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace spca::serve {
+
+const char* RequestOutcomeToString(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "OK";
+    case RequestOutcome::kShed:
+      return "SHED";
+    case RequestOutcome::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case RequestOutcome::kNoModel:
+      return "NO_MODEL";
+    case RequestOutcome::kBadRequest:
+      return "BAD_REQUEST";
+    case RequestOutcome::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+ProjectionService::ProjectionService(ModelRegistry* models,
+                                     ServiceOptions options)
+    : models_(models),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      pool_(options.num_threads) {
+  SPCA_CHECK(models_ != nullptr);
+  SPCA_CHECK_GT(options_.batch_max, 0u);
+}
+
+ProjectionService::~ProjectionService() { Stop(); }
+
+Status ProjectionService::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return Status::FailedPrecondition("service already started");
+  if (stopping_) return Status::FailedPrecondition("service already stopped");
+  started_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+  return Status::Ok();
+}
+
+void ProjectionService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher is gone; whatever it left queued is never executing.
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (auto& pending : leftover) {
+    ProjectionResponse response;
+    response.outcome = RequestOutcome::kShutdown;
+    Resolve(&pending, std::move(response));
+  }
+}
+
+std::future<ProjectionResponse> ProjectionService::Submit(
+    ProjectionRequest request) {
+  Pending pending;
+  pending.submit_sec = NowSeconds();
+  pending.deadline_sec = pending.submit_sec + request.timeout_sec;
+  pending.request = std::move(request);
+  std::future<ProjectionResponse> future = pending.promise.get_future();
+
+  obs::Registry* metrics = options_.metrics;
+  if (metrics != nullptr) metrics->counter("serve.requests")->Add(1);
+
+  RequestOutcome reject = RequestOutcome::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      reject = RequestOutcome::kShutdown;
+    } else if (queue_.size() >= options_.queue_capacity) {
+      reject = RequestOutcome::kShed;
+    } else {
+      queue_.push_back(std::move(pending));
+    }
+  }
+  if (reject == RequestOutcome::kOk) {
+    queue_cv_.notify_one();
+    return future;
+  }
+  if (metrics != nullptr && reject == RequestOutcome::kShed) {
+    metrics->counter("serve.shed")->Add(1);
+  }
+  ProjectionResponse response;
+  response.outcome = reject;
+  Resolve(&pending, std::move(response));
+  return future;
+}
+
+size_t ProjectionService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ProjectionService::DispatchLoop() {
+  for (;;) {
+    std::deque<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Stop() resolves the remainder as kShutdown
+      const size_t take = std::min(queue_.size(), options_.batch_max);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ExecuteBatch(&batch);
+  }
+}
+
+void ProjectionService::ExecuteBatch(std::deque<Pending>* batch) {
+  obs::Registry* metrics = options_.metrics;
+  const double formed_sec = NowSeconds();
+
+  // Triage: expire deadlines, snapshot one projector per distinct model
+  // name (the hot-swap point: this batch keeps its snapshots even if the
+  // registry swaps mid-flight), and validate shapes.
+  std::unordered_map<std::string, std::shared_ptr<const Projector>> snapshots;
+  struct Item {
+    Pending* pending;
+    const Projector* projector;
+    linalg::DenseVector out;
+  };
+  std::vector<Item> items;
+  items.reserve(batch->size());
+  uint64_t flops = 0;
+  uint64_t expired = 0, no_model = 0, bad_request = 0;
+  for (auto& pending : *batch) {
+    RequestOutcome outcome = RequestOutcome::kOk;
+    const Projector* projector = nullptr;
+    if (formed_sec > pending.deadline_sec) {
+      outcome = RequestOutcome::kDeadlineExceeded;
+      ++expired;
+    } else {
+      auto it = snapshots.find(pending.request.model);
+      if (it == snapshots.end()) {
+        it = snapshots.emplace(pending.request.model,
+                               models_->Get(pending.request.model))
+                 .first;
+      }
+      projector = it->second.get();
+      if (projector == nullptr) {
+        outcome = RequestOutcome::kNoModel;
+        ++no_model;
+      } else if (pending.request.dim() != projector->input_dim()) {
+        outcome = RequestOutcome::kBadRequest;
+        ++bad_request;
+      }
+    }
+    if (outcome != RequestOutcome::kOk) {
+      ProjectionResponse response;
+      response.outcome = outcome;
+      response.queue_sec = formed_sec - pending.submit_sec;
+      response.total_sec = NowSeconds() - pending.submit_sec;
+      response.batch_size = batch->size();
+      Resolve(&pending, std::move(response));
+      continue;
+    }
+    flops += projector->QueryFlops(pending.request.nnz());
+    items.push_back(Item{&pending, projector,
+                         linalg::DenseVector(projector->num_components())});
+  }
+
+  // Fan the surviving rows out across the pool: one task per query row,
+  // each calling the identical per-row projection a sequential caller
+  // would — batching affects scheduling only, never arithmetic.
+  if (!items.empty()) {
+    pool_.Run(items.size(), [&items](size_t i) {
+      Item& item = items[i];
+      const ProjectionRequest& request = item.pending->request;
+      if (request.is_dense()) {
+        item.projector->ProjectDense(request.dense.data(), item.out.data());
+      } else {
+        item.projector->ProjectSparse(request.sparse.View(), item.out.data());
+      }
+    });
+  }
+  const double done_sec = NowSeconds();
+
+  for (auto& item : items) {
+    ProjectionResponse response;
+    response.outcome = RequestOutcome::kOk;
+    response.coordinates = std::move(item.out);
+    response.queue_sec = formed_sec - item.pending->submit_sec;
+    response.total_sec = done_sec - item.pending->submit_sec;
+    response.batch_size = batch->size();
+    if (metrics != nullptr) {
+      metrics->histogram("serve.latency_sec")->Observe(response.total_sec);
+      metrics->histogram("serve.queue_sec")->Observe(response.queue_sec);
+    }
+    Resolve(item.pending, std::move(response));
+  }
+
+  if (metrics != nullptr) {
+    metrics->counter("serve.batches")->Add(1);
+    metrics->counter("serve.ok")->Add(static_cast<double>(items.size()));
+    if (expired > 0) {
+      metrics->counter("serve.deadline_exceeded")
+          ->Add(static_cast<double>(expired));
+    }
+    if (no_model > 0) {
+      metrics->counter("serve.no_model")->Add(static_cast<double>(no_model));
+    }
+    if (bad_request > 0) {
+      metrics->counter("serve.bad_request")
+          ->Add(static_cast<double>(bad_request));
+    }
+    metrics->counter("serve.query_flops")->Add(static_cast<double>(flops));
+    metrics->histogram("serve.batch_size")
+        ->Observe(static_cast<double>(batch->size()));
+    metrics->histogram("serve.batch_exec_sec")->Observe(done_sec - formed_sec);
+    // AddCompleteSpan is mutex-protected (unlike the RAII span stack), so
+    // recording from the dispatcher thread is safe.
+    metrics->AddCompleteSpan(
+        "serve.batch", "serve", obs::Track::kWall, formed_sec,
+        done_sec - formed_sec, /*parent_id=*/0,
+        {{"batch_size", static_cast<uint64_t>(batch->size())},
+         {"ok", static_cast<uint64_t>(items.size())},
+         {"expired", expired},
+         {"flops", flops}});
+    if (options_.notify_job_listener) metrics->NotifyJobCompleted();
+  }
+}
+
+void ProjectionService::Resolve(Pending* pending,
+                                ProjectionResponse response) {
+  pending->promise.set_value(std::move(response));
+}
+
+}  // namespace spca::serve

@@ -1,0 +1,83 @@
+#include "workload/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spca::workload {
+
+std::vector<Query> GenerateQueries(const QuerySetConfig& config) {
+  SPCA_CHECK_GT(config.dim, 0u);
+  Rng rng(config.seed);
+  std::vector<Query> queries;
+  queries.reserve(config.num_queries);
+
+  if (config.dense) {
+    for (size_t q = 0; q < config.num_queries; ++q) {
+      Query query;
+      query.dense = linalg::DenseVector(config.dim);
+      for (size_t j = 0; j < config.dim; ++j) {
+        query.dense[j] = rng.NextGaussian();
+      }
+      queries.push_back(std::move(query));
+    }
+    return queries;
+  }
+
+  ZipfSampler words(config.dim, config.zipf_exponent);
+  const double extra_mean = std::max(0.0, config.nnz_per_query - 1.0);
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    // Geometric-ish count: 1 + Poisson-approximated extra draws, matching
+    // the bag-of-words generator's "mean document length" knob closely
+    // enough for load shaping (the exact distribution is unimportant, the
+    // determinism is).
+    size_t count = 1;
+    double budget = extra_mean;
+    while (budget > 0.0 && rng.NextDouble() < budget / (budget + 1.0)) {
+      ++count;
+      budget -= 1.0;
+    }
+    std::vector<uint32_t> indices;
+    indices.reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      indices.push_back(static_cast<uint32_t>(words.Sample(&rng)));
+    }
+    std::sort(indices.begin(), indices.end());
+    indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    std::vector<linalg::SparseEntry> entries;
+    entries.reserve(indices.size());
+    for (uint32_t index : indices) entries.push_back({index, 1.0});
+    Query query;
+    query.sparse = linalg::SparseVector(std::move(entries), config.dim);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<double> GenerateArrivalSchedule(
+    const ArrivalScheduleConfig& config) {
+  std::vector<double> offsets;
+  offsets.reserve(config.num_arrivals);
+  if (config.qps <= 0.0) {
+    offsets.assign(config.num_arrivals, 0.0);
+    return offsets;
+  }
+  const double mean_gap = 1.0 / config.qps;
+  Rng rng(config.seed);
+  double t = 0.0;
+  for (size_t i = 0; i < config.num_arrivals; ++i) {
+    if (config.poisson) {
+      // Inverse-CDF exponential gap; 1 - u keeps the argument in (0, 1].
+      t += -mean_gap * std::log(1.0 - rng.NextDouble());
+    } else {
+      t += mean_gap;
+    }
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+}  // namespace spca::workload

@@ -1,0 +1,62 @@
+#ifndef SPCA_WORKLOAD_LOAD_GEN_H_
+#define SPCA_WORKLOAD_LOAD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+
+namespace spca::workload {
+
+/// Deterministic query/load generation for the serving benchmarks: a query
+/// set shaped like the training workloads (Zipfian sparse bag-of-words rows
+/// or dense Gaussian feature rows) plus an arrival-time schedule. Both are
+/// pure functions of their seeds, so a load test is exactly reproducible —
+/// the driver (spca_serve / bench_serve) replays the schedule against the
+/// projection service and only the measured latencies vary run to run.
+
+/// One query row; sparse unless `dense` is non-empty.
+struct Query {
+  linalg::SparseVector sparse;
+  linalg::DenseVector dense;
+
+  bool is_dense() const { return dense.size() > 0; }
+  size_t nnz() const { return is_dense() ? dense.size() : sparse.nnz(); }
+};
+
+struct QuerySetConfig {
+  size_t num_queries = 1000;
+  size_t dim = 1000;  // D; must match the served model's input_dim
+  bool dense = false;
+  /// Sparse path: mean non-zeros per query (at least 1 is always drawn);
+  /// indices follow a Zipf(zipf_exponent) popularity like the bag-of-words
+  /// training generator, values are 1.0 (binary rows).
+  double nnz_per_query = 12.0;
+  double zipf_exponent = 1.05;
+  uint64_t seed = 42;
+};
+
+/// Generates the query set. Deterministic in config.
+std::vector<Query> GenerateQueries(const QuerySetConfig& config);
+
+struct ArrivalScheduleConfig {
+  /// Open-loop offered load in queries/second. <= 0 means closed-loop:
+  /// every arrival is at offset 0 (the driver's concurrency, not the
+  /// schedule, then paces the load).
+  double qps = 1000.0;
+  size_t num_arrivals = 1000;
+  /// Poisson process (exponential inter-arrival gaps) when true; exactly
+  /// uniform 1/qps spacing when false.
+  bool poisson = true;
+  uint64_t seed = 1;
+};
+
+/// Arrival offsets in seconds from test start: num_arrivals values,
+/// non-decreasing, starting at the first inter-arrival gap. Deterministic
+/// in config.
+std::vector<double> GenerateArrivalSchedule(const ArrivalScheduleConfig& config);
+
+}  // namespace spca::workload
+
+#endif  // SPCA_WORKLOAD_LOAD_GEN_H_

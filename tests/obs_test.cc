@@ -249,9 +249,43 @@ TEST(ExportTest, MetricsJsonLinesGolden) {
       "{\"metric\":\"jobs\",\"type\":\"counter\",\"value\":3}\n"
       "{\"metric\":\"mem\",\"type\":\"gauge\",\"value\":2.5}\n"
       "{\"metric\":\"lat\",\"type\":\"histogram\",\"count\":2,\"sum\":20.5,"
-      "\"min\":0.5,\"max\":20,\"buckets\":"
+      "\"min\":0.5,\"max\":20,"
+      "\"p50\":" + JsonNumber(h->Quantile(0.50)) +
+      ",\"p95\":" + JsonNumber(h->Quantile(0.95)) +
+      ",\"p99\":" + JsonNumber(h->Quantile(0.99)) +
+      ",\"buckets\":"
       "[0,0,0,0,0,0,0,0,0,1,0,1,0,0,0,0,0,0,0,0,0,0]}\n";
   EXPECT_EQ(MetricsJsonLines(registry), expected);
+}
+
+TEST(HistogramTest, QuantileEstimatesFromFineBuckets) {
+  Histogram h;
+  // 1..100 milliseconds when observing seconds: quantiles should come back
+  // within the fine track's ~3.7% relative error.
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i) * 1e-3);
+  EXPECT_NEAR(h.Quantile(0.50), 0.050, 0.050 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.95), 0.095, 0.095 * 0.05);
+  EXPECT_NEAR(h.Quantile(0.99), 0.099, 0.099 * 0.05);
+  // Edges are exact.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.100);
+  // Empty histogram reports 0, single observation collapses to it.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  Histogram one;
+  one.Observe(0.25);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(one.Quantile(0.99), 0.25);
+  // Out-of-range observations clamp into the edge buckets but stay within
+  // the observed [min, max].
+  Histogram wide;
+  wide.Observe(0.0);
+  wide.Observe(1e9);
+  EXPECT_GE(wide.Quantile(0.5), 0.0);
+  EXPECT_LE(wide.Quantile(0.99), 1e9);
+  // Reset clears the fine track too.
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
 }
 
 TEST(ExportTest, MetricsTableListsEveryMetric) {

@@ -9,12 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/spca.h"
 #include "dist/engine.h"
+#include "dist/fault.h"
+#include "dist/replay.h"
 #include "linalg/sparse_matrix.h"
 #include "workload/synthetic.h"
 
@@ -184,6 +188,157 @@ TEST(ReplayIdentityProperty, UnitScaleReplayMatchesAccountedCost) {
   }
   EXPECT_GE(cases, 100);
   EXPECT_GT(jobs_checked, cases);  // every case exercised several jobs
+}
+
+// Per-task byte replay: a hand-built trace with ragged task outputs,
+// replayed with injected faults, must charge each retried task's *own*
+// bytes — derived here independently from the public FaultPlan/
+// ChargedTaskFlops/ComputeJobCost pieces — and must differ from the
+// per-job-average fallback used for traces without per-task bytes.
+TEST(FaultReplayPerTaskBytes, InjectedRetriesReshipEachTasksOwnBytes) {
+  dist::JobTrace trace;
+  trace.name = "ragged";
+  trace.num_tasks = 8;
+  uint64_t sum_intermediate = 0;
+  uint64_t sum_result = 0;
+  for (size_t task = 0; task < trace.num_tasks; ++task) {
+    trace.task_flops.push_back(1'000'000 + 250'000 * task);
+    trace.task_intermediate_bytes.push_back(1000 * (task + 1) * (task + 1));
+    trace.task_result_bytes.push_back(500 + 4000 * task);
+    sum_intermediate += trace.task_intermediate_bytes.back();
+    sum_result += trace.task_result_bytes.back();
+  }
+  trace.stats.intermediate_bytes = sum_intermediate;
+  trace.stats.result_bytes = sum_result;
+  trace.charged_input_bytes = 5e6;
+
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 99;
+  fault_spec.task_failure_probability = 0.5;
+  fault_spec.retry_backoff_sec = 0.25;
+  fault_spec.straggler_probability = 0.25;
+  fault_spec.straggler_slowdown = 3.0;
+  const dist::FaultPlan plan(fault_spec);
+  const uint64_t job_index = 7;
+
+  // Independent derivation of what the replay must charge.
+  std::vector<uint64_t> charged_flops;
+  double intermediate = 0.0;
+  double result = 0.0;
+  uint64_t extra_attempts = 0;
+  for (size_t task = 0; task < trace.num_tasks; ++task) {
+    const dist::TaskFault fault = plan.Draw(job_index, task);
+    charged_flops.push_back(
+        dist::ChargedTaskFlops(trace.task_flops[task], fault));
+    extra_attempts += static_cast<uint64_t>(fault.extra_attempts);
+    const double factor = 1.0 + static_cast<double>(fault.extra_attempts);
+    intermediate +=
+        static_cast<double>(trace.task_intermediate_bytes[task]) * factor;
+    result += static_cast<double>(trace.task_result_bytes[task]) * factor;
+  }
+  ASSERT_GT(extra_attempts, 0u);  // the plan must actually inject retries
+
+  const dist::ClusterSpec spec;
+  const dist::ReplayScales unit;
+  for (const dist::EngineMode mode :
+       {dist::EngineMode::kSpark, dist::EngineMode::kMapReduce}) {
+    const dist::JobCost expected = dist::ComputeJobCost(
+        spec, mode, charged_flops, 1.0, trace.charged_input_bytes,
+        intermediate, result, plan.BackoffSeconds(extra_attempts));
+    const dist::JobCost got =
+        dist::ReplayJobCostWithFaults(trace, spec, mode, unit, plan,
+                                      job_index);
+    EXPECT_NEAR(got.launch_sec, expected.launch_sec, 1e-12);
+    EXPECT_NEAR(got.compute_sec, expected.compute_sec, 1e-12);
+    EXPECT_NEAR(got.data_sec, expected.data_sec, 1e-12);
+
+    // Strip the per-task vectors: the fallback re-ships the per-job
+    // average per retry, which is *not* exact for these ragged outputs.
+    dist::JobTrace averaged = trace;
+    averaged.task_intermediate_bytes.clear();
+    averaged.task_result_bytes.clear();
+    const dist::JobCost fallback = dist::ReplayJobCostWithFaults(
+        averaged, spec, mode, unit, plan, job_index);
+    EXPECT_NEAR(fallback.compute_sec, expected.compute_sec, 1e-12);
+    EXPECT_NE(fallback.data_sec, got.data_sec);
+  }
+}
+
+// End-to-end exactness: injecting a fault plan into a *clean* recorded run
+// must reproduce, job for job, the simulated cost of a live run recorded
+// under that same plan — including jobs whose tasks emit non-uniform byte
+// counts (this is what per-task byte recording buys; the average fallback
+// is only exact for uniform outputs). Also pins the recording invariant:
+// the per-task byte vectors sum to the job's charged totals.
+TEST(FaultReplayPerTaskBytes, CleanTraceReplayMatchesLiveFaultedRun) {
+  workload::BagOfWordsConfig config;
+  config.rows = 150;  // 7 partitions -> ragged final partition
+  config.vocab = 80;
+  config.words_per_row = 6;
+  config.seed = 5;
+  const DistMatrix matrix =
+      DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 7);
+
+  core::SpcaOptions options;
+  options.num_components = 3;
+  options.max_iterations = 2;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  options.minimize_intermediate_data = true;  // content-dependent emissions
+
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 1234;
+  fault_spec.task_failure_probability = 0.3;
+  fault_spec.retry_backoff_sec = 0.1;
+  fault_spec.straggler_probability = 0.2;
+  fault_spec.straggler_slowdown = 3.0;
+  const dist::FaultPlan plan(fault_spec);
+
+  const dist::ClusterSpec spec;
+  const dist::ReplayScales unit;
+  for (const dist::EngineMode mode :
+       {dist::EngineMode::kSpark, dist::EngineMode::kMapReduce}) {
+    Engine clean_engine(spec, mode);
+    ASSERT_TRUE(core::Spca(&clean_engine, options).Fit(matrix).ok());
+    Engine faulted_engine(spec, mode);
+    faulted_engine.SetFaultPlan(plan);
+    ASSERT_TRUE(core::Spca(&faulted_engine, options).Fit(matrix).ok());
+
+    ASSERT_EQ(clean_engine.traces().size(), faulted_engine.traces().size());
+    size_t retries = 0;
+    for (size_t j = 0; j < clean_engine.traces().size(); ++j) {
+      const dist::JobTrace& clean = clean_engine.traces()[j];
+      const dist::JobTrace& live = faulted_engine.traces()[j];
+      retries += live.task_retries;
+
+      // Recording invariant on both runs: per-task charged bytes are
+      // present and sum to the job's stats totals.
+      for (const dist::JobTrace* trace : {&clean, &live}) {
+        ASSERT_EQ(trace->task_intermediate_bytes.size(),
+                  trace->task_flops.size());
+        ASSERT_EQ(trace->task_result_bytes.size(), trace->task_flops.size());
+        uint64_t sum_intermediate = 0;
+        uint64_t sum_result = 0;
+        for (size_t t = 0; t < trace->task_flops.size(); ++t) {
+          sum_intermediate += trace->task_intermediate_bytes[t];
+          sum_result += trace->task_result_bytes[t];
+        }
+        EXPECT_EQ(sum_intermediate, trace->stats.intermediate_bytes)
+            << "job " << trace->name;
+        EXPECT_EQ(sum_result, trace->stats.result_bytes)
+            << "job " << trace->name;
+      }
+
+      const double replayed =
+          dist::ReplayJobCostWithFaults(clean, spec, mode, unit, plan, j)
+              .Total();
+      const double real = live.stats.simulated_seconds;
+      EXPECT_NEAR(replayed, real, 1e-9 * std::max(1.0, real))
+          << "job " << clean.name << " mode "
+          << dist::EngineModeToString(mode);
+    }
+    EXPECT_GT(retries, 0u);  // the live run actually experienced faults
+  }
 }
 
 }  // namespace

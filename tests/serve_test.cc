@@ -1,0 +1,619 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/solve.h"
+#include "obs/registry.h"
+#include "serve/model_io.h"
+#include "serve/model_registry.h"
+#include "serve/projector.h"
+#include "serve/service.h"
+#include "workload/load_gen.h"
+
+namespace spca::serve {
+namespace {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+using linalg::SparseEntry;
+using linalg::SparseVector;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// A small deterministic model with non-trivial mean and noise variance.
+core::PcaModel TestModel(size_t dim = 20, size_t components = 3,
+                         double scale = 1.0) {
+  core::PcaModel model;
+  model.components = DenseMatrix(dim, components);
+  model.mean = DenseVector(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    model.mean[i] = 0.25 * static_cast<double>(i % 5) - 0.3;
+    for (size_t j = 0; j < components; ++j) {
+      model.components(i, j) =
+          scale * (0.1 * static_cast<double>(i + 1) -
+                   0.37 * static_cast<double>(j + 1) +
+                   0.01 * static_cast<double>((i * 7 + j * 13) % 11));
+    }
+  }
+  model.noise_variance = 0.05;
+  return model;
+}
+
+/// Naive reference projection: x = (C'C + ss*I)^{-1} C'(y - mean), computed
+/// with plain loops and a dense solve.
+DenseVector ReferenceProject(const core::PcaModel& model,
+                             const DenseVector& y) {
+  const size_t dim = model.input_dim();
+  const size_t d = model.num_components();
+  DenseMatrix m(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < d; ++b) {
+      double sum = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        sum += model.components(i, a) * model.components(i, b);
+      }
+      m(a, b) = sum;
+    }
+  }
+  m.AddScaledIdentity(model.noise_variance);
+  DenseMatrix rhs(d, 1);
+  for (size_t a = 0; a < d; ++a) {
+    double sum = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      sum += model.components(i, a) * (y[i] - model.mean[i]);
+    }
+    rhs(a, 0) = sum;
+  }
+  auto solved = linalg::SolveLu(m, rhs);
+  DenseVector x(d);
+  for (size_t a = 0; a < d; ++a) x[a] = solved.value()(a, 0);
+  return x;
+}
+
+SparseVector SparseQuery(size_t dim) {
+  std::vector<SparseEntry> entries = {
+      {1, 0.5}, {4, -1.25}, {7, 2.0}, {static_cast<uint32_t>(dim - 1), 0.75}};
+  return SparseVector(std::move(entries), dim);
+}
+
+DenseVector DenseFromSparse(const SparseVector& sparse) {
+  DenseVector dense(sparse.dim());
+  for (const SparseEntry& entry : sparse.entries()) {
+    dense[entry.index] = entry.value;
+  }
+  return dense;
+}
+
+// ---- Model persistence ---------------------------------------------------
+
+TEST(ModelIoTest, RoundTripIsBitIdentical) {
+  const core::PcaModel model = TestModel();
+  const std::string path = TempPath("roundtrip.spcm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+
+  auto loaded = LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->input_dim(), model.input_dim());
+  EXPECT_EQ(loaded->num_components(), model.num_components());
+  // Bit identity, not approximate equality: the format stores raw IEEE
+  // bits, so every double must come back exactly.
+  EXPECT_EQ(loaded->noise_variance, model.noise_variance);
+  for (size_t i = 0; i < model.input_dim(); ++i) {
+    EXPECT_EQ(loaded->mean[i], model.mean[i]);
+    for (size_t j = 0; j < model.num_components(); ++j) {
+      EXPECT_EQ(loaded->components(i, j), model.components(i, j));
+    }
+  }
+
+  // Saving the loaded model reproduces the file byte for byte.
+  const std::string path2 = TempPath("roundtrip2.spcm");
+  ASSERT_TRUE(SaveModel(loaded.value(), path2).ok());
+  std::FILE* f1 = std::fopen(path.c_str(), "rb");
+  std::FILE* f2 = std::fopen(path2.c_str(), "rb");
+  ASSERT_NE(f1, nullptr);
+  ASSERT_NE(f2, nullptr);
+  int c1, c2;
+  do {
+    c1 = std::fgetc(f1);
+    c2 = std::fgetc(f2);
+    EXPECT_EQ(c1, c2);
+  } while (c1 != EOF && c2 != EOF);
+  std::fclose(f1);
+  std::fclose(f2);
+}
+
+TEST(ModelIoTest, FileSizeMatchesFormula) {
+  const core::PcaModel model = TestModel(11, 4);
+  const std::string path = TempPath("sized.spcm");
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  EXPECT_EQ(static_cast<uint64_t>(size), ModelFileSize(11, 4));
+}
+
+TEST(ModelIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadModel(TempPath("never_written.spcm"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+class ModelCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corrupt.spcm");
+    ASSERT_TRUE(SaveModel(TestModel(), path_).ok());
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) bytes_.push_back(static_cast<char>(c));
+    std::fclose(f);
+  }
+
+  void WriteBytes(const std::vector<char>& bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  void ExpectRejected(const std::string& why_substring) {
+    auto loaded = LoadModel(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find("corrupt"), std::string::npos)
+        << loaded.status().ToString();
+    EXPECT_NE(loaded.status().message().find(why_substring),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(ModelCorruptionTest, TruncatedHeaderRejected) {
+  WriteBytes(std::vector<char>(bytes_.begin(), bytes_.begin() + 10));
+  ExpectRejected("truncated");
+}
+
+TEST_F(ModelCorruptionTest, TruncatedPayloadRejected) {
+  WriteBytes(std::vector<char>(bytes_.begin(), bytes_.end() - 16));
+  ExpectRejected("size");
+}
+
+TEST_F(ModelCorruptionTest, TrailingGarbageRejected) {
+  std::vector<char> bytes = bytes_;
+  bytes.push_back('x');
+  WriteBytes(bytes);
+  ExpectRejected("size");
+}
+
+TEST_F(ModelCorruptionTest, BadMagicRejected) {
+  std::vector<char> bytes = bytes_;
+  bytes[0] ^= 0x40;
+  WriteBytes(bytes);
+  ExpectRejected("magic");
+}
+
+TEST_F(ModelCorruptionTest, WrongVersionRejected) {
+  std::vector<char> bytes = bytes_;
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  WriteBytes(bytes);
+  ExpectRejected("version");
+}
+
+TEST_F(ModelCorruptionTest, FlippedPayloadByteFailsChecksum) {
+  std::vector<char> bytes = bytes_;
+  bytes[bytes.size() / 2] ^= 0x01;  // somewhere in the doubles
+  WriteBytes(bytes);
+  ExpectRejected("checksum");
+}
+
+TEST_F(ModelCorruptionTest, FlippedChecksumByteRejected) {
+  std::vector<char> bytes = bytes_;
+  bytes.back() ^= 0x01;
+  WriteBytes(bytes);
+  ExpectRejected("checksum");
+}
+
+// ---- Projector -----------------------------------------------------------
+
+TEST(ProjectorTest, MatchesNaiveReference) {
+  const core::PcaModel model = TestModel();
+  auto projector = Projector::Create(model);
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  const SparseVector query = SparseQuery(model.input_dim());
+  const DenseVector dense_query = DenseFromSparse(query);
+  const DenseVector expected = ReferenceProject(model, dense_query);
+
+  const DenseVector via_sparse = projector->Project(query);
+  const DenseVector via_dense = projector->Project(dense_query);
+  ASSERT_EQ(via_sparse.size(), expected.size());
+  for (size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_NEAR(via_sparse[j], expected[j], 1e-9) << "component " << j;
+    EXPECT_NEAR(via_dense[j], expected[j], 1e-9) << "component " << j;
+  }
+}
+
+TEST(ProjectorTest, RejectsEmptyAndMismatchedModels) {
+  EXPECT_FALSE(Projector::Create(core::PcaModel{}).ok());
+  core::PcaModel mismatched = TestModel();
+  mismatched.mean = DenseVector(3);
+  EXPECT_FALSE(Projector::Create(mismatched).ok());
+}
+
+TEST(ProjectorTest, QueryFlopsAccounting) {
+  auto projector = Projector::Create(TestModel(20, 3));
+  ASSERT_TRUE(projector.ok());
+  // 2*nnz*d + d + 2*d*d with nnz=4, d=3.
+  EXPECT_EQ(projector->QueryFlops(4), 2ull * 4 * 3 + 3 + 2ull * 3 * 3);
+}
+
+// ---- Registry ------------------------------------------------------------
+
+TEST(ModelRegistryTest, LoadGetRemove) {
+  const std::string path = TempPath("registry.spcm");
+  ASSERT_TRUE(SaveModel(TestModel(), path).ok());
+
+  obs::Registry metrics;
+  ModelRegistry registry(&metrics);
+  EXPECT_EQ(registry.Get("m"), nullptr);
+  ASSERT_TRUE(registry.Load("m", path).ok());
+  ASSERT_NE(registry.Get("m"), nullptr);
+  EXPECT_EQ(registry.Get("m")->input_dim(), 20u);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"m"});
+  EXPECT_EQ(metrics.FindCounter("serve.model_loads")->AsUint64(), 1u);
+
+  EXPECT_TRUE(registry.Remove("m"));
+  EXPECT_FALSE(registry.Remove("m"));
+  EXPECT_EQ(registry.Get("m"), nullptr);
+}
+
+TEST(ModelRegistryTest, FailedLoadKeepsServingOldModel) {
+  obs::Registry metrics;
+  ModelRegistry registry(&metrics);
+  ASSERT_TRUE(registry.Install("m", TestModel()).ok());
+  const auto before = registry.Get("m");
+  EXPECT_FALSE(registry.Load("m", TempPath("no_such.spcm")).ok());
+  EXPECT_EQ(registry.Get("m"), before);
+}
+
+TEST(ModelRegistryTest, SwapCountsAndSnapshotsSurvive) {
+  obs::Registry metrics;
+  ModelRegistry registry(&metrics);
+  ASSERT_TRUE(registry.Install("m", TestModel(20, 3, 1.0)).ok());
+  const auto snapshot = registry.Get("m");
+  ASSERT_TRUE(registry.Install("m", TestModel(20, 3, 2.0)).ok());
+  EXPECT_EQ(metrics.FindCounter("serve.model_swaps")->AsUint64(), 1u);
+  // The pre-swap snapshot still serves the old coefficients.
+  EXPECT_EQ(snapshot->model().components(0, 0),
+            TestModel(20, 3, 1.0).components(0, 0));
+  EXPECT_NE(registry.Get("m"), snapshot);
+}
+
+// ---- Service -------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceOptions Options(size_t queue_capacity = 64, size_t batch_max = 8) {
+    ServiceOptions options;
+    options.num_threads = 2;
+    options.batch_max = batch_max;
+    options.queue_capacity = queue_capacity;
+    options.metrics = &metrics_;
+    return options;
+  }
+
+  uint64_t CounterValue(const char* name) {
+    const auto* counter = metrics_.FindCounter(name);
+    return counter == nullptr ? 0 : counter->AsUint64();
+  }
+
+  obs::Registry metrics_;
+  ModelRegistry models_{&metrics_};
+};
+
+TEST_F(ServiceTest, BatchedEqualsRowAtATimeBitIdentical) {
+  const core::PcaModel model = TestModel(40, 5);
+  ASSERT_TRUE(models_.Install("m", model).ok());
+  auto reference = Projector::Create(model);
+  ASSERT_TRUE(reference.ok());
+
+  workload::QuerySetConfig sparse_config;
+  sparse_config.num_queries = 64;
+  sparse_config.dim = 40;
+  sparse_config.nnz_per_query = 6.0;
+  sparse_config.seed = 9;
+  const auto sparse_queries = workload::GenerateQueries(sparse_config);
+  workload::QuerySetConfig dense_config = sparse_config;
+  dense_config.dense = true;
+  const auto dense_queries = workload::GenerateQueries(dense_config);
+
+  ProjectionService service(&models_, Options(256, 8));
+  // Enqueue everything before Start so requests coalesce into full
+  // batches; the batch path must still match row-at-a-time bits.
+  std::vector<std::future<ProjectionResponse>> futures;
+  for (const auto& query : sparse_queries) {
+    ProjectionRequest request;
+    request.model = "m";
+    request.sparse = query.sparse;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (const auto& query : dense_queries) {
+    ProjectionRequest request;
+    request.model = "m";
+    request.dense = query.dense;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  ASSERT_TRUE(service.Start().ok());
+
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ProjectionResponse response = futures[i].get();
+    ASSERT_EQ(response.outcome, RequestOutcome::kOk) << "request " << i;
+    const bool is_dense = i >= sparse_queries.size();
+    const DenseVector expected =
+        is_dense
+            ? reference->Project(dense_queries[i - sparse_queries.size()].dense)
+            : reference->Project(sparse_queries[i].sparse);
+    ASSERT_EQ(response.coordinates.size(), expected.size());
+    for (size_t j = 0; j < expected.size(); ++j) {
+      // Bit-identical, not approximately equal: batching must not change
+      // arithmetic.
+      EXPECT_EQ(response.coordinates[j], expected[j])
+          << "request " << i << " component " << j;
+    }
+    EXPECT_GT(response.batch_size, 0u);
+  }
+  service.Stop();
+  EXPECT_EQ(CounterValue("serve.ok"), futures.size());
+  EXPECT_GE(CounterValue("serve.batches"),
+            futures.size() / Options().batch_max);
+  EXPECT_GT(metrics_.FindHistogram("serve.latency_sec")->count(), 0u);
+  EXPECT_GT(metrics_.FindHistogram("serve.latency_sec")->Quantile(0.95), 0.0);
+}
+
+TEST_F(ServiceTest, ShedsWhenQueueFull) {
+  ASSERT_TRUE(models_.Install("m", TestModel()).ok());
+  ProjectionService service(&models_, Options(/*queue_capacity=*/4));
+  // Not started: the queue can only fill.
+  std::vector<std::future<ProjectionResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    ProjectionRequest request;
+    request.model = "m";
+    request.sparse = SparseQuery(20);
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  // Requests beyond the capacity resolve immediately as shed.
+  for (size_t i = 4; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get().outcome, RequestOutcome::kShed);
+  }
+  EXPECT_EQ(CounterValue("serve.shed"), 6u);
+  EXPECT_EQ(service.queue_depth(), 4u);
+
+  ASSERT_TRUE(service.Start().ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[i].get().outcome, RequestOutcome::kOk);
+  }
+  service.Stop();
+  EXPECT_EQ(CounterValue("serve.requests"), 10u);
+  EXPECT_EQ(CounterValue("serve.ok"), 4u);
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineSkipsExecution) {
+  ASSERT_TRUE(models_.Install("m", TestModel()).ok());
+  ProjectionService service(&models_, Options());
+  ProjectionRequest expired;
+  expired.model = "m";
+  expired.sparse = SparseQuery(20);
+  expired.timeout_sec = -1.0;  // already past its deadline at submission
+  auto expired_future = service.Submit(std::move(expired));
+  ProjectionRequest fresh;
+  fresh.model = "m";
+  fresh.sparse = SparseQuery(20);
+  auto fresh_future = service.Submit(std::move(fresh));
+  ASSERT_TRUE(service.Start().ok());
+
+  EXPECT_EQ(expired_future.get().outcome, RequestOutcome::kDeadlineExceeded);
+  EXPECT_EQ(fresh_future.get().outcome, RequestOutcome::kOk);
+  service.Stop();
+  EXPECT_EQ(CounterValue("serve.deadline_exceeded"), 1u);
+  EXPECT_EQ(CounterValue("serve.ok"), 1u);
+}
+
+TEST_F(ServiceTest, UnknownModelAndBadShapeOutcomes) {
+  ASSERT_TRUE(models_.Install("m", TestModel()).ok());
+  ProjectionService service(&models_, Options());
+  ProjectionRequest unknown;
+  unknown.model = "nope";
+  unknown.sparse = SparseQuery(20);
+  auto unknown_future = service.Submit(std::move(unknown));
+  ProjectionRequest misshapen;
+  misshapen.model = "m";
+  misshapen.sparse = SparseQuery(21);  // model dim is 20
+  auto misshapen_future = service.Submit(std::move(misshapen));
+  ASSERT_TRUE(service.Start().ok());
+
+  EXPECT_EQ(unknown_future.get().outcome, RequestOutcome::kNoModel);
+  EXPECT_EQ(misshapen_future.get().outcome, RequestOutcome::kBadRequest);
+  service.Stop();
+  EXPECT_EQ(CounterValue("serve.no_model"), 1u);
+  EXPECT_EQ(CounterValue("serve.bad_request"), 1u);
+}
+
+TEST_F(ServiceTest, StopResolvesQueuedRequestsAsShutdown) {
+  ASSERT_TRUE(models_.Install("m", TestModel()).ok());
+  ProjectionService service(&models_, Options());
+  ProjectionRequest request;
+  request.model = "m";
+  request.sparse = SparseQuery(20);
+  auto queued = service.Submit(std::move(request));
+  service.Stop();  // never started
+  EXPECT_EQ(queued.get().outcome, RequestOutcome::kShutdown);
+
+  ProjectionRequest late;
+  late.model = "m";
+  late.sparse = SparseQuery(20);
+  EXPECT_EQ(service.Submit(std::move(late)).get().outcome,
+            RequestOutcome::kShutdown);
+}
+
+TEST_F(ServiceTest, EmitsBatchSpans) {
+  ASSERT_TRUE(models_.Install("m", TestModel()).ok());
+  ProjectionService service(&models_, Options());
+  ProjectionRequest request;
+  request.model = "m";
+  request.sparse = SparseQuery(20);
+  auto future = service.Submit(std::move(request));
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_EQ(future.get().outcome, RequestOutcome::kOk);
+  service.Stop();
+
+  bool found = false;
+  for (const auto& span : metrics_.spans()) {
+    if (span.name != "serve.batch") continue;
+    found = true;
+    EXPECT_EQ(span.category, "serve");
+    EXPECT_NE(span.FindAttribute("batch_size"), nullptr);
+    EXPECT_NE(span.FindAttribute("flops"), nullptr);
+  }
+  EXPECT_TRUE(found);
+}
+
+// The TSan target for hot-swap: queries run on service worker threads
+// while the main thread swaps the model between two variants. Every
+// response must be computed against exactly one of the two (no torn
+// state), and swaps must not crash in-flight batches.
+TEST_F(ServiceTest, HotSwapUnderConcurrentQueries) {
+  const core::PcaModel model_a = TestModel(20, 3, 1.0);
+  const core::PcaModel model_b = TestModel(20, 3, 2.0);
+  ASSERT_TRUE(models_.Install("m", model_a).ok());
+  auto projector_a = Projector::Create(model_a);
+  auto projector_b = Projector::Create(model_b);
+  ASSERT_TRUE(projector_a.ok());
+  ASSERT_TRUE(projector_b.ok());
+  const SparseVector query = SparseQuery(20);
+  const DenseVector expect_a = projector_a->Project(query);
+  const DenseVector expect_b = projector_b->Project(query);
+
+  ProjectionService service(&models_, Options(4096, 4));
+  ASSERT_TRUE(service.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> served{0};
+  std::thread querier([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ProjectionRequest request;
+      request.model = "m";
+      request.sparse = query;
+      ProjectionResponse response = service.Submit(std::move(request)).get();
+      if (response.outcome != RequestOutcome::kOk) continue;
+      ++served;
+      bool matches_a = true;
+      bool matches_b = true;
+      for (size_t j = 0; j < response.coordinates.size(); ++j) {
+        matches_a = matches_a && response.coordinates[j] == expect_a[j];
+        matches_b = matches_b && response.coordinates[j] == expect_b[j];
+      }
+      if (!matches_a && !matches_b) ++mismatches;
+    }
+  });
+
+  for (int swap = 0; swap < 50; ++swap) {
+    ASSERT_TRUE(
+        models_.Install("m", swap % 2 == 0 ? model_b : model_a).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  querier.join();
+  service.Stop();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(CounterValue("serve.model_swaps"), 50u);
+}
+
+// ---- Load generator ------------------------------------------------------
+
+TEST(LoadGenTest, QueriesAreDeterministicInSeed) {
+  workload::QuerySetConfig config;
+  config.num_queries = 50;
+  config.dim = 100;
+  config.seed = 21;
+  const auto a = workload::GenerateQueries(config);
+  const auto b = workload::GenerateQueries(config);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].sparse.nnz(), b[i].sparse.nnz());
+    for (size_t k = 0; k < a[i].sparse.nnz(); ++k) {
+      EXPECT_EQ(a[i].sparse.entries()[k], b[i].sparse.entries()[k]);
+    }
+    EXPECT_LT(a[i].sparse.entries().back().index, 100u);
+  }
+  config.seed = 22;
+  const auto c = workload::GenerateQueries(config);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size() && !any_different; ++i) {
+    any_different = a[i].sparse.nnz() != c[i].sparse.nnz() ||
+                    !std::equal(a[i].sparse.entries().begin(),
+                                a[i].sparse.entries().end(),
+                                c[i].sparse.entries().begin());
+  }
+  EXPECT_TRUE(any_different);
+
+  config.dense = true;
+  const auto dense = workload::GenerateQueries(config);
+  EXPECT_TRUE(dense[0].is_dense());
+  EXPECT_EQ(dense[0].dense.size(), 100u);
+}
+
+TEST(LoadGenTest, ArrivalScheduleDeterministicAndMonotone) {
+  workload::ArrivalScheduleConfig config;
+  config.qps = 500.0;
+  config.num_arrivals = 200;
+  config.seed = 3;
+  const auto a = workload::GenerateArrivalSchedule(config);
+  const auto b = workload::GenerateArrivalSchedule(config);
+  ASSERT_EQ(a.size(), 200u);
+  EXPECT_EQ(a, b);  // exactly reproducible
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], a[i - 1]);
+  }
+  // The mean gap approximates 1/qps (law of large numbers, loose bound).
+  EXPECT_NEAR(a.back() / static_cast<double>(a.size()), 1.0 / 500.0,
+              0.5 / 500.0);
+
+  config.seed = 4;
+  EXPECT_NE(workload::GenerateArrivalSchedule(config), a);
+}
+
+TEST(LoadGenTest, UniformAndClosedLoopSchedules) {
+  workload::ArrivalScheduleConfig config;
+  config.qps = 100.0;
+  config.num_arrivals = 5;
+  config.poisson = false;
+  const auto uniform = workload::GenerateArrivalSchedule(config);
+  ASSERT_EQ(uniform.size(), 5u);
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    EXPECT_DOUBLE_EQ(uniform[i], 0.01 * static_cast<double>(i + 1));
+  }
+  config.qps = 0.0;  // closed loop: all arrivals immediate
+  const auto closed = workload::GenerateArrivalSchedule(config);
+  EXPECT_EQ(closed, std::vector<double>(5, 0.0));
+}
+
+}  // namespace
+}  // namespace spca::serve

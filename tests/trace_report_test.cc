@@ -123,5 +123,40 @@ TEST(TraceReport, StreamedTraceReproducesAccuracyTableExactly) {
   std::remove(path.c_str());
 }
 
+TEST(TraceReport, PhaseBreakdownDiffFlagsRegressions) {
+  const DistMatrix matrix = TestMatrix();
+  Engine engine_a(dist::ClusterSpec{}, EngineMode::kSpark);
+  ASSERT_TRUE(core::Spca(&engine_a, TestOptions()).Fit(matrix).ok());
+  auto parsed_a = obs::ParseTrace(obs::ChromeTraceJson(*engine_a.registry()));
+  ASSERT_TRUE(parsed_a.ok());
+
+  // Identical traces: every per-phase delta is exactly zero.
+  const obs::PhaseDiffResult self_diff =
+      obs::PhaseBreakdownDiff(parsed_a.value(), parsed_a.value());
+  EXPECT_EQ(self_diff.max_relative_delta, 0.0);
+  EXPECT_NE(self_diff.table.find("em_iteration"), std::string::npos);
+  EXPECT_NE(self_diff.table.find("total"), std::string::npos);
+
+  // A run with half the iterations: the em_iteration phase shrinks, and the
+  // diff must report a non-zero worst phase.
+  core::SpcaOptions short_options = TestOptions();
+  short_options.max_iterations = 2;
+  Engine engine_b(dist::ClusterSpec{}, EngineMode::kSpark);
+  ASSERT_TRUE(core::Spca(&engine_b, short_options).Fit(matrix).ok());
+  auto parsed_b = obs::ParseTrace(obs::ChromeTraceJson(*engine_b.registry()));
+  ASSERT_TRUE(parsed_b.ok());
+
+  const obs::PhaseDiffResult diff =
+      obs::PhaseBreakdownDiff(parsed_a.value(), parsed_b.value());
+  EXPECT_GT(diff.max_relative_delta, 0.0);
+  EXPECT_FALSE(diff.worst_phase.empty());
+  EXPECT_NE(diff.table.find(diff.worst_phase), std::string::npos);
+  // Symmetric comparison flags the same phases (relative deltas are
+  // normalized by A, so the magnitudes differ but non-zero-ness agrees).
+  const obs::PhaseDiffResult reverse =
+      obs::PhaseBreakdownDiff(parsed_b.value(), parsed_a.value());
+  EXPECT_GT(reverse.max_relative_delta, 0.0);
+}
+
 }  // namespace
 }  // namespace spca

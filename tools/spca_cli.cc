@@ -30,6 +30,7 @@
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/stream.h"
+#include "serve/model_io.h"
 #include "workload/datasets.h"
 #include "workload/io.h"
 
@@ -75,6 +76,11 @@ only recovery cost is charged — see DESIGN.md "Fault injection & recovery"):
 Output:
   --output PATH         write components as text (rows = dimensions)
   --output-bin PATH     write components as dense binary
+  --save-model PATH     write the fitted model (components + mean + noise
+                        variance) as a versioned, checksummed binary that
+                        spca_serve / --load-model read back
+  --load-model PATH     skip fitting: load a saved model and go straight to
+                        the output/export flags (no --input needed)
   --seed N              RNG seed (default 1)
 
 Observability:
@@ -121,6 +127,7 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--cols",       "--text-cols",  "--algorithm", "--platform",
       "--components", "--iterations", "--target",    "--partitions",
       "--nodes",      "--failures",   "--output",    "--output-bin",
+      "--save-model", "--load-model",
       "--seed",       "--trace-out",  "--trace-stream", "--flush-every",
       "--replay-rows", "--fault-rate", "--fault-seed", "--straggler-rate",
       "--straggler-slowdown", "--max-retries", "--retry-backoff"};
@@ -314,6 +321,44 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
   return Status::InvalidArgument("unknown --algorithm " + algorithm);
 }
 
+/// Handles --output / --output-bin / --save-model for a model however it
+/// was obtained (fitted this run or loaded from disk).
+int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model) {
+  if (args.Has("--output")) {
+    const Status status = spca::workload::SaveDenseText(
+        model.components, args.Get("--output", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.Get("--output", "").c_str());
+  }
+  if (args.Has("--output-bin")) {
+    const Status status = spca::workload::SaveDenseBinary(
+        model.components, args.Get("--output-bin", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.Get("--output-bin", "").c_str());
+  }
+  if (args.Has("--save-model")) {
+    const std::string path = args.Get("--save-model", "");
+    const Status status = spca::serve::SaveModel(model, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved model (%s) to %s\n",
+                spca::HumanBytes(static_cast<double>(spca::serve::ModelFileSize(
+                                     model.input_dim(),
+                                     model.num_components())))
+                    .c_str(),
+                path.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto args = ParseArgs(argc, argv);
   if (!args.ok()) {
@@ -324,6 +369,20 @@ int Main(int argc, char** argv) {
   if (args->Has("--help") || argc == 1) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  if (args->Has("--load-model")) {
+    // Serving path: no fit, no engine — load the persisted model and run
+    // the output/export flags against it.
+    auto model = spca::serve::LoadModel(args->Get("--load-model", ""));
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded model %s: %zu x %zu, noise variance %.6g\n",
+                args->Get("--load-model", "").c_str(), model->input_dim(),
+                model->num_components(), model->noise_variance);
+    return WriteModelOutputs(*args, model.value());
   }
 
   const size_t partitions = args->GetInt("--partitions", 16);
@@ -458,23 +517,8 @@ int Main(int argc, char** argv) {
     }
   }
 
-  if (args->Has("--output")) {
-    const Status status = spca::workload::SaveDenseText(
-        model->components, args->Get("--output", ""));
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", args->Get("--output", "").c_str());
-  }
-  if (args->Has("--output-bin")) {
-    const Status status = spca::workload::SaveDenseBinary(
-        model->components, args->Get("--output-bin", ""));
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s\n", args->Get("--output-bin", "").c_str());
+  if (const int rc = WriteModelOutputs(*args, model.value()); rc != 0) {
+    return rc;
   }
   if (streamer.is_open()) {
     const size_t live_spans = registry.SpansHeld();

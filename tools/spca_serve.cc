@@ -1,0 +1,394 @@
+// spca_serve — serve projection queries against saved PCA models and
+// measure latency/throughput under a deterministic generated load.
+//
+// Train and save a model, then serve it:
+//   spca_cli --generate tweets --rows 20000 --cols 2000 --components 50
+//            --save-model tweets.spcm
+//   spca_serve --model tweets.spcm --threads 4 --batch-max 64
+//              --queue-cap 1024 --qps 2000 --duration 5
+//
+// The load is open-loop by default (Poisson arrivals at --qps, replayed
+// from a seeded schedule); --qps 0 switches to closed-loop with
+// --concurrency outstanding requests. Run with --help for the full list.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/stream.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+#include "workload/load_gen.h"
+
+namespace {
+
+using spca::Status;
+
+constexpr const char* kUsage = R"(spca_serve — batched PCA projection service
+
+Models:
+  --model PATH          model file written by spca_cli --save-model; repeat
+                        the flag to serve several (NAME=PATH names one —
+                        queries target the first model's name by default)
+
+Service:
+  --threads N           worker threads executing batches (default 4)
+  --batch-max N         max requests coalesced into one batch (default 64)
+  --queue-cap N         admission-control queue bound; requests beyond it
+                        are shed (default 1024)
+  --timeout-sec SEC     per-request deadline while queued (default: none)
+
+Load:
+  --qps RATE            open-loop offered load, Poisson arrivals (default
+                        2000); 0 switches to closed-loop driving
+  --duration SEC        measurement length (default 5)
+  --concurrency N       closed-loop outstanding requests (default 8)
+  --queries N           distinct query rows generated (default 4096)
+  --nnz N               mean non-zeros per sparse query (default 12)
+  --dense               send dense query rows instead of sparse
+  --seed N              query/schedule seed (default 1)
+
+Observability:
+  --metrics             print the metrics registry at exit (includes the
+                        serve.latency_sec p50/p95/p99 columns)
+  --trace-stream PATH   stream serve.batch spans as JSON-lines while running
+  --flush-every N       streaming flush window in batches (default 32)
+
+Flags accept both "--flag value" and "--flag=value".
+)";
+
+struct Options {
+  std::vector<std::pair<std::string, std::string>> models;  // name, path
+  size_t threads = 4;
+  size_t batch_max = 64;
+  size_t queue_cap = 1024;
+  double timeout_sec = 0.0;  // <= 0: none
+  double qps = 2000.0;
+  double duration_sec = 5.0;
+  size_t concurrency = 8;
+  size_t num_queries = 4096;
+  double nnz = 12.0;
+  bool dense = false;
+  uint64_t seed = 1;
+  bool print_metrics = false;
+  std::string trace_stream_path;
+  size_t flush_every = 32;
+};
+
+bool ParseOptions(int argc, char** argv, Options* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_value = true;
+    }
+    auto need_value = [&]() -> bool {
+      if (has_value) return true;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+        return false;
+      }
+      value = argv[++i];
+      return true;
+    };
+    if (flag == "--help") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (flag == "--metrics") {
+      out->print_metrics = true;
+    } else if (flag == "--dense") {
+      out->dense = true;
+    } else if (flag == "--model") {
+      if (!need_value()) return false;
+      // NAME=PATH when the original argument had two '='s the first split
+      // already consumed; here value may itself be NAME=PATH.
+      std::string name, path;
+      if (const size_t eq = value.find('='); eq != std::string::npos) {
+        name = value.substr(0, eq);
+        path = value.substr(eq + 1);
+      } else {
+        name = "model" + std::to_string(out->models.size());
+        path = value;
+      }
+      out->models.emplace_back(name, path);
+    } else if (flag == "--threads") {
+      if (!need_value()) return false;
+      out->threads = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--batch-max") {
+      if (!need_value()) return false;
+      out->batch_max = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--queue-cap") {
+      if (!need_value()) return false;
+      out->queue_cap = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--timeout-sec") {
+      if (!need_value()) return false;
+      out->timeout_sec = std::atof(value.c_str());
+    } else if (flag == "--qps") {
+      if (!need_value()) return false;
+      out->qps = std::atof(value.c_str());
+    } else if (flag == "--duration") {
+      if (!need_value()) return false;
+      out->duration_sec = std::atof(value.c_str());
+    } else if (flag == "--concurrency") {
+      if (!need_value()) return false;
+      out->concurrency = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--queries") {
+      if (!need_value()) return false;
+      out->num_queries = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--nnz") {
+      if (!need_value()) return false;
+      out->nnz = std::atof(value.c_str());
+    } else if (flag == "--seed") {
+      if (!need_value()) return false;
+      out->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--trace-stream") {
+      if (!need_value()) return false;
+      out->trace_stream_path = value;
+    } else if (flag == "--flush-every") {
+      if (!need_value()) return false;
+      out->flush_every = std::strtoul(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n%s", flag.c_str(), kUsage);
+      return false;
+    }
+  }
+  if (out->models.empty()) {
+    std::fprintf(stderr, "error: need at least one --model\n%s", kUsage);
+    return false;
+  }
+  if (out->threads == 0 || out->batch_max == 0 || out->concurrency == 0 ||
+      out->num_queries == 0 || out->duration_sec <= 0.0) {
+    std::fprintf(stderr,
+                 "error: --threads/--batch-max/--concurrency/--queries must "
+                 "be positive and --duration > 0\n");
+    return false;
+  }
+  return true;
+}
+
+struct OutcomeCounts {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline{0};
+  std::atomic<uint64_t> other{0};
+
+  void Count(spca::serve::RequestOutcome outcome) {
+    switch (outcome) {
+      case spca::serve::RequestOutcome::kOk:
+        ++ok;
+        break;
+      case spca::serve::RequestOutcome::kShed:
+        ++shed;
+        break;
+      case spca::serve::RequestOutcome::kDeadlineExceeded:
+        ++deadline;
+        break;
+      default:
+        ++other;
+        break;
+    }
+  }
+  uint64_t Total() const { return ok + shed + deadline + other; }
+};
+
+spca::serve::ProjectionRequest MakeRequest(
+    const std::string& model, const spca::workload::Query& query,
+    double timeout_sec) {
+  spca::serve::ProjectionRequest request;
+  request.model = model;
+  if (query.is_dense()) {
+    request.dense = query.dense;
+  } else {
+    request.sparse = query.sparse;
+  }
+  if (timeout_sec > 0.0) request.timeout_sec = timeout_sec;
+  return request;
+}
+
+/// Replays the seeded arrival schedule in real time, one Submit per
+/// arrival, then waits for every response. Returns measured seconds.
+double RunOpenLoop(spca::serve::ProjectionService* service,
+                   const std::string& model,
+                   const std::vector<spca::workload::Query>& queries,
+                   const std::vector<double>& schedule, double timeout_sec,
+                   OutcomeCounts* counts) {
+  std::vector<std::future<spca::serve::ProjectionResponse>> futures;
+  futures.reserve(schedule.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const auto arrival =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(schedule[i]));
+    std::this_thread::sleep_until(arrival);
+    futures.push_back(service->Submit(
+        MakeRequest(model, queries[i % queries.size()], timeout_sec)));
+  }
+  for (auto& future : futures) counts->Count(future.get().outcome);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// --qps 0: N driver threads each keep one request outstanding until the
+/// measurement window closes.
+double RunClosedLoop(spca::serve::ProjectionService* service,
+                     const std::string& model,
+                     const std::vector<spca::workload::Query>& queries,
+                     double duration_sec, size_t concurrency,
+                     double timeout_sec, OutcomeCounts* counts) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_sec));
+  std::vector<std::thread> drivers;
+  drivers.reserve(concurrency);
+  for (size_t t = 0; t < concurrency; ++t) {
+    drivers.emplace_back([&, t] {
+      size_t i = t;  // stagger which query each driver cycles through
+      while (std::chrono::steady_clock::now() < deadline) {
+        auto future = service->Submit(
+            MakeRequest(model, queries[i % queries.size()], timeout_sec));
+        counts->Count(future.get().outcome);
+        i += concurrency;
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  if (!ParseOptions(argc, argv, &options)) return 2;
+
+  spca::obs::Registry registry;
+  spca::obs::TraceStreamer streamer(&registry, options.flush_every);
+  if (!options.trace_stream_path.empty()) {
+    const Status status = streamer.Open(options.trace_stream_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  spca::serve::ModelRegistry models(&registry);
+  for (const auto& [name, path] : options.models) {
+    const Status status = models.Load(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const auto projector = models.Get(name);
+    std::printf("model %s: %s, %zu x %zu, noise variance %.6g\n",
+                name.c_str(), path.c_str(), projector->input_dim(),
+                projector->num_components(),
+                projector->model().noise_variance);
+  }
+  const std::string target_model = options.models.front().first;
+  const size_t dim = models.Get(target_model)->input_dim();
+
+  spca::workload::QuerySetConfig query_config;
+  query_config.num_queries = options.num_queries;
+  query_config.dim = dim;
+  query_config.dense = options.dense;
+  query_config.nnz_per_query = options.nnz;
+  query_config.seed = options.seed;
+  const std::vector<spca::workload::Query> queries =
+      spca::workload::GenerateQueries(query_config);
+
+  spca::serve::ServiceOptions service_options;
+  service_options.num_threads = options.threads;
+  service_options.batch_max = options.batch_max;
+  service_options.queue_capacity = options.queue_cap;
+  service_options.metrics = &registry;
+  // The dispatcher is the only thread completing "jobs" here, so it may
+  // drive the streaming exporter directly.
+  service_options.notify_job_listener = streamer.is_open();
+  spca::serve::ProjectionService service(&models, service_options);
+  {
+    const Status status = service.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  OutcomeCounts counts;
+  double elapsed;
+  if (options.qps > 0.0) {
+    spca::workload::ArrivalScheduleConfig schedule_config;
+    schedule_config.qps = options.qps;
+    schedule_config.num_arrivals = static_cast<size_t>(options.qps *
+                                                       options.duration_sec);
+    schedule_config.seed = options.seed;
+    const std::vector<double> schedule =
+        spca::workload::GenerateArrivalSchedule(schedule_config);
+    std::printf("open loop: %zu arrivals at %.0f qps offered (seed %llu)\n",
+                schedule.size(), options.qps,
+                static_cast<unsigned long long>(options.seed));
+    elapsed = RunOpenLoop(&service, target_model, queries, schedule,
+                          options.timeout_sec, &counts);
+  } else {
+    std::printf("closed loop: %zu outstanding for %.1f s\n",
+                options.concurrency, options.duration_sec);
+    elapsed = RunClosedLoop(&service, target_model, queries,
+                            options.duration_sec, options.concurrency,
+                            options.timeout_sec, &counts);
+  }
+  service.Stop();
+
+  const auto* latency = registry.FindHistogram("serve.latency_sec");
+  const auto* batches = registry.FindCounter("serve.batches");
+  std::printf(
+      "served %llu requests in %.2f s: %llu ok (%.0f qps), %llu shed, "
+      "%llu deadline-exceeded, %llu other\n",
+      static_cast<unsigned long long>(counts.Total()), elapsed,
+      static_cast<unsigned long long>(counts.ok.load()),
+      static_cast<double>(counts.ok.load()) / elapsed,
+      static_cast<unsigned long long>(counts.shed.load()),
+      static_cast<unsigned long long>(counts.deadline.load()),
+      static_cast<unsigned long long>(counts.other.load()));
+  if (latency != nullptr && latency->count() > 0) {
+    std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms "
+                "(%llu batches, mean batch %.1f)\n",
+                1e3 * latency->Quantile(0.50), 1e3 * latency->Quantile(0.95),
+                1e3 * latency->Quantile(0.99), 1e3 * latency->max(),
+                static_cast<unsigned long long>(
+                    batches != nullptr ? batches->AsUint64() : 0),
+                batches != nullptr && batches->value() > 0
+                    ? static_cast<double>(counts.ok.load()) / batches->value()
+                    : 0.0);
+  }
+
+  if (streamer.is_open()) {
+    const Status status = streamer.Close();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("streamed %zu spans in %zu flushes to %s\n",
+                streamer.spans_written(), streamer.flushes(),
+                streamer.path().c_str());
+  }
+  if (options.print_metrics) {
+    std::printf("\n%s", spca::obs::MetricsTable(registry).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -11,7 +11,9 @@
 //   spca_cli --generate biotext --components 10 --trace-stream run.jsonl
 //   trace_report run.jsonl
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -22,6 +24,7 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: trace_report TRACE_FILE...
+       trace_report --diff TRACE_A TRACE_B [--tolerance FRACTION]
 
 Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
 (--trace-stream) files and prints, per file:
@@ -29,7 +32,36 @@ Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
     (the Figure 4/5 rows, regenerated from span attributes alone)
   * a per-phase job/sim-seconds breakdown (from the engine.phase.* counters
     when the trace carries metrics, else aggregated from the job spans)
+
+--diff compares two traces' per-phase simulated seconds and prints a
+delta table. Exit status is 3 when any phase's |B-A|/A exceeds
+--tolerance (default 0: any per-phase difference fails) — a trace-level
+regression gate for CI.
 )";
+
+int DiffTraces(const char* path_a, const char* path_b, double tolerance) {
+  auto trace_a = spca::obs::LoadTraceFile(path_a);
+  auto trace_b = spca::obs::LoadTraceFile(path_b);
+  for (const auto* loaded : {&trace_a, &trace_b}) {
+    if (!loaded->ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded->status().ToString().c_str());
+      return 1;
+    }
+  }
+  const spca::obs::PhaseDiffResult diff =
+      spca::obs::PhaseBreakdownDiff(trace_a.value(), trace_b.value());
+  std::printf("A: %s\nB: %s\n%s", path_a, path_b, diff.table.c_str());
+  if (diff.max_relative_delta > tolerance) {
+    std::printf("FAIL: phase '%s' differs by %.2f%% (> %.2f%% tolerance)\n",
+                diff.worst_phase.c_str(), 100.0 * diff.max_relative_delta,
+                100.0 * tolerance);
+    return 3;
+  }
+  std::printf("OK: max per-phase delta %.2f%% within %.2f%% tolerance\n",
+              100.0 * diff.max_relative_delta, 100.0 * tolerance);
+  return 0;
+}
 
 int ReportOne(const char* path, bool print_heading) {
   auto trace = spca::obs::LoadTraceFile(path);
@@ -51,6 +83,26 @@ int main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fputs(kUsage, argc < 2 ? stderr : stdout);
     return argc < 2 ? 2 : 0;
+  }
+  if (std::strcmp(argv[1], "--diff") == 0) {
+    if (argc < 4) {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+    double tolerance = 0.0;
+    if (argc >= 5) {
+      if (argc != 6 || std::strcmp(argv[4], "--tolerance") != 0) {
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+      char* end = nullptr;
+      tolerance = std::strtod(argv[5], &end);
+      if (end == argv[5] || *end != '\0' || !(tolerance >= 0.0)) {
+        std::fprintf(stderr, "error: bad --tolerance value '%s'\n", argv[5]);
+        return 2;
+      }
+    }
+    return DiffTraces(argv[2], argv[3], tolerance);
   }
   int exit_code = 0;
   for (int i = 1; i < argc; ++i) {
