@@ -38,7 +38,7 @@ void Run(obs::Registry* registry) {
     options.max_iterations = 10;
     options.target_accuracy_fraction = 2.0;  // trace all iterations
     options.ideal_error_override = ideal;
-    auto result = core::Spca(&engine, options).Fit(dataset.matrix);
+    auto result = core::Spca(&engine, options).Solve(dataset.matrix);
     if (result.ok()) {
       PrintSeries("sPCA-MapReduce", result.value().trace);
     } else {

@@ -56,7 +56,7 @@ void Run(obs::Registry* registry) {
   spca_options.max_iterations = 10;
   spca_options.target_accuracy_fraction = 0.95;
   spca_options.ideal_error_override = ideal;
-  auto spca = core::Spca(&spca_engine, spca_options).Fit(dataset.matrix);
+  auto spca = core::Spca(&spca_engine, spca_options).Solve(dataset.matrix);
   SPCA_CHECK(spca.ok());
 
   dist::Engine mahout_engine(PaperSpec(), dist::EngineMode::kMapReduce,

@@ -37,7 +37,7 @@ void Run(obs::Registry* registry) {
   options.max_iterations = 10;
   options.target_accuracy_fraction = 2.0;  // fixed work across runs
   options.compute_accuracy_trace = false;
-  auto result = core::Spca(&engine, options).Fit(dataset.matrix);
+  auto result = core::Spca(&engine, options).Solve(dataset.matrix);
   SPCA_CHECK(result.ok());
 
   const double row_scale = 1264812931.0 / static_cast<double>(rows);

@@ -208,7 +208,7 @@ RunOutcome RunSpca(dist::EngineMode mode, const dist::DistMatrix& matrix,
   options.target_accuracy_fraction = target_accuracy;
   options.smart_guess = smart_guess;
   options.ideal_error_override = ideal_error;
-  auto result = core::Spca(&engine, options).Fit(matrix);
+  auto result = core::Spca(&engine, options).Solve(matrix);
   if (!result.ok()) {
     outcome.failure = result.status().ToString();
     return outcome;

@@ -56,7 +56,7 @@ int main() {
   pca_options.num_components = 6;
   pca_options.max_iterations = 12;
   pca_options.target_accuracy_fraction = 0.98;
-  auto pca = core::Spca(&engine, pca_options).Fit(documents);
+  auto pca = core::Spca(&engine, pca_options).Solve(documents);
   if (!pca.ok()) {
     std::fprintf(stderr, "sPCA failed: %s\n",
                  pca.status().ToString().c_str());

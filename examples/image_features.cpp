@@ -85,7 +85,7 @@ int main() {
   options.num_components = 16;
   options.max_iterations = 15;
   options.target_accuracy_fraction = 0.98;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   if (!result.ok()) {
     std::fprintf(stderr, "fit failed: %s\n",
                  result.status().ToString().c_str());

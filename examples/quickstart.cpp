@@ -41,7 +41,7 @@ int main() {
   options.num_components = 4;
   options.max_iterations = 20;
   options.target_accuracy_fraction = 0.95;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   if (!result.ok()) {
     std::fprintf(stderr, "fit failed: %s\n",
                  result.status().ToString().c_str());

@@ -51,7 +51,7 @@ int main() {
   options.num_components = 8;
   options.max_iterations = 15;
   options.target_accuracy_fraction = 0.98;
-  auto result = core::Spca(&engine, options).Fit(documents);
+  auto result = core::Spca(&engine, options).Solve(documents);
   if (!result.ok()) {
     std::fprintf(stderr, "fit failed: %s\n",
                  result.status().ToString().c_str());

@@ -47,7 +47,7 @@ StatusOr<MissingValueResult> FitWithMissing(
     const dist::DistMatrix dist_matrix =
         dist::DistMatrix::FromDense(completed, options.num_partitions);
     Spca spca(engine, options.spca);
-    auto fit = spca.Fit(dist_matrix);
+    auto fit = spca.Solve(dist_matrix);
     if (!fit.ok()) return fit.status();
     result.model = std::move(fit.value().model);
 

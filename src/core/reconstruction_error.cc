@@ -115,7 +115,7 @@ double ConvergedIdealError(const dist::ClusterSpec& spec,
   options.target_accuracy_fraction = 2.0;   // run all iterations
   options.compute_accuracy_trace = false;   // no nested ideal computation
   options.seed = seed;
-  auto fit = Spca(&shadow, options).Fit(y);
+  auto fit = Spca(&shadow, options).Solve(y);
   SPCA_CHECK_MSG(fit.ok(), "converged ideal-error fit failed");
   return SampledReconstructionError(sample, fit.value().model.components,
                                     fit.value().model.mean);

@@ -1,0 +1,158 @@
+#ifndef SPCA_CORE_SOLVER_H_
+#define SPCA_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "dist/comm_stats.h"
+#include "dist/dist_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "obs/registry.h"
+
+namespace spca::core {
+
+/// One solver iteration's worth of progress measurements. For the batch EM
+/// solver an iteration is one full pass over Y; for streaming solvers it is
+/// one mini-batch step.
+struct IterationTrace {
+  int iteration = 0;
+  /// Sampled relative 1-norm reconstruction error after this iteration.
+  double error = 0.0;
+  /// Percentage of the ideal accuracy achieved (the paper's y-axis in
+  /// Figures 4 and 5).
+  double accuracy_percent = 0.0;
+  /// Cumulative simulated cluster seconds when this iteration finished.
+  double simulated_seconds = 0.0;
+  /// Cumulative wall-clock seconds in this process.
+  double wall_seconds = 0.0;
+  /// Noise variance ss after this iteration.
+  double ss = 0.0;
+  /// Number of engine job traces recorded when this iteration finished
+  /// (lets benchmarks replay per-iteration timings under other cluster
+  /// specs or data scales).
+  size_t jobs_completed = 0;
+};
+
+/// The outcome of a solve, common to every Solver implementation. Batch
+/// solvers that track accuracy fill `trace` / `ideal_error`; streaming
+/// solvers fill `trace` with per-step ss/time points.
+struct SolveResult {
+  PcaModel model;
+  std::vector<IterationTrace> trace;
+  /// Best achievable error on the evaluation sample with d components.
+  double ideal_error = 0.0;
+  int iterations_run = 0;
+  bool reached_target = false;
+  /// Engine statistics accumulated by this solve only.
+  dist::CommStats stats;
+  /// Number of engine job traces that existed when the (final, full-data)
+  /// fit started; with smart-guess initialization, traces before this
+  /// index belong to the sample pre-fit.
+  size_t first_job_index = 0;
+  /// Peak driver-resident bytes, for solvers that report it (the MLlib
+  /// baseline's D x D covariance); 0 when not tracked.
+  uint64_t driver_bytes = 0;
+};
+
+/// Optional inputs common to every solver — the warm start and telemetry
+/// routing that used to live in the sPCA-specific `FitInit`.
+/// Default-constructed it means "cold start": random initial components and
+/// noise variance, smart-guess pre-fit if the solver's options ask for it,
+/// telemetry into the engine's registry.
+struct FitOptions {
+  /// Warm-start components (D x d). When set, the random initialization
+  /// AND the smart-guess pre-fit are both skipped — the caller's model is
+  /// the starting point (re-fits, checkpoint restarts, the smart-guess
+  /// sample fit itself, a streaming Snapshot() handed to a batch refit).
+  std::optional<linalg::DenseMatrix> components;
+  /// Warm-start noise variance; must be positive when set. Defaults to a
+  /// seeded random draw on cold start and to 1.0 when only `components`
+  /// is supplied.
+  std::optional<double> noise_variance;
+  /// Registry for the solver's spans and counters. Null means the engine's
+  /// own registry, which keeps algorithm spans and engine job spans nested
+  /// in one timeline.
+  obs::Registry* registry = nullptr;
+};
+
+/// The common solver surface. Lifecycle:
+///
+///   Init(options)   — accept warm start / telemetry routing; resets state.
+///   Step(batch)*    — ingest one row batch (a DistMatrix). Batch solvers
+///                     buffer; streaming solvers update (mean, C, ss) now.
+///   Snapshot()      — a serveable PcaModel of the current state, callable
+///                     between Steps (feeds serve::SaveModel / hot swaps).
+///   Result()        — finish and return the full SolveResult.
+///
+/// Single-shot use is `RunSolver(&solver, y, options)` = Init + Step +
+/// Result. Implementations are not thread-safe; external synchronization
+/// is required if Snapshot() races Step() (see stream::StreamPipeline).
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Stable identifier ("spca", "minibatch_em", "oja", "mllib", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Resets solver state and stores warm start + telemetry options.
+  virtual Status Init(const FitOptions& options) = 0;
+
+  /// Ingests one batch of rows. All batches must agree on cols().
+  virtual Status Step(const dist::DistMatrix& batch) = 0;
+
+  /// Current model estimate without ending the solve. Fails if no rows
+  /// have been ingested yet.
+  virtual StatusOr<PcaModel> Snapshot() const = 0;
+
+  /// Finishes the solve over everything ingested so far.
+  virtual StatusOr<SolveResult> Result() = 0;
+};
+
+/// Adapts a single-shot fit function (the batch baselines) to the Solver
+/// surface: Step() buffers batches, Result() concatenates them and runs the
+/// fit. A single Step() hands its DistMatrix through unchanged — same
+/// partitioning, same bits — so adapted solvers are bit-identical to the
+/// direct fit call.
+class BatchSolver : public Solver {
+ public:
+  using FitFn = std::function<StatusOr<SolveResult>(const dist::DistMatrix&,
+                                                    const FitOptions&)>;
+
+  BatchSolver(std::string name, FitFn fit)
+      : name_(std::move(name)), fit_(std::move(fit)) {}
+
+  std::string_view name() const override { return name_; }
+  Status Init(const FitOptions& options) override;
+  Status Step(const dist::DistMatrix& batch) override;
+  StatusOr<PcaModel> Snapshot() const override;
+  StatusOr<SolveResult> Result() override;
+
+ private:
+  StatusOr<SolveResult> FitBuffered() const;
+
+  std::string name_;
+  FitFn fit_;
+  FitOptions options_;
+  std::vector<dist::DistMatrix> batches_;
+};
+
+/// Init + Step + Result in one call — the batch entry point for any solver.
+StatusOr<SolveResult> RunSolver(Solver* solver, const dist::DistMatrix& y,
+                                const FitOptions& options = {});
+
+/// Concatenated view over buffered batches: one batch passes through
+/// unchanged (preserving its partitioning, hence its bits); several are
+/// concatenated by rows with `num_partitions` equal to the sum of the
+/// batches' partition counts.
+StatusOr<dist::DistMatrix> ConcatBatches(
+    const std::vector<dist::DistMatrix>& batches);
+
+}  // namespace spca::core
+
+#endif  // SPCA_CORE_SOLVER_H_

@@ -18,7 +18,8 @@ using dist::DistMatrix;
 using linalg::DenseMatrix;
 using linalg::DenseVector;
 
-StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y, const FitInit& init) const {
+StatusOr<SpcaResult> Spca::Solve(const DistMatrix& y,
+                                 const FitOptions& init) const {
   if (options_.num_components == 0) {
     return Status::InvalidArgument("num_components must be positive");
   }
@@ -100,10 +101,48 @@ StatusOr<SpcaResult> Spca::Fit(const DistMatrix& y, const FitInit& init) const {
 StatusOr<SpcaResult> Spca::FitWithInit(const DistMatrix& y,
                                        DenseMatrix initial_components,
                                        double initial_ss) const {
-  FitInit init;
-  init.components = std::move(initial_components);
-  init.noise_variance = initial_ss;
-  return Fit(y, init);
+  FitOptions fit;
+  fit.components = std::move(initial_components);
+  fit.noise_variance = initial_ss;
+  return Solve(y, fit);
+}
+
+Status Spca::Init(const FitOptions& options) {
+  solve_options_ = options;
+  batches_.clear();
+  return Status::Ok();
+}
+
+Status Spca::Step(const DistMatrix& batch) {
+  if (batch.rows() == 0) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (!batches_.empty() && batch.cols() != batches_.front().cols()) {
+    return Status::InvalidArgument("batch dimensionality changed mid-solve");
+  }
+  batches_.push_back(batch);
+  return Status::Ok();
+}
+
+StatusOr<SpcaResult> Spca::SolveBuffered() const {
+  if (batches_.empty()) {
+    return Status::FailedPrecondition("no rows ingested; call Step first");
+  }
+  auto y = ConcatBatches(batches_);
+  if (!y.ok()) return y.status();
+  return Solve(y.value(), solve_options_);
+}
+
+StatusOr<PcaModel> Spca::Snapshot() const {
+  auto result = SolveBuffered();
+  if (!result.ok()) return result.status();
+  return std::move(result.value().model);
+}
+
+StatusOr<SolveResult> Spca::Result() {
+  auto result = SolveBuffered();
+  batches_.clear();
+  return result;
 }
 
 StatusOr<SpcaResult> Spca::RunEm(const DistMatrix& y,

@@ -2,10 +2,12 @@
 #define SPCA_CORE_SPCA_H_
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "core/pca_model.h"
+#include "core/solver.h"
 #include "core/spca_options.h"
 #include "dist/dist_matrix.h"
 #include "dist/engine.h"
@@ -14,61 +16,14 @@
 
 namespace spca::core {
 
-/// One EM iteration's worth of progress measurements.
-struct IterationTrace {
-  int iteration = 0;
-  /// Sampled relative 1-norm reconstruction error after this iteration.
-  double error = 0.0;
-  /// Percentage of the ideal accuracy achieved (the paper's y-axis in
-  /// Figures 4 and 5).
-  double accuracy_percent = 0.0;
-  /// Cumulative simulated cluster seconds when this iteration finished.
-  double simulated_seconds = 0.0;
-  /// Cumulative wall-clock seconds in this process.
-  double wall_seconds = 0.0;
-  /// Noise variance ss after this iteration.
-  double ss = 0.0;
-  /// Number of engine job traces recorded when this iteration finished
-  /// (lets benchmarks replay per-iteration timings under other cluster
-  /// specs or data scales).
-  size_t jobs_completed = 0;
-};
+/// The outcome of Spca::Solve — the common SolveResult under its historical
+/// name.
+using SpcaResult = SolveResult;
 
-/// The outcome of Spca::Fit.
-struct SpcaResult {
-  PcaModel model;
-  std::vector<IterationTrace> trace;
-  /// Best achievable error on the evaluation sample with d components.
-  double ideal_error = 0.0;
-  int iterations_run = 0;
-  bool reached_target = false;
-  /// Engine statistics accumulated by this fit only.
-  dist::CommStats stats;
-  /// Number of engine job traces that existed when the (final, full-data)
-  /// fit started; with smart-guess initialization, traces before this
-  /// index belong to the sample pre-fit.
-  size_t first_job_index = 0;
-};
-
-/// Optional inputs to Spca::Fit. Default-constructed it means "cold start":
-/// random initial components and noise variance, smart-guess pre-fit if the
-/// options ask for it, telemetry into the engine's registry.
-struct FitInit {
-  /// Warm-start components (D x d). When set, the random initialization
-  /// AND the smart-guess pre-fit are both skipped — the caller's model is
-  /// the starting point (re-fits, checkpoint restarts, the smart-guess
-  /// sample fit itself).
-  std::optional<linalg::DenseMatrix> components;
-  /// Warm-start noise variance; must be positive when set. Defaults to a
-  /// seeded random draw on cold start and to 1.0 when only `components`
-  /// is supplied.
-  std::optional<double> noise_variance;
-  /// Registry for the fit's spans (spca.fit / spca.smart_guess /
-  /// spca.em_iteration) and spca.* counters. Null means the engine's own
-  /// registry, which keeps algorithm spans and engine job spans nested in
-  /// one timeline.
-  obs::Registry* registry = nullptr;
-};
+/// Deprecated: optional inputs to the legacy Spca::Fit shim. `FitInit` was
+/// folded into the solver-agnostic core::FitOptions; the alias keeps old
+/// call sites compiling unchanged.
+using FitInit = FitOptions;
 
 /// sPCA: scalable distributed Probabilistic PCA (the paper's Algorithm 4).
 ///
@@ -81,15 +36,20 @@ struct FitInit {
 /// Typical use:
 ///   dist::Engine engine(spec, dist::EngineMode::kSpark);
 ///   core::Spca spca(&engine, options);
-///   auto result = spca.Fit(matrix);
+///   auto result = spca.Solve(matrix);
 ///   result->model.components;  // D x d principal components
 ///
-/// Warm starts and telemetry routing go through FitInit:
-///   FitInit init;
-///   init.components = previous.model.components;
-///   init.noise_variance = previous.model.noise_variance;
-///   auto refit = spca.Fit(matrix, init);
-class Spca {
+/// Warm starts and telemetry routing go through FitOptions:
+///   FitOptions fit;
+///   fit.components = previous.model.components;
+///   fit.noise_variance = previous.model.noise_variance;
+///   auto refit = spca.Solve(matrix, fit);
+///
+/// Spca also implements the incremental core::Solver surface (Init / Step /
+/// Snapshot / Result): Step buffers batches and Result runs one batch solve
+/// over everything ingested. A single-batch Step solves the caller's matrix
+/// with its original partitioning, bit-identical to Solve.
+class Spca : public Solver {
  public:
   /// `engine` must outlive this object.
   Spca(dist::Engine* engine, const SpcaOptions& options)
@@ -97,16 +57,31 @@ class Spca {
 
   /// Fits a PPCA model to the rows of `y`. Fails on degenerate input
   /// (fewer columns than components, an all-zero matrix, a warm start of
-  /// the wrong shape, ...). `init` carries the optional warm start and the
+  /// the wrong shape, ...). `fit` carries the optional warm start and the
   /// optional telemetry registry; the default is a cold start.
+  StatusOr<SpcaResult> Solve(const dist::DistMatrix& y,
+                             const FitOptions& fit = {}) const;
+
+  /// Deprecated: pre-Solver-API name for Solve. Kept as a shim so existing
+  /// callers and serialized call sites keep working; bit-identical to
+  /// Solve(y, init).
   StatusOr<SpcaResult> Fit(const dist::DistMatrix& y,
-                           const FitInit& init = {}) const;
+                           const FitInit& init = {}) const {
+    return Solve(y, init);
+  }
 
   /// Backwards-compatible shim for the old two-method surface; equivalent
-  /// to Fit(y, {.components=..., .noise_variance=...}).
+  /// to Solve(y, {.components=..., .noise_variance=...}).
   StatusOr<SpcaResult> FitWithInit(const dist::DistMatrix& y,
                                    linalg::DenseMatrix initial_components,
                                    double initial_ss) const;
+
+  // Solver surface.
+  std::string_view name() const override { return "spca"; }
+  Status Init(const FitOptions& options) override;
+  Status Step(const dist::DistMatrix& batch) override;
+  StatusOr<PcaModel> Snapshot() const override;
+  StatusOr<SolveResult> Result() override;
 
   const SpcaOptions& options() const { return options_; }
 
@@ -118,8 +93,14 @@ class Spca {
                              double initial_ss,
                              obs::Registry* registry) const;
 
+  StatusOr<SpcaResult> SolveBuffered() const;
+
   dist::Engine* engine_;
   SpcaOptions options_;
+
+  // Solver-surface state: buffered Step batches and the Init-time options.
+  FitOptions solve_options_;
+  std::vector<dist::DistMatrix> batches_;
 };
 
 }  // namespace spca::core

@@ -171,4 +171,39 @@ DistMatrix DistMatrix::SampleRows(std::span<const size_t> row_indices,
   return FromDense(std::move(sample), num_partitions);
 }
 
+DistMatrix DistMatrix::ConcatRows(std::span<const DistMatrix> parts,
+                                  size_t num_partitions) {
+  SPCA_CHECK_GT(parts.size(), 0u);
+  const size_t cols = parts[0].cols();
+  const Storage storage = parts[0].storage();
+  size_t total_rows = 0;
+  for (const DistMatrix& part : parts) {
+    SPCA_CHECK_EQ(part.cols(), cols);
+    SPCA_CHECK(part.storage() == storage);
+    total_rows += part.rows();
+  }
+  if (storage == Storage::kSparse) {
+    SparseMatrix stacked(total_rows, cols);
+    std::vector<SparseEntry> row;
+    size_t out = 0;
+    for (const DistMatrix& part : parts) {
+      for (size_t i = 0; i < part.rows(); ++i) {
+        const auto view = part.sparse().Row(i);
+        row.assign(view.begin(), view.end());
+        stacked.AppendRow(out++, row);
+      }
+    }
+    return FromSparse(std::move(stacked), num_partitions);
+  }
+  DenseMatrix stacked(total_rows, cols);
+  size_t out = 0;
+  for (const DistMatrix& part : parts) {
+    for (size_t i = 0; i < part.rows(); ++i) {
+      std::memcpy(stacked.RowPtr(out++), part.dense().RowPtr(i),
+                  cols * sizeof(double));
+    }
+  }
+  return FromDense(std::move(stacked), num_partitions);
+}
+
 }  // namespace spca::dist

@@ -113,6 +113,13 @@ class DistMatrix {
   DistMatrix SampleRows(std::span<const size_t> row_indices,
                         size_t num_partitions) const;
 
+  /// Stacks several row-compatible matrices (same cols, same storage kind)
+  /// into one, re-partitioned into `num_partitions` contiguous blocks. Used
+  /// by Solver adapters that buffer mini-batches and finish with one batch
+  /// fit. CHECK-fails on shape/storage mismatch or an empty list.
+  static DistMatrix ConcatRows(std::span<const DistMatrix> parts,
+                               size_t num_partitions);
+
  private:
   Storage storage_ = Storage::kSparse;
   size_t rows_ = 0;

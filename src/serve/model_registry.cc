@@ -7,6 +7,12 @@
 
 namespace spca::serve {
 
+double ModelRegistry::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
 Status ModelRegistry::Load(const std::string& name, const std::string& path) {
   auto model = LoadModel(path);
   if (!model.ok()) return model.status();
@@ -28,14 +34,21 @@ void ModelRegistry::Swap(const std::string& name,
                          std::shared_ptr<const Projector> projector) {
   std::shared_ptr<const Projector> replaced;  // destroyed outside the lock
   bool swapped = false;
+  uint64_t generation = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mutex_);
-    auto& slot = models_[name];
-    swapped = slot != nullptr;
-    replaced = std::exchange(slot, std::move(projector));
+    Entry& slot = models_[name];
+    swapped = slot.projector != nullptr;
+    replaced = std::exchange(slot.projector, std::move(projector));
+    slot.generation += 1;
+    slot.installed_sec = NowSeconds();
+    generation = slot.generation;
   }
-  if (swapped && metrics_ != nullptr) {
-    metrics_->counter("serve.model_swaps")->Add(1);
+  if (metrics_ != nullptr) {
+    if (swapped) metrics_->counter("serve.model_swaps")->Add(1);
+    metrics_->gauge("serve.model_generation." + name)
+        ->Set(static_cast<double>(generation));
+    metrics_->gauge("serve.model_age_seconds." + name)->Set(0.0);
   }
 }
 
@@ -44,7 +57,7 @@ bool ModelRegistry::Remove(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = models_.find(name);
   if (it == models_.end()) return false;
-  removed = std::move(it->second);
+  removed = std::move(it->second.projector);
   models_.erase(it);
   return true;
 }
@@ -54,7 +67,27 @@ std::shared_ptr<const Projector> ModelRegistry::Get(
   std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = models_.find(name);
   if (it == models_.end()) return nullptr;
-  return it->second;
+  return it->second.projector;
+}
+
+std::optional<ModelInfo> ModelRegistry::GetInfo(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return std::nullopt;
+  ModelInfo info;
+  info.generation = it->second.generation;
+  info.age_seconds = std::max(0.0, NowSeconds() - it->second.installed_sec);
+  return info;
+}
+
+void ModelRegistry::RefreshAgeMetrics() const {
+  if (metrics_ == nullptr) return;
+  const double now = NowSeconds();
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [name, entry] : models_) {
+    metrics_->gauge("serve.model_age_seconds." + name)
+        ->Set(std::max(0.0, now - entry.installed_sec));
+  }
 }
 
 std::vector<std::string> ModelRegistry::Names() const {

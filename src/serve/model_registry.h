@@ -1,7 +1,10 @@
 #ifndef SPCA_SERVE_MODEL_REGISTRY_H_
 #define SPCA_SERVE_MODEL_REGISTRY_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -14,6 +17,17 @@
 
 namespace spca::serve {
 
+/// Freshness metadata for one installed model.
+struct ModelInfo {
+  /// Per-name install count: 1 for the first install, bumped by every
+  /// subsequent swap under the same name. Restarts reset it (the registry
+  /// is in-memory); the streaming publisher reports it as the published
+  /// model generation.
+  uint64_t generation = 0;
+  /// Seconds since this generation was installed.
+  double age_seconds = 0.0;
+};
+
 /// Named, hot-swappable collection of servable models. Readers take an
 /// atomic snapshot — a shared_ptr<const Projector> — and keep using it for
 /// the duration of a batch even if the name is swapped or removed
@@ -24,9 +38,13 @@ namespace spca::serve {
 class ModelRegistry {
  public:
   /// `metrics` may be null; when set, serve.model_loads / serve.model_swaps
-  /// counters are recorded.
+  /// counters and per-model serve.model_generation.<name> /
+  /// serve.model_age_seconds.<name> gauges are recorded (age gauges are
+  /// refreshed by RefreshAgeMetrics, typically right before a --metrics
+  /// dump).
   explicit ModelRegistry(obs::Registry* metrics = nullptr)
-      : metrics_(metrics) {}
+      : metrics_(metrics),
+        epoch_(std::chrono::steady_clock::now()) {}
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
@@ -47,18 +65,33 @@ class ModelRegistry {
   /// Snapshot of the projector for `name`, or nullptr when absent.
   std::shared_ptr<const Projector> Get(const std::string& name) const;
 
+  /// Generation and staleness of `name`, or nullopt when absent.
+  std::optional<ModelInfo> GetInfo(const std::string& name) const;
+
+  /// Re-publishes serve.model_age_seconds.<name> gauges from the current
+  /// clock; a no-op without a metrics registry.
+  void RefreshAgeMetrics() const;
+
   /// Sorted names of the currently installed models.
   std::vector<std::string> Names() const;
 
   size_t size() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const Projector> projector;
+    uint64_t generation = 0;
+    double installed_sec = 0.0;
+  };
+
   void Swap(const std::string& name,
             std::shared_ptr<const Projector> projector);
+  double NowSeconds() const;
 
   obs::Registry* metrics_;
+  const std::chrono::steady_clock::time_point epoch_;
   mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const Projector>> models_;
+  std::unordered_map<std::string, Entry> models_;
 };
 
 }  // namespace spca::serve

@@ -1,0 +1,24 @@
+#ifndef SPCA_STREAM_DRIFT_H_
+#define SPCA_STREAM_DRIFT_H_
+
+#include "linalg/dense_matrix.h"
+
+namespace spca::stream {
+
+/// Largest principal angle (radians, in [0, pi/2]) between the column
+/// spaces of `a` and `b` (each D x k; the two k's may differ). Columns are
+/// orthonormalized internally, so any basis — a solver's raw C, a published
+/// model's components — can be passed directly. 0 means one subspace
+/// contains the other; pi/2 means some direction of the smaller subspace is
+/// orthogonal to the other. This is the freshness/drift metric: the angle
+/// between a served snapshot and the current truth (or a full-batch refit).
+double SubspaceAngleRadians(const linalg::DenseMatrix& a,
+                            const linalg::DenseMatrix& b);
+
+/// Same, in degrees (what the stream metrics and BENCH_stream report).
+double SubspaceAngleDegrees(const linalg::DenseMatrix& a,
+                            const linalg::DenseMatrix& b);
+
+}  // namespace spca::stream
+
+#endif  // SPCA_STREAM_DRIFT_H_

@@ -1,0 +1,161 @@
+#include "stream/pipeline.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "stream/drift.h"
+
+namespace spca::stream {
+
+namespace {
+
+/// One snapshot handed from the ingest thread to the publisher thread.
+struct PendingPublish {
+  core::PcaModel model;
+  size_t after_batches = 0;
+  uint64_t rows_ingested = 0;
+  double angle_to_reference_rad = -1.0;
+  Stopwatch swap_watch;  // started at snapshot time
+};
+
+}  // namespace
+
+StatusOr<StreamRunSummary> StreamPipeline::Run(const BatchSource& next_batch,
+                                               const ReferenceFn& reference) {
+  StreamRunSummary summary;
+  Stopwatch run_wall;
+  obs::Registry* metrics = options_.metrics;
+
+  // Background publisher state: a one-slot mailbox of the latest snapshot.
+  // If a new snapshot arrives while the previous one is still being
+  // published, the older pending one is superseded (publish latest wins).
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<PendingPublish> pending;
+  bool done = false;
+  std::vector<PublishRecord> log;
+  size_t failures = 0;
+
+  auto do_publish = [&](PendingPublish&& work) {
+    PublishRecord record;
+    record.after_batches = work.after_batches;
+    record.rows_ingested = work.rows_ingested;
+    record.angle_to_reference_rad = work.angle_to_reference_rad;
+    auto generation = publisher_->Publish(work.model);
+    record.ok = generation.ok();
+    record.generation = generation.ok() ? generation.value() : 0;
+    record.swap_latency_sec = work.swap_watch.ElapsedSeconds();
+    if (options_.keep_snapshots) record.snapshot = std::move(work.model);
+    if (metrics != nullptr && record.angle_to_reference_rad >= 0.0) {
+      metrics->gauge("stream.subspace_angle_deg")
+          ->Set(record.angle_to_reference_rad * 180.0 / 3.14159265358979323846);
+    }
+    if (!record.ok) failures += 1;
+    std::lock_guard<std::mutex> lock(mutex);
+    log.push_back(std::move(record));
+  };
+
+  std::thread publisher_thread;
+  if (options_.background_publisher) {
+    publisher_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(mutex);
+      while (true) {
+        cv.wait(lock, [&] { return pending.has_value() || done; });
+        if (!pending.has_value()) {
+          if (done) return;
+          continue;
+        }
+        PendingPublish work = std::move(*pending);
+        pending.reset();
+        lock.unlock();
+        do_publish(std::move(work));
+        lock.lock();
+      }
+    });
+  }
+
+  auto snapshot_and_publish = [&]() -> Status {
+    auto model = solver_->Snapshot();
+    if (!model.ok()) return model.status();
+    PendingPublish work;
+    work.model = std::move(model).value();
+    work.after_batches = summary.batches;
+    work.rows_ingested = summary.rows_ingested;
+    if (reference) {
+      work.angle_to_reference_rad =
+          SubspaceAngleRadians(work.model.components, reference());
+    }
+    work.swap_watch.Reset();
+    if (options_.background_publisher) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (pending.has_value() && metrics != nullptr) {
+        metrics->counter("stream.publish_superseded")->Increment();
+      }
+      pending = std::move(work);
+      cv.notify_one();
+    } else {
+      do_publish(std::move(work));
+    }
+    return Status::Ok();
+  };
+
+  Status failure = Status::Ok();
+  while (options_.max_batches == 0 || summary.batches < options_.max_batches) {
+    auto batch = next_batch();
+    if (!batch.has_value()) break;
+    Status stepped = solver_->Step(*batch);
+    if (!stepped.ok()) {
+      failure = stepped;
+      break;
+    }
+    summary.batches += 1;
+    summary.rows_ingested += batch->rows();
+    if (metrics != nullptr) {
+      metrics->counter("stream.pipeline_batches")->Increment();
+    }
+    if (options_.publish_every_batches > 0 &&
+        summary.batches % options_.publish_every_batches == 0) {
+      Status published = snapshot_and_publish();
+      if (!published.ok()) {
+        failure = published;
+        break;
+      }
+    }
+  }
+
+  // Final snapshot so the served model reflects the whole run (skipped when
+  // the loop already published at this exact batch count).
+  if (failure.ok() && summary.batches > 0 &&
+      (options_.publish_every_batches == 0 ||
+       summary.batches % options_.publish_every_batches != 0)) {
+    failure = snapshot_and_publish();
+  }
+
+  if (options_.background_publisher) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      done = true;
+    }
+    cv.notify_one();
+    publisher_thread.join();
+  }
+  if (!failure.ok()) return failure;
+
+  summary.publish_failures = failures;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    summary.publish_log = std::move(log);
+  }
+  summary.publishes = summary.publish_log.size() - summary.publish_failures;
+  summary.wall_seconds = run_wall.ElapsedSeconds();
+  if (metrics != nullptr) {
+    metrics->gauge("stream.last_run_rows")
+        ->Set(static_cast<double>(summary.rows_ingested));
+  }
+  return summary;
+}
+
+}  // namespace spca::stream

@@ -1,0 +1,94 @@
+#ifndef SPCA_STREAM_PIPELINE_H_
+#define SPCA_STREAM_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/solver.h"
+#include "dist/dist_matrix.h"
+#include "linalg/dense_matrix.h"
+#include "obs/registry.h"
+#include "stream/publisher.h"
+
+namespace spca::stream {
+
+/// Options for StreamPipeline.
+struct StreamPipelineOptions {
+  /// Publish a snapshot after this many ingested batches (0 = only at the
+  /// end of the run).
+  size_t publish_every_batches = 8;
+  /// Stop after this many batches even if the source has more (0 = drain
+  /// the source).
+  size_t max_batches = 0;
+  /// Publish from a dedicated thread so swaps overlap ingestion (the
+  /// train-while-serving deployment); snapshots are still taken on the
+  /// ingest thread, so the solver itself stays single-threaded. When off,
+  /// publishes run inline — fully deterministic.
+  bool background_publisher = false;
+  /// Retain each published snapshot in the summary (benchmarks compare
+  /// them against a full-batch refit afterwards).
+  bool keep_snapshots = false;
+  /// Metrics for the stream.* pipeline counters/gauges. May be null.
+  obs::Registry* metrics = nullptr;
+};
+
+/// One publish that the pipeline performed.
+struct PublishRecord {
+  uint64_t generation = 0;
+  size_t after_batches = 0;
+  uint64_t rows_ingested = 0;
+  /// Wall seconds from snapshot to the registry serving it.
+  double swap_latency_sec = 0.0;
+  /// Largest principal angle (radians) between the published basis and the
+  /// reference basis at publish time; negative when no reference was given.
+  double angle_to_reference_rad = -1.0;
+  bool ok = true;
+  /// Set only with StreamPipelineOptions::keep_snapshots.
+  std::optional<core::PcaModel> snapshot;
+};
+
+/// Summary of one pipeline run.
+struct StreamRunSummary {
+  uint64_t rows_ingested = 0;
+  size_t batches = 0;
+  size_t publishes = 0;
+  size_t publish_failures = 0;
+  double wall_seconds = 0.0;
+  std::vector<PublishRecord> publish_log;
+};
+
+/// Couples a row source, a streaming Solver, and a ModelPublisher into the
+/// ingest -> re-fit -> hot-swap loop: Step each batch, and every
+/// publish_every_batches snapshot the solver and publish into the live
+/// registry while queries keep flowing.
+class StreamPipeline {
+ public:
+  /// Returns the next batch, or nullopt when the stream ends.
+  using BatchSource = std::function<std::optional<dist::DistMatrix>()>;
+  /// Reference basis (D x k) the drift metric compares published snapshots
+  /// against — the stream's current true basis in benchmarks, or a
+  /// full-batch refit.
+  using ReferenceFn = std::function<linalg::DenseMatrix()>;
+
+  /// `solver` must already be Init'ed; both pointers must outlive Run.
+  StreamPipeline(core::Solver* solver, ModelPublisher* publisher,
+                 const StreamPipelineOptions& options)
+      : solver_(solver), publisher_(publisher), options_(options) {}
+
+  /// Runs the ingest loop to completion. Blocks until the source is
+  /// drained (or max_batches reached) and every publish has landed.
+  StatusOr<StreamRunSummary> Run(const BatchSource& next_batch,
+                                 const ReferenceFn& reference = nullptr);
+
+ private:
+  core::Solver* solver_;
+  ModelPublisher* publisher_;
+  StreamPipelineOptions options_;
+};
+
+}  // namespace spca::stream
+
+#endif  // SPCA_STREAM_PIPELINE_H_

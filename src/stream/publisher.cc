@@ -1,0 +1,78 @@
+#include "stream/publisher.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "serve/model_io.h"
+
+namespace spca::stream {
+
+ModelPublisher::ModelPublisher(PublisherOptions options)
+    : options_(std::move(options)) {
+  SPCA_CHECK(options_.registry != nullptr);
+  if (!options_.save_fn) {
+    options_.save_fn = [](const core::PcaModel& model,
+                          const std::string& path) {
+      return serve::SaveModel(model, path);
+    };
+  }
+}
+
+StatusOr<uint64_t> ModelPublisher::Publish(const core::PcaModel& model) {
+  obs::Span span(options_.metrics, "stream.publish", "stream");
+  span.SetAttribute("model", options_.model_name);
+  Stopwatch swap_watch;
+  auto fail = [&](Status status) -> StatusOr<uint64_t> {
+    failures_ += 1;
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("stream.publish_failures")->Increment();
+    }
+    return status;
+  };
+
+  if (!options_.spool_path.empty()) {
+    // Durable handoff: write the complete file beside the spool, then
+    // atomically rename it into place. A fault inside save_fn (or a crash
+    // before the rename) leaves the old spool untouched.
+    const std::string tmp_path = options_.spool_path + ".tmp";
+    Status saved = options_.save_fn(model, tmp_path);
+    if (!saved.ok()) return fail(saved);
+    if (std::rename(tmp_path.c_str(), options_.spool_path.c_str()) != 0) {
+      return fail(Status::Internal("rename failed for " + tmp_path));
+    }
+    if (options_.before_install_hook) {
+      Status hook = options_.before_install_hook();
+      if (!hook.ok()) return fail(hook);
+    }
+    // Load re-reads and checksum-validates the spool, then swaps
+    // atomically; a torn spool is rejected here and the previous
+    // generation keeps serving.
+    Status loaded =
+        options_.registry->Load(options_.model_name, options_.spool_path);
+    if (!loaded.ok()) return fail(loaded);
+  } else {
+    if (options_.before_install_hook) {
+      Status hook = options_.before_install_hook();
+      if (!hook.ok()) return fail(hook);
+    }
+    Status installed = options_.registry->Install(options_.model_name, model);
+    if (!installed.ok()) return fail(installed);
+  }
+
+  publishes_ += 1;
+  auto info = options_.registry->GetInfo(options_.model_name);
+  const uint64_t generation = info.has_value() ? info->generation : 0;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("stream.publishes")->Increment();
+    options_.metrics->histogram("stream.publish_sec")
+        ->Observe(swap_watch.ElapsedSeconds());
+    options_.metrics->gauge("stream.model_generation")
+        ->Set(static_cast<double>(generation));
+  }
+  span.SetAttribute("generation", generation);
+  return generation;
+}
+
+}  // namespace spca::stream

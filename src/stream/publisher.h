@@ -1,0 +1,66 @@
+#ifndef SPCA_STREAM_PUBLISHER_H_
+#define SPCA_STREAM_PUBLISHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/pca_model.h"
+#include "obs/registry.h"
+#include "serve/model_registry.h"
+
+namespace spca::stream {
+
+/// Options for ModelPublisher.
+struct PublisherOptions {
+  /// Registry name the snapshots are served under. Required.
+  serve::ModelRegistry* registry = nullptr;
+  std::string model_name = "stream";
+  /// When non-empty, each publish writes the snapshot through the SPCM
+  /// side-channel: SaveModel to "<spool_path>.tmp", atomic rename over
+  /// spool_path, then registry->Load from the file — the durable
+  /// train-to-serve handoff (a crashed ingestor leaves either the complete
+  /// old spool or the complete new one, and a restarted server reloads
+  /// whichever is there; LoadModel's checksum rejects torn writes). When
+  /// empty, the snapshot is installed in memory.
+  std::string spool_path;
+  /// Metrics for stream.publishes / stream.publish_failures counters and
+  /// the stream.publish_sec swap-latency histogram. May be null.
+  obs::Registry* metrics = nullptr;
+  /// Test seam: replaces serve::SaveModel for the spool write (chaos tests
+  /// inject torn/failed writes here).
+  std::function<Status(const core::PcaModel&, const std::string&)> save_fn;
+  /// Test seam: runs after the spool write but before the registry swap
+  /// (chaos tests simulate an ingestor crash between the two by returning
+  /// an error). A non-OK status aborts the publish; the registry keeps
+  /// serving the previous generation.
+  std::function<Status()> before_install_hook;
+};
+
+/// Publishes solver snapshots into a live ModelRegistry. Publish is
+/// all-or-nothing: on any failure (spool write, checksum validation,
+/// injected fault) the registry still serves the previous complete model —
+/// queries never observe a torn snapshot.
+class ModelPublisher {
+ public:
+  explicit ModelPublisher(PublisherOptions options);
+
+  /// Publishes one snapshot; returns the registry generation now serving
+  /// (1 for the first publish). Thread-safe with respect to registry
+  /// readers; concurrent Publish calls must be externally serialized.
+  StatusOr<uint64_t> Publish(const core::PcaModel& model);
+
+  uint64_t publishes() const { return publishes_; }
+  uint64_t failures() const { return failures_; }
+  const std::string& model_name() const { return options_.model_name; }
+
+ private:
+  PublisherOptions options_;
+  uint64_t publishes_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace spca::stream
+
+#endif  // SPCA_STREAM_PUBLISHER_H_

@@ -1,0 +1,58 @@
+#include "workload/row_stream.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/qr.h"
+
+namespace spca::workload {
+
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+RowStream::RowStream(const RowStreamConfig& config)
+    : config_(config), rng_(config.seed) {
+  SPCA_CHECK_GT(config_.rank, 0u);
+  SPCA_CHECK_LE(config_.rank, config_.dim);
+  SPCA_CHECK_GT(config_.batch_rows, 0u);
+  basis_ = linalg::OrthonormalizeColumns(
+      DenseMatrix::GaussianRandom(config_.dim, config_.rank, &rng_));
+  mean_ = DenseVector(config_.dim);
+  for (size_t j = 0; j < config_.dim; ++j) {
+    mean_[j] = rng_.NextGaussian(0.0, config_.mean_scale);
+  }
+}
+
+void RowStream::Drift() {
+  // Rotate the true subspace: mix a fresh Gaussian into the basis and
+  // re-orthonormalize. drift_amount controls how far the subspace turns.
+  DenseMatrix mixed = basis_;
+  const DenseMatrix g =
+      DenseMatrix::GaussianRandom(config_.dim, config_.rank, &rng_);
+  mixed.AddScaled(config_.drift_amount, g);
+  basis_ = linalg::OrthonormalizeColumns(mixed);
+  drifts_applied_ += 1;
+}
+
+dist::DistMatrix RowStream::NextBatch() {
+  if (config_.drift_every_batches > 0 && batches_emitted_ > 0 &&
+      batches_emitted_ % config_.drift_every_batches == 0) {
+    Drift();
+  }
+  DenseMatrix y(config_.batch_rows, config_.dim);
+  std::vector<double> z(config_.rank);
+  for (size_t i = 0; i < config_.batch_rows; ++i) {
+    for (auto& v : z) v = rng_.NextGaussian(0.0, config_.signal_stddev);
+    for (size_t j = 0; j < config_.dim; ++j) {
+      double value = mean_[j] + rng_.NextGaussian(0.0, config_.noise_stddev);
+      for (size_t k = 0; k < config_.rank; ++k) value += basis_(j, k) * z[k];
+      y(i, j) = value;
+    }
+  }
+  batches_emitted_ += 1;
+  rows_emitted_ += config_.batch_rows;
+  return dist::DistMatrix::FromDense(std::move(y),
+                                     config_.partitions_per_batch);
+}
+
+}  // namespace spca::workload

@@ -1,0 +1,68 @@
+#ifndef SPCA_WORKLOAD_ROW_STREAM_H_
+#define SPCA_WORKLOAD_ROW_STREAM_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dist/dist_matrix.h"
+#include "linalg/dense_matrix.h"
+
+namespace spca::workload {
+
+/// Configuration for RowStream.
+struct RowStreamConfig {
+  size_t dim = 256;
+  size_t rank = 8;
+  /// Rows per NextBatch() call.
+  size_t batch_rows = 256;
+  /// Partitions of each emitted batch DistMatrix.
+  size_t partitions_per_batch = 4;
+  double signal_stddev = 1.0;
+  double noise_stddev = 0.05;
+  double mean_scale = 1.0;
+  /// Rotate the generating basis every this many batches (0 = stationary
+  /// stream). The drift happens *before* the batch it applies to.
+  size_t drift_every_batches = 0;
+  /// Magnitude of each drift step: the basis becomes
+  /// orthonormalize(W + drift_amount * G) with G a fresh Gaussian, so
+  /// larger values rotate the true subspace further per drift event.
+  double drift_amount = 0.15;
+  uint64_t seed = 1;
+};
+
+/// Unbounded synthetic row stream with drift injection: rows are
+/// y = W z + mean + noise with an orthonormal D x rank basis W that rotates
+/// on a schedule. Deterministic function of the config (seed included), so
+/// streaming runs replay exactly. basis() exposes the current ground-truth
+/// subspace — the reference the drift metric compares published snapshots
+/// against.
+class RowStream {
+ public:
+  explicit RowStream(const RowStreamConfig& config);
+
+  /// Generates the next batch (dense storage, config.batch_rows rows).
+  dist::DistMatrix NextBatch();
+
+  /// The current generating basis (D x rank, orthonormal columns).
+  const linalg::DenseMatrix& basis() const { return basis_; }
+  const linalg::DenseVector& mean() const { return mean_; }
+  uint64_t rows_emitted() const { return rows_emitted_; }
+  size_t batches_emitted() const { return batches_emitted_; }
+  /// Number of drift events applied so far.
+  size_t drifts_applied() const { return drifts_applied_; }
+
+ private:
+  void Drift();
+
+  RowStreamConfig config_;
+  Rng rng_;
+  linalg::DenseMatrix basis_;  // D x rank, orthonormal
+  linalg::DenseVector mean_;
+  uint64_t rows_emitted_ = 0;
+  size_t batches_emitted_ = 0;
+  size_t drifts_applied_ = 0;
+};
+
+}  // namespace spca::workload
+
+#endif  // SPCA_WORKLOAD_ROW_STREAM_H_

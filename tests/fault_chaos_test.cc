@@ -146,7 +146,7 @@ TEST(FaultChaosTest, FitIsBitIdenticalUnderRandomizedFaultPlans) {
     Engine engine(ClusterSpec{}, EngineMode::kSpark);
     engine.SetLocalWorkers(3);
     if (plan != nullptr) engine.SetFaultPlan(*plan);
-    auto result = core::Spca(&engine, options).Fit(matrix);
+    auto result = core::Spca(&engine, options).Solve(matrix);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     if (traces_out != nullptr) *traces_out = engine.traces();
     if (retries != nullptr) {

@@ -211,7 +211,7 @@ void RunFitCase(std::string* out, const char* tag, const dist::DistMatrix& y,
   dist::Engine engine(dist::ClusterSpec{}, mode);
   engine.SetLocalWorkers(2);  // exercise the worker-pool path
   core::Spca spca(&engine, options);
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok()) << tag << ": " << result.status().ToString();
   AppendBits(out, tag, result->model.components,
              result->model.noise_variance);

@@ -175,7 +175,7 @@ TEST(KMeansTest, PcaThenKMeansPipeline) {
   pca_options.max_iterations = 15;
   pca_options.target_accuracy_fraction = 2.0;
   pca_options.compute_accuracy_trace = false;
-  auto pca = core::Spca(&engine, pca_options).Fit(blobs.points);
+  auto pca = core::Spca(&engine, pca_options).Solve(blobs.points);
   ASSERT_TRUE(pca.ok());
   const DenseMatrix reduced =
       pca.value().model.Transform(&engine, blobs.points);
@@ -281,7 +281,7 @@ TEST(PpcaMixtureTest, SingleModelMatchesPlainPpcaSubspace) {
   pca_options.max_iterations = 40;
   pca_options.target_accuracy_fraction = 2.0;
   pca_options.compute_accuracy_trace = false;
-  auto pca = core::Spca(&engine, pca_options).Fit(dist);
+  auto pca = core::Spca(&engine, pca_options).Solve(dist);
   ASSERT_TRUE(pca.ok());
 
   EXPECT_LT(test::MaxPrincipalAngle(

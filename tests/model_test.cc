@@ -108,7 +108,7 @@ TEST(PcaModelTest, TransformProjectsOntoComponents) {
   options.num_components = 3;
   options.max_iterations = 25;
   options.target_accuracy_fraction = 2.0;
-  auto fit = Spca(&engine, options).Fit(dist);
+  auto fit = Spca(&engine, options).Solve(dist);
   ASSERT_TRUE(fit.ok());
 
   const DenseMatrix x = fit.value().model.Transform(&engine, dist);
@@ -139,7 +139,7 @@ TEST(PcaModelTest, ExplainedVariancesMatchCovarianceEigenvalues) {
   options.max_iterations = 30;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  auto fit = Spca(&engine, options).Fit(dist);
+  auto fit = Spca(&engine, options).Solve(dist);
   ASSERT_TRUE(fit.ok());
   const DenseVector variances =
       fit.value().model.ExplainedVariances(&engine, dist);

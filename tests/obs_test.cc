@@ -368,7 +368,7 @@ TEST(ObsEngineTest, OneJobSpanPerTraceWithMatchingAttributes) {
   options.max_iterations = 3;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
 
   const auto spans = engine.registry()->spans();
@@ -411,7 +411,7 @@ TEST(ObsEngineTest, CommStatsAndJobTracesMatchRegistryCounters) {
   options.max_iterations = 4;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   ASSERT_TRUE(result.ok());
 
   const Registry* registry = engine.registry();
@@ -474,7 +474,7 @@ TEST(ObsEngineTest, CommStatsMatchRegistryCountersUnderReExecution) {
   options.max_iterations = 4;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   ASSERT_TRUE(result.ok());
 
   const Registry* registry = engine.registry();
@@ -539,7 +539,7 @@ TEST(ObsEngineTest, EmIterationSpansArePresentAndNested) {
   options.max_iterations = 5;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  auto result = core::Spca(&engine, options).Fit(y);
+  auto result = core::Spca(&engine, options).Solve(y);
   ASSERT_TRUE(result.ok());
 
   const auto spans = engine.registry()->spans();
@@ -572,7 +572,7 @@ TEST(ObsEngineTest, ExternalRegistryReceivesAllTelemetry) {
   options.max_iterations = 2;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  ASSERT_TRUE(core::Spca(&engine, options).Fit(y).ok());
+  ASSERT_TRUE(core::Spca(&engine, options).Solve(y).ok());
   EXPECT_GT(registry.FindCounter("engine.jobs_launched")->value(), 0.0);
   EXPECT_FALSE(registry.spans().empty());
 }
@@ -588,7 +588,7 @@ TEST(ObsEngineTest, FitInitRegistryOverridesSolverSpans) {
   options.compute_accuracy_trace = false;
   core::FitInit init;
   init.registry = &solver_registry;
-  ASSERT_TRUE(core::Spca(&engine, options).Fit(y, init).ok());
+  ASSERT_TRUE(core::Spca(&engine, options).Solve(y, init).ok());
   // Solver spans land in the override; engine job spans stay with the
   // engine's own registry.
   bool solver_has_fit = false;
@@ -610,7 +610,7 @@ TEST(ObsEngineTest, WarmStartShimMatchesFitInit) {
   options.compute_accuracy_trace = false;
 
   Engine e1(dist::ClusterSpec{}, EngineMode::kSpark);
-  auto cold = core::Spca(&e1, options).Fit(y);
+  auto cold = core::Spca(&e1, options).Solve(y);
   ASSERT_TRUE(cold.ok());
 
   Engine e2(dist::ClusterSpec{}, EngineMode::kSpark);
@@ -620,7 +620,7 @@ TEST(ObsEngineTest, WarmStartShimMatchesFitInit) {
   core::FitInit init;
   init.components = cold.value().model.components;
   init.noise_variance = cold.value().model.noise_variance;
-  auto via_init = core::Spca(&e3, options).Fit(y, init);
+  auto via_init = core::Spca(&e3, options).Solve(y, init);
   ASSERT_TRUE(via_shim.ok());
   ASSERT_TRUE(via_init.ok());
   EXPECT_EQ(via_shim.value().model.components.MaxAbsDiff(
@@ -663,8 +663,8 @@ TEST(ObsEngineTest, PooledExecutionMatchesInlineExecution) {
   inline_engine.SetLocalWorkers(1);
   Engine pooled_engine(dist::ClusterSpec{}, EngineMode::kSpark);
   pooled_engine.SetLocalWorkers(4);
-  auto inline_fit = core::Spca(&inline_engine, options).Fit(y);
-  auto pooled_fit = core::Spca(&pooled_engine, options).Fit(y);
+  auto inline_fit = core::Spca(&inline_engine, options).Solve(y);
+  auto pooled_fit = core::Spca(&pooled_engine, options).Solve(y);
   ASSERT_TRUE(inline_fit.ok());
   ASSERT_TRUE(pooled_fit.ok());
   // Partition-ordered results make the numerics independent of scheduling,
@@ -704,7 +704,7 @@ TEST(ObsEngineTest, ResetStatsClearsEngineMetricsButKeepsSolverCounters) {
   options.max_iterations = 2;
   options.target_accuracy_fraction = 2.0;
   options.compute_accuracy_trace = false;
-  ASSERT_TRUE(core::Spca(&engine, options).Fit(y).ok());
+  ASSERT_TRUE(core::Spca(&engine, options).Solve(y).ok());
   ASSERT_GT(engine.stats().jobs_launched, 0u);
   engine.ResetStats();
   EXPECT_EQ(engine.stats().jobs_launched, 0u);

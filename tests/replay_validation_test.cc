@@ -76,9 +76,9 @@ TEST_P(ReplayValidation, ScaledReplayMatchesRealScaledRun) {
     Engine small_engine(dist::ClusterSpec{}, mode);
     Engine large_engine(dist::ClusterSpec{}, mode);
     auto small_fit =
-        core::Spca(&small_engine, FixedWorkOptions()).Fit(small);
+        core::Spca(&small_engine, FixedWorkOptions()).Solve(small);
     auto large_fit =
-        core::Spca(&large_engine, FixedWorkOptions()).Fit(large);
+        core::Spca(&large_engine, FixedWorkOptions()).Solve(large);
     ASSERT_TRUE(small_fit.ok());
     ASSERT_TRUE(large_fit.ok());
 
@@ -165,7 +165,7 @@ TEST(ReplayIdentityProperty, UnitScaleReplayMatchesAccountedCost) {
     options.seed = rng.NextUint64();
 
     Engine engine(spec, mode);
-    auto fit = core::Spca(&engine, options).Fit(matrix);
+    auto fit = core::Spca(&engine, options).Solve(matrix);
     ASSERT_TRUE(fit.ok()) << fit.status().ToString();
     ASSERT_FALSE(engine.traces().size() == 0);
 
@@ -299,10 +299,10 @@ TEST(FaultReplayPerTaskBytes, CleanTraceReplayMatchesLiveFaultedRun) {
   for (const dist::EngineMode mode :
        {dist::EngineMode::kSpark, dist::EngineMode::kMapReduce}) {
     Engine clean_engine(spec, mode);
-    ASSERT_TRUE(core::Spca(&clean_engine, options).Fit(matrix).ok());
+    ASSERT_TRUE(core::Spca(&clean_engine, options).Solve(matrix).ok());
     Engine faulted_engine(spec, mode);
     faulted_engine.SetFaultPlan(plan);
-    ASSERT_TRUE(core::Spca(&faulted_engine, options).Fit(matrix).ok());
+    ASSERT_TRUE(core::Spca(&faulted_engine, options).Solve(matrix).ok());
 
     ASSERT_EQ(clean_engine.traces().size(), faulted_engine.traces().size());
     size_t retries = 0;

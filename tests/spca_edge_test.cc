@@ -44,7 +44,7 @@ TEST(SpcaEdgeTest, ComponentsEqualToDimensionality) {
   const DistMatrix y = SmallData(60, 6, 1);
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
   Spca spca(&engine, QuietOptions(6, 8));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().model.num_components(), 6u);
 }
@@ -53,7 +53,7 @@ TEST(SpcaEdgeTest, SingleIteration) {
   const DistMatrix y = SmallData(80, 10, 2);
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
   Spca spca(&engine, QuietOptions(2, 1));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().iterations_run, 1);
 }
@@ -62,7 +62,7 @@ TEST(SpcaEdgeTest, TraceDisabledMeansEmptyTrace) {
   const DistMatrix y = SmallData(80, 10, 3);
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
   Spca spca(&engine, QuietOptions(2, 4));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().trace.empty());
   EXPECT_EQ(result.value().ideal_error, 0.0);
@@ -75,7 +75,7 @@ TEST(SpcaEdgeTest, ErrorSampleLargerThanMatrixIsClamped) {
   options.compute_accuracy_trace = true;
   options.error_sample_rows = 10000;  // > N
   Spca spca(&engine, options);
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().trace.size(), 3u);
 }
@@ -87,7 +87,7 @@ TEST(SpcaEdgeTest, IdealErrorOverrideIsUsedVerbatim) {
   options.compute_accuracy_trace = true;
   options.ideal_error_override = 0.123;
   Spca spca(&engine, options);
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(result.value().ideal_error, 0.123);
 }
@@ -108,7 +108,7 @@ TEST(SpcaEdgeTest, WarmStartFromPreviousModelConverges) {
   const DistMatrix y = SmallData(200, 12, 7);
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
   Spca spca(&engine, QuietOptions(3, 6));
-  auto first = spca.Fit(y);
+  auto first = spca.Solve(y);
   ASSERT_TRUE(first.ok());
   auto second = spca.FitWithInit(y, first.value().model.components,
                                  first.value().model.noise_variance);
@@ -127,7 +127,7 @@ TEST(SpcaEdgeTest, SmartGuessFallsBackOnTinyInputs) {
   options.smart_guess = true;
   options.smart_guess_rows = 100;  // > N/2
   Spca spca(&engine, options);
-  EXPECT_TRUE(spca.Fit(y).ok());
+  EXPECT_TRUE(spca.Solve(y).ok());
 }
 
 TEST(SpcaEdgeTest, FailsWhenDriverMemoryTooSmall) {
@@ -136,7 +136,7 @@ TEST(SpcaEdgeTest, FailsWhenDriverMemoryTooSmall) {
   spec.driver_memory_bytes = 1024;  // smaller than the runtime baseline
   Engine engine(spec, EngineMode::kSpark);
   Spca spca(&engine, QuietOptions(2, 2));
-  const auto result = spca.Fit(y);
+  const auto result = spca.Solve(y);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
   // The failed fit must not leak its driver reservation.
@@ -149,8 +149,8 @@ TEST(SpcaEdgeTest, FaultInjectionDoesNotChangeResults) {
   flaky.task_failure_probability = 0.5;
   Engine healthy_engine(dist::ClusterSpec{}, EngineMode::kSpark);
   Engine flaky_engine(flaky, EngineMode::kSpark);
-  auto healthy = Spca(&healthy_engine, QuietOptions(3, 4)).Fit(y);
-  auto with_failures = Spca(&flaky_engine, QuietOptions(3, 4)).Fit(y);
+  auto healthy = Spca(&healthy_engine, QuietOptions(3, 4)).Solve(y);
+  auto with_failures = Spca(&flaky_engine, QuietOptions(3, 4)).Solve(y);
   ASSERT_TRUE(healthy.ok());
   ASSERT_TRUE(with_failures.ok());
   EXPECT_EQ(healthy.value().model.components.MaxAbsDiff(
@@ -192,7 +192,7 @@ TEST_P(SpcaShapeSweep, FitSucceedsAndIsWellFormed) {
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
   const size_t d = std::min<size_t>(3, cols);
   Spca spca(&engine, QuietOptions(d, 3));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().model.components.rows(),
             static_cast<size_t>(cols));

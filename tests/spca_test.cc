@@ -68,7 +68,7 @@ TEST(SpcaTest, RecoversPlantedSubspace) {
   const DistMatrix y = LowRankMatrix(400, 30, 4, 4, &truth);
   Engine engine(TestSpec(), EngineMode::kSpark);
   Spca spca(&engine, BasicOptions(4, 40));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const double angle =
       test::MaxPrincipalAngle(result.value().model.components, truth);
@@ -79,7 +79,7 @@ TEST(SpcaTest, ErrorDecreasesOverIterations) {
   const DistMatrix y = LowRankMatrix(300, 25, 3, 4, nullptr);
   Engine engine(TestSpec(), EngineMode::kSpark);
   Spca spca(&engine, BasicOptions(3, 15));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   const auto& trace = result.value().trace;
   ASSERT_GE(trace.size(), 2u);
@@ -98,7 +98,7 @@ TEST(SpcaTest, SparseInputWorks) {
       DistMatrix::FromSparse(workload::GenerateBagOfWords(config), 4);
   Engine engine(TestSpec(), EngineMode::kSpark);
   Spca spca(&engine, BasicOptions(8, 10));
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result.value().model.components.rows(), 200u);
   EXPECT_EQ(result.value().model.components.cols(), 8u);
@@ -112,7 +112,7 @@ TEST(SpcaTest, StopConditionHaltsEarly) {
   SpcaOptions options = BasicOptions(3, 50);
   options.target_accuracy_fraction = 0.90;
   Spca spca(&engine, options);
-  auto result = spca.Fit(y);
+  auto result = spca.Solve(y);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().reached_target);
   EXPECT_LT(result.value().iterations_run, 50);
@@ -123,18 +123,18 @@ TEST(SpcaTest, RejectsDegenerateInputs) {
   Engine engine(TestSpec(), EngineMode::kSpark);
   {
     Spca spca(&engine, BasicOptions(0, 5));
-    EXPECT_FALSE(spca.Fit(y).ok());
+    EXPECT_FALSE(spca.Solve(y).ok());
   }
   {
     Spca spca(&engine, BasicOptions(11, 5));  // d > D
-    EXPECT_FALSE(spca.Fit(y).ok());
+    EXPECT_FALSE(spca.Solve(y).ok());
   }
   {
     // Constant (all-zero-variance) matrix.
     DenseMatrix constant(20, 5);
     const DistMatrix zero = DistMatrix::FromDense(std::move(constant), 2);
     Spca spca(&engine, BasicOptions(2, 5));
-    EXPECT_FALSE(spca.Fit(zero).ok());
+    EXPECT_FALSE(spca.Solve(zero).ok());
   }
 }
 
@@ -144,8 +144,8 @@ TEST(SpcaTest, DeterministicAcrossRuns) {
   Engine engine2(TestSpec(), EngineMode::kSpark);
   Spca spca1(&engine1, BasicOptions(3, 5));
   Spca spca2(&engine2, BasicOptions(3, 5));
-  auto r1 = spca1.Fit(y);
-  auto r2 = spca2.Fit(y);
+  auto r1 = spca1.Solve(y);
+  auto r2 = spca2.Solve(y);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r1.value().model.components.MaxAbsDiff(
@@ -158,8 +158,8 @@ TEST(SpcaTest, MapReduceAndSparkAgreeNumerically) {
   const DistMatrix y = LowRankMatrix(200, 20, 3, 4, nullptr);
   Engine mr(TestSpec(), EngineMode::kMapReduce);
   Engine spark(TestSpec(), EngineMode::kSpark);
-  auto r1 = Spca(&mr, BasicOptions(3, 5)).Fit(y);
-  auto r2 = Spca(&spark, BasicOptions(3, 5)).Fit(y);
+  auto r1 = Spca(&mr, BasicOptions(3, 5)).Solve(y);
+  auto r2 = Spca(&spark, BasicOptions(3, 5)).Solve(y);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
   // Identical math, different platform: results match exactly; simulated
@@ -183,8 +183,8 @@ TEST(SpcaTest, SmartGuessConvergesFasterPerIteration) {
   smart.smart_guess_rows = 300;
   smart.smart_guess_iterations = 10;
 
-  auto plain_result = Spca(&plain_engine, plain).Fit(y);
-  auto smart_result = Spca(&sg_engine, smart).Fit(y);
+  auto plain_result = Spca(&plain_engine, plain).Solve(y);
+  auto smart_result = Spca(&sg_engine, smart).Solve(y);
   ASSERT_TRUE(plain_result.ok());
   ASSERT_TRUE(smart_result.ok());
   // After very few full iterations, the smart guess should be at least as
@@ -198,8 +198,8 @@ TEST(SpcaTest, PartitionCountDoesNotChangeResults) {
   const DistMatrix y8 = LowRankMatrix(200, 20, 3, 8, nullptr);
   Engine e1(TestSpec(), EngineMode::kSpark);
   Engine e8(TestSpec(), EngineMode::kSpark);
-  auto r1 = Spca(&e1, BasicOptions(3, 4)).Fit(y1);
-  auto r8 = Spca(&e8, BasicOptions(3, 4)).Fit(y8);
+  auto r1 = Spca(&e1, BasicOptions(3, 4)).Solve(y1);
+  auto r8 = Spca(&e8, BasicOptions(3, 4)).Solve(y8);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r8.ok());
   EXPECT_LT(r1.value().model.components.MaxAbsDiff(
@@ -225,8 +225,8 @@ TEST_P(SpcaToggleTest, TogglesPreserveResults) {
   const DistMatrix y = LowRankMatrix(150, 18, 3, 4, nullptr);
   Engine reference_engine(TestSpec(), EngineMode::kSpark);
   Engine toggled_engine(TestSpec(), EngineMode::kSpark);
-  auto reference = Spca(&reference_engine, BasicOptions(3, 4)).Fit(y);
-  auto toggled = Spca(&toggled_engine, options).Fit(y);
+  auto reference = Spca(&reference_engine, BasicOptions(3, 4)).Solve(y);
+  auto toggled = Spca(&toggled_engine, options).Solve(y);
   ASSERT_TRUE(reference.ok());
   ASSERT_TRUE(toggled.ok());
   EXPECT_LT(reference.value().model.components.MaxAbsDiff(
@@ -262,8 +262,8 @@ TEST_P(SpcaSparseToggleTest, TogglesPreserveResultsOnSparse) {
 
   Engine reference_engine(TestSpec(), EngineMode::kSpark);
   Engine toggled_engine(TestSpec(), EngineMode::kSpark);
-  auto reference = Spca(&reference_engine, BasicOptions(4, 3)).Fit(y);
-  auto toggled = Spca(&toggled_engine, options).Fit(y);
+  auto reference = Spca(&reference_engine, BasicOptions(4, 3)).Solve(y);
+  auto toggled = Spca(&toggled_engine, options).Solve(y);
   ASSERT_TRUE(reference.ok());
   ASSERT_TRUE(toggled.ok());
   EXPECT_LT(reference.value().model.components.MaxAbsDiff(

@@ -1,0 +1,317 @@
+// Chaos tests for the streaming hot-swap path, written to run under TSan
+// (ctest -L chaos shard in CI): concurrent queries must never observe a
+// torn model snapshot, and an ingestor faulted mid-swap must leave the
+// served model either old-complete or new-complete — never a mix.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pca_model.h"
+#include "dist/engine.h"
+#include "obs/registry.h"
+#include "serve/model_io.h"
+#include "serve/model_registry.h"
+#include "serve/service.h"
+#include "stream/pipeline.h"
+#include "stream/publisher.h"
+#include "stream/stream_solver.h"
+#include "workload/row_stream.h"
+
+namespace spca::stream {
+namespace {
+
+using dist::DistMatrix;
+using dist::Engine;
+using dist::EngineMode;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// A model every entry of which encodes one generation marker, so a reader
+/// can detect a torn snapshot (mixed markers) with plain equality checks.
+core::PcaModel MarkerModel(size_t dim, size_t d, double marker) {
+  core::PcaModel model;
+  model.components = linalg::DenseMatrix(dim, d);
+  model.mean = linalg::DenseVector(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    model.mean[i] = marker;
+    for (size_t j = 0; j < d; ++j) model.components(i, j) = marker;
+  }
+  model.noise_variance = 1.0 + marker;
+  return model;
+}
+
+/// Returns the marker if the model is internally consistent, -1 if torn.
+double ModelMarker(const core::PcaModel& model) {
+  const double marker = model.mean.size() > 0 ? model.mean[0] : -1.0;
+  for (size_t i = 0; i < model.mean.size(); ++i) {
+    if (model.mean[i] != marker) return -1.0;
+  }
+  for (size_t i = 0; i < model.components.rows(); ++i) {
+    for (size_t j = 0; j < model.components.cols(); ++j) {
+      if (model.components(i, j) != marker) return -1.0;
+    }
+  }
+  if (model.noise_variance != 1.0 + marker) return -1.0;
+  return marker;
+}
+
+TEST(StreamChaosTest, ConcurrentReadersNeverSeeTornSwap) {
+  constexpr size_t kDim = 24;
+  constexpr size_t kComponents = 3;
+  constexpr int kSwaps = 200;
+  constexpr int kReaders = 4;
+
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Install("live", MarkerModel(kDim, kComponents, 1.0)).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_generation = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto projector = registry.Get("live");
+        if (projector == nullptr) continue;
+        if (ModelMarker(projector->model()) < 0.0) {
+          torn.fetch_add(1);
+        }
+        const auto info = registry.GetInfo("live");
+        if (info.has_value()) {
+          // Generations only move forward.
+          if (info->generation < last_generation) torn.fetch_add(1);
+          last_generation = info->generation;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Keep swapping past the minimum until readers have actually overlapped
+  // the swaps (under a loaded ctest run the readers may start late), with
+  // a generous cap so the test always terminates.
+  int last = 1;
+  for (int g = 2; g <= kSwaps || (reads.load() < 100 && g < 200000); ++g) {
+    ASSERT_TRUE(registry
+                    .Install("live", MarkerModel(kDim, kComponents,
+                                                 static_cast<double>(g)))
+                    .ok());
+    last = g;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(reads.load(), 0u);
+  const auto info = registry.GetInfo("live");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->generation, static_cast<uint64_t>(last));
+}
+
+TEST(StreamChaosTest, IngestorFaultMidSwapLeavesOldOrNewComplete) {
+  const std::string spool = TempPath("chaos_mid_swap_spool.spcm");
+  obs::Registry metrics;
+  serve::ModelRegistry registry(&metrics);
+
+  PublisherOptions options;
+  options.registry = &registry;
+  options.model_name = "live";
+  options.spool_path = spool;
+  options.metrics = &metrics;
+  int attempts = 0;
+  options.before_install_hook = [&]() -> Status {
+    ++attempts;
+    if (attempts == 2) {
+      // The ingestor "crashes" after the spool rename but before the
+      // registry swap.
+      return Status::Internal("injected crash between rename and install");
+    }
+    return Status::Ok();
+  };
+  ModelPublisher publisher(options);
+
+  const auto old_model = MarkerModel(24, 3, 7.0);
+  const auto new_model = MarkerModel(24, 3, 8.0);
+  ASSERT_TRUE(publisher.Publish(old_model).ok());
+  auto crashed = publisher.Publish(new_model);
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(publisher.failures(), 1u);
+
+  // The live registry still serves the OLD complete snapshot.
+  const auto projector = registry.Get("live");
+  ASSERT_NE(projector, nullptr);
+  EXPECT_EQ(ModelMarker(projector->model()), 7.0);
+  const auto info = registry.GetInfo("live");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->generation, 1u);
+
+  // A restarted server recovering from the spool gets the NEW complete
+  // snapshot (the atomic rename landed before the crash). Old-complete in
+  // memory, new-complete on disk — never torn either way.
+  serve::ModelRegistry recovered;
+  ASSERT_TRUE(recovered.Load("live", spool).ok());
+  EXPECT_EQ(ModelMarker(recovered.Get("live")->model()), 8.0);
+}
+
+TEST(StreamChaosTest, TornSpoolWriteIsRejectedByChecksum) {
+  const std::string spool = TempPath("chaos_torn_spool.spcm");
+  serve::ModelRegistry registry;
+  PublisherOptions options;
+  options.registry = &registry;
+  options.model_name = "live";
+  options.spool_path = spool;
+  int attempts = 0;
+  options.save_fn = [&](const core::PcaModel& model,
+                        const std::string& path) -> Status {
+    ++attempts;
+    const Status saved = serve::SaveModel(model, path);
+    if (!saved.ok() || attempts != 2) return saved;
+    // Tear the second write: chop the file's tail (simulated partial
+    // flush at crash time).
+    std::FILE* file = std::fopen(path.c_str(), "rb+");
+    if (file == nullptr) return Status::Internal("cannot reopen spool tmp");
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fclose(file);
+    if (truncate(path.c_str(), size / 2) != 0) {
+      return Status::Internal("truncate failed");
+    }
+    return Status::Ok();
+  };
+  ModelPublisher publisher(options);
+
+  ASSERT_TRUE(publisher.Publish(MarkerModel(24, 3, 1.0)).ok());
+  auto torn = publisher.Publish(MarkerModel(24, 3, 2.0));
+  EXPECT_FALSE(torn.ok());  // checksum validation rejects the torn file
+
+  // Old model still serving; the torn spool also fails a cold reload, so a
+  // restarted server cannot accidentally serve the torn snapshot either.
+  EXPECT_EQ(ModelMarker(registry.Get("live")->model()), 1.0);
+  serve::ModelRegistry recovered;
+  EXPECT_FALSE(recovered.Load("live", spool).ok());
+}
+
+TEST(StreamChaosTest, PipelineSurvivesMidSwapFaultUnderQueryTraffic) {
+  constexpr size_t kDim = 32;
+  obs::Registry metrics;
+  serve::ModelRegistry registry(&metrics);
+
+  serve::ServiceOptions service_options;
+  service_options.num_threads = 2;
+  service_options.batch_max = 8;
+  service_options.metrics = &metrics;
+  serve::ProjectionService service(&registry, service_options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ok_queries{0};
+  std::atomic<uint64_t> bad_outcomes{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 2; ++t) {
+    drivers.emplace_back([&] {
+      linalg::DenseVector query(kDim);
+      for (size_t k = 0; k < kDim; ++k) {
+        query[k] = 0.1 * static_cast<double>(k % 7) - 0.2;
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        serve::ProjectionRequest request;
+        request.model = "live";
+        request.dense = query;
+        const auto response = service.Submit(std::move(request)).get();
+        switch (response.outcome) {
+          case serve::RequestOutcome::kOk:
+            ok_queries.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serve::RequestOutcome::kNoModel:
+            break;  // expected before the first successful swap
+          default:
+            bad_outcomes.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+
+  PublisherOptions publisher_options;
+  publisher_options.registry = &registry;
+  publisher_options.model_name = "live";
+  publisher_options.spool_path = TempPath("chaos_pipeline_spool.spcm");
+  publisher_options.metrics = &metrics;
+  // Fault the FIRST swap attempt (deterministic even though the background
+  // publisher's latest-wins mailbox makes the attempt *count* racy).
+  std::atomic<int> publish_attempts{0};
+  publisher_options.before_install_hook = [&]() -> Status {
+    if (publish_attempts.fetch_add(1) == 0) {
+      return Status::Internal("injected ingestor fault mid-swap");
+    }
+    return Status::Ok();
+  };
+  ModelPublisher publisher(publisher_options);
+
+  workload::RowStreamConfig stream_config;
+  stream_config.dim = kDim;
+  stream_config.rank = 3;
+  stream_config.batch_rows = 64;
+  stream_config.partitions_per_batch = 2;
+  stream_config.drift_every_batches = 4;
+  stream_config.seed = 3;
+  workload::RowStream stream(stream_config);
+
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  StreamSolverOptions solver_options;
+  solver_options.num_components = 3;
+  MiniBatchEmSolver solver(&engine, solver_options);
+  ASSERT_TRUE(solver.Init({}).ok());
+
+  StreamPipelineOptions pipeline_options;
+  pipeline_options.publish_every_batches = 1;
+  pipeline_options.max_batches = 8;
+  pipeline_options.background_publisher = true;
+  pipeline_options.metrics = &metrics;
+  StreamPipeline pipeline(&solver, &publisher, pipeline_options);
+  auto summary = pipeline.Run(
+      [&]() -> std::optional<DistMatrix> { return stream.NextBatch(); });
+  stop.store(true, std::memory_order_release);
+  for (auto& driver : drivers) driver.join();
+  service.Stop();
+
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->batches, 8u);
+  // Exactly the injected fault failed; every later attempt landed. The
+  // latest-wins mailbox can supersede snapshots, so the attempt count is
+  // racy but the failure count is not.
+  EXPECT_EQ(summary->publish_failures, 1u);
+  EXPECT_GE(summary->publish_log.size(), 1u);
+  EXPECT_EQ(bad_outcomes.load(), 0u);
+  if (summary->publishes > 0) {
+    // A swap landed after the fault: the registry serves a complete, real
+    // solver snapshot.
+    const auto projector = registry.Get("live");
+    ASSERT_NE(projector, nullptr);
+    EXPECT_EQ(projector->model().input_dim(), kDim);
+    EXPECT_GT(projector->model().noise_variance, 0.0);
+    const auto info = registry.GetInfo("live");
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->generation, summary->publishes);
+  } else {
+    // Only the faulted attempt was drained: nothing was ever installed —
+    // queries saw kNoModel throughout, never a torn model.
+    EXPECT_EQ(registry.Get("live"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace spca::stream

@@ -69,7 +69,7 @@ TEST(TraceGolden, FitSpanSchemaMatchesGolden) {
   options.compute_accuracy_trace = true;
   options.ideal_error_override = 1.0;  // skip the hidden anchor fit
   options.seed = 7;
-  auto fit = core::Spca(&engine, options).Fit(matrix);
+  auto fit = core::Spca(&engine, options).Solve(matrix);
   ASSERT_TRUE(fit.ok()) << fit.status().ToString();
 
   auto parsed = obs::ParseTrace(obs::ChromeTraceJson(*engine.registry()));
@@ -127,7 +127,7 @@ TEST(TraceGolden, FaultedFitSpanSchemaMatchesGolden) {
   options.compute_accuracy_trace = true;
   options.ideal_error_override = 1.0;
   options.seed = 7;
-  auto fit = core::Spca(&engine, options).Fit(matrix);
+  auto fit = core::Spca(&engine, options).Solve(matrix);
   ASSERT_TRUE(fit.ok()) << fit.status().ToString();
 
   auto parsed = obs::ParseTrace(obs::ChromeTraceJson(*engine.registry()));

@@ -67,7 +67,7 @@ std::string ExpectedReport(uint64_t fit_span_id, const DistMatrix& matrix,
 TEST(TraceReport, ChromeTraceReproducesAccuracyTableExactly) {
   const DistMatrix matrix = TestMatrix();
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark);
-  auto fit = core::Spca(&engine, TestOptions()).Fit(matrix);
+  auto fit = core::Spca(&engine, TestOptions()).Solve(matrix);
   ASSERT_TRUE(fit.ok()) << fit.status().ToString();
   ASSERT_EQ(fit->trace.size(), 4u);
 
@@ -95,7 +95,7 @@ TEST(TraceReport, StreamedTraceReproducesAccuracyTableExactly) {
   obs::TraceStreamer streamer(&registry, /*flush_every=*/3);
   ASSERT_TRUE(streamer.Open(path).ok());
   Engine engine(dist::ClusterSpec{}, EngineMode::kSpark, &registry);
-  auto fit = core::Spca(&engine, TestOptions()).Fit(matrix);
+  auto fit = core::Spca(&engine, TestOptions()).Solve(matrix);
   ASSERT_TRUE(fit.ok()) << fit.status().ToString();
   ASSERT_GT(streamer.flushes(), 1u);
   ASSERT_TRUE(streamer.Close().ok());
@@ -112,7 +112,7 @@ TEST(TraceReport, StreamedTraceReproducesAccuracyTableExactly) {
   // phase breakdown comes from the authoritative metric path — and must
   // agree with the span-aggregation path the Chrome format uses.
   Engine chrome_engine(dist::ClusterSpec{}, EngineMode::kSpark);
-  auto chrome_fit = core::Spca(&chrome_engine, TestOptions()).Fit(matrix);
+  auto chrome_fit = core::Spca(&chrome_engine, TestOptions()).Solve(matrix);
   ASSERT_TRUE(chrome_fit.ok());
   auto chrome_parsed =
       obs::ParseTrace(obs::ChromeTraceJson(*chrome_engine.registry()));
@@ -126,7 +126,7 @@ TEST(TraceReport, StreamedTraceReproducesAccuracyTableExactly) {
 TEST(TraceReport, PhaseBreakdownDiffFlagsRegressions) {
   const DistMatrix matrix = TestMatrix();
   Engine engine_a(dist::ClusterSpec{}, EngineMode::kSpark);
-  ASSERT_TRUE(core::Spca(&engine_a, TestOptions()).Fit(matrix).ok());
+  ASSERT_TRUE(core::Spca(&engine_a, TestOptions()).Solve(matrix).ok());
   auto parsed_a = obs::ParseTrace(obs::ChromeTraceJson(*engine_a.registry()));
   ASSERT_TRUE(parsed_a.ok());
 
@@ -142,7 +142,7 @@ TEST(TraceReport, PhaseBreakdownDiffFlagsRegressions) {
   core::SpcaOptions short_options = TestOptions();
   short_options.max_iterations = 2;
   Engine engine_b(dist::ClusterSpec{}, EngineMode::kSpark);
-  ASSERT_TRUE(core::Spca(&engine_b, short_options).Fit(matrix).ok());
+  ASSERT_TRUE(core::Spca(&engine_b, short_options).Solve(matrix).ok());
   auto parsed_b = obs::ParseTrace(obs::ChromeTraceJson(*engine_b.registry()));
   ASSERT_TRUE(parsed_b.ok());
 

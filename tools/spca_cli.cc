@@ -15,14 +15,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/cov_eig_pca.h"
-#include "baselines/lanczos_pca.h"
-#include "baselines/ssvd_pca.h"
-#include "baselines/svd_bidiag_pca.h"
+#include "baselines/baseline_solvers.h"
 #include "common/format.h"
+#include "core/solver.h"
 #include "core/spca.h"
 #include "dist/engine.h"
 #include "dist/fault.h"
@@ -78,7 +77,9 @@ Output:
   --output-bin PATH     write components as dense binary
   --save-model PATH     write the fitted model (components + mean + noise
                         variance) as a versioned, checksummed binary that
-                        spca_serve / --load-model read back
+                        spca_serve / --load-model read back; a fit run under
+                        fault injection also writes PATH.meta recording the
+                        fault plan (seed/rates) and the recovery cost
   --load-model PATH     skip fitting: load a saved model and go straight to
                         the output/export flags (no --input needed)
   --seed N              RNG seed (default 1)
@@ -253,9 +254,10 @@ StatusOr<spca::dist::DistMatrix> LoadInput(const Args& args,
   return Status::InvalidArgument("unknown --format " + format);
 }
 
-StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
-                                            spca::dist::Engine* engine,
-                                            const spca::dist::DistMatrix& y) {
+/// Builds the requested algorithm behind the one core::Solver surface —
+/// spca_cli no longer knows about per-algorithm Fit entry points.
+StatusOr<std::unique_ptr<spca::core::Solver>> MakeSolver(
+    const Args& args, spca::dist::Engine* engine) {
   const std::string algorithm = args.Get("--algorithm", "spca");
   const size_t d = args.GetInt("--components", 50);
   const int iterations = static_cast<int>(args.GetInt("--iterations", 10));
@@ -269,27 +271,14 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
     options.target_accuracy_fraction = target;
     options.smart_guess = args.Has("--smart-guess");
     options.seed = seed;
-    auto result = spca::core::Spca(engine, options).Fit(y);
-    if (!result.ok()) return result.status();
-    std::printf("sPCA: %d iterations", result.value().iterations_run);
-    if (!result.value().trace.empty()) {
-      std::printf(", final accuracy %.1f%% of ideal",
-                  result.value().trace.back().accuracy_percent);
-    }
-    std::printf("\n");
-    return std::move(result.value().model);
+    return std::unique_ptr<spca::core::Solver>(
+        std::make_unique<spca::core::Spca>(engine, options));
   }
   if (algorithm == "mllib") {
     spca::baselines::CovEigOptions options;
     options.num_components = d;
     options.seed = seed;
-    auto result = spca::baselines::CovEigPca(engine, options).Fit(y);
-    if (!result.ok()) return result.status();
-    std::printf("MLlib-PCA: driver held %s\n",
-                spca::HumanBytes(
-                    static_cast<double>(result.value().driver_bytes))
-                    .c_str());
-    return std::move(result.value().model);
+    return spca::baselines::MakeCovEigSolver(engine, options);
   }
   if (algorithm == "mahout") {
     spca::baselines::SsvdOptions options;
@@ -297,33 +286,56 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
     options.max_power_iterations = iterations;
     options.target_accuracy_fraction = target;
     options.seed = seed;
-    auto result = spca::baselines::SsvdPca(engine, options).Fit(y);
-    if (!result.ok()) return result.status();
-    std::printf("Mahout-PCA (SSVD): %d rounds\n",
-                result.value().iterations_run);
-    return std::move(result.value().model);
+    return spca::baselines::MakeSsvdSolver(engine, options);
   }
   if (algorithm == "lanczos") {
     spca::baselines::LanczosOptions options;
     options.num_components = d;
     options.seed = seed;
-    auto result = spca::baselines::LanczosPca(engine, options).Fit(y);
-    if (!result.ok()) return result.status();
-    return std::move(result.value().model);
+    return spca::baselines::MakeLanczosSolver(engine, options);
   }
   if (algorithm == "bidiag") {
     spca::baselines::SvdBidiagOptions options;
     options.num_components = d;
-    auto result = spca::baselines::SvdBidiagPca(engine, options).Fit(y);
-    if (!result.ok()) return result.status();
-    return std::move(result.value().model);
+    return spca::baselines::MakeSvdBidiagSolver(engine, options);
   }
   return Status::InvalidArgument("unknown --algorithm " + algorithm);
 }
 
+StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
+                                            spca::dist::Engine* engine,
+                                            const spca::dist::DistMatrix& y) {
+  auto solver = MakeSolver(args, engine);
+  if (!solver.ok()) return solver.status();
+  auto result = spca::core::RunSolver(solver.value().get(), y);
+  if (!result.ok()) return result.status();
+  const std::string_view name = solver.value()->name();
+  if (name == "spca") {
+    std::printf("sPCA: %d iterations", result.value().iterations_run);
+    if (!result.value().trace.empty()) {
+      std::printf(", final accuracy %.1f%% of ideal",
+                  result.value().trace.back().accuracy_percent);
+    }
+    std::printf("\n");
+  } else if (name == "mllib") {
+    std::printf("MLlib-PCA: driver held %s\n",
+                spca::HumanBytes(
+                    static_cast<double>(result.value().driver_bytes))
+                    .c_str());
+  } else if (name == "mahout") {
+    std::printf("Mahout-PCA (SSVD): %d rounds\n",
+                result.value().iterations_run);
+  }
+  return std::move(result.value().model);
+}
+
 /// Handles --output / --output-bin / --save-model for a model however it
-/// was obtained (fitted this run or loaded from disk).
-int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model) {
+/// was obtained (fitted this run or loaded from disk). A non-empty
+/// `fault_meta` (key=value lines describing the fault plan the fit ran
+/// under) is written next to --save-model as a `.meta` side-channel so a
+/// served model's provenance survives the process.
+int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model,
+                      const std::string& fault_meta = std::string()) {
   if (args.Has("--output")) {
     const Status status = spca::workload::SaveDenseText(
         model.components, args.Get("--output", ""));
@@ -355,6 +367,15 @@ int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model) {
                                      model.num_components())))
                     .c_str(),
                 path.c_str());
+    if (!fault_meta.empty()) {
+      const std::string meta_path = path + ".meta";
+      const Status meta_status = spca::obs::WriteFile(meta_path, fault_meta);
+      if (!meta_status.ok()) {
+        std::fprintf(stderr, "error: %s\n", meta_status.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved fault metadata to %s\n", meta_path.c_str());
+    }
   }
   return 0;
 }
@@ -471,6 +492,7 @@ int Main(int argc, char** argv) {
               spca::HumanSeconds(engine.SimulatedSeconds()).c_str(),
               spec.num_nodes, spca::dist::EngineModeToString(mode));
   std::printf("communication: %s\n", engine.stats().ToString().c_str());
+  std::string fault_meta;
   if (fault_plan.active() && !replay_faults_only) {
     const spca::dist::CommStats& stats = engine.stats();
     std::printf(
@@ -481,6 +503,30 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(fault_spec.seed),
         fault_spec.task_failure_probability,
         fault_spec.straggler_probability);
+    // Provenance side-channel for --save-model: the fit ran under fault
+    // injection; record the plan and what it cost so the served model's
+    // history is auditable.
+    char meta[512];
+    std::snprintf(meta, sizeof(meta),
+                  "fault_seed=%llu\n"
+                  "fault_rate=%.17g\n"
+                  "straggler_rate=%.17g\n"
+                  "straggler_slowdown=%.17g\n"
+                  "max_retries=%d\n"
+                  "retry_backoff_sec=%.17g\n"
+                  "task_retries=%llu\n"
+                  "straggler_tasks=%llu\n"
+                  "algorithm=%s\n",
+                  static_cast<unsigned long long>(fault_spec.seed),
+                  fault_spec.task_failure_probability,
+                  fault_spec.straggler_probability,
+                  fault_spec.straggler_slowdown,
+                  fault_spec.max_task_attempts - 1,
+                  fault_spec.retry_backoff_sec,
+                  static_cast<unsigned long long>(stats.task_retries),
+                  static_cast<unsigned long long>(stats.straggler_tasks),
+                  args->Get("--algorithm", "spca").c_str());
+    fault_meta = meta;
   }
 
   if (args->Has("--replay-rows")) {
@@ -517,7 +563,8 @@ int Main(int argc, char** argv) {
     }
   }
 
-  if (const int rc = WriteModelOutputs(*args, model.value()); rc != 0) {
+  if (const int rc = WriteModelOutputs(*args, model.value(), fault_meta);
+      rc != 0) {
     return rc;
   }
   if (streamer.is_open()) {

@@ -384,6 +384,9 @@ int Main(int argc, char** argv) {
                 streamer.path().c_str());
   }
   if (options.print_metrics) {
+    // Age gauges are only as fresh as the last swap; re-publish them so the
+    // table shows each model's age as of now.
+    models.RefreshAgeMetrics();
     std::printf("\n%s", spca::obs::MetricsTable(registry).c_str());
   }
   return 0;
