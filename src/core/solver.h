@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -60,6 +61,47 @@ struct SolveResult {
   uint64_t driver_bytes = 0;
 };
 
+/// Iteration-granular solver state beyond the servable PcaModel: the
+/// sufficient statistics and counters a solver needs to continue a fit
+/// exactly where it stopped. Serialized by serve::SaveCheckpoint as a
+/// sidecar next to the SPCM model file; restoring (model, checkpoint) into
+/// a fresh solver makes subsequent steps bit-identical to a run that was
+/// never interrupted. Named scalars/matrices keep the format
+/// solver-agnostic; keys are the solver's own (stable) names.
+struct SolverCheckpoint {
+  /// Solver that produced the checkpoint (Solver::name()). Restore()
+  /// rejects a checkpoint from a different solver.
+  std::string solver;
+  /// Steps completed: EM iterations for the batch solver, mini-batch steps
+  /// for streaming solvers.
+  uint64_t step = 0;
+  /// Rows ingested when the checkpoint was taken.
+  uint64_t rows_seen = 0;
+  /// Named scalar state, in a stable serialization order.
+  std::vector<std::pair<std::string, double>> scalars;
+  /// Named matrix state (vectors are n x 1 matrices).
+  std::vector<std::pair<std::string, linalg::DenseMatrix>> matrices;
+
+  void SetScalar(const std::string& key, double value) {
+    scalars.emplace_back(key, value);
+  }
+  void SetMatrix(const std::string& key, linalg::DenseMatrix value) {
+    matrices.emplace_back(key, std::move(value));
+  }
+  const double* FindScalar(std::string_view key) const {
+    for (const auto& [k, v] : scalars) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  const linalg::DenseMatrix* FindMatrix(std::string_view key) const {
+    for (const auto& [k, v] : matrices) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
 /// Optional inputs common to every solver — the warm start and telemetry
 /// routing that used to live in the sPCA-specific `FitInit`.
 /// Default-constructed it means "cold start": random initial components and
@@ -79,6 +121,14 @@ struct FitOptions {
   /// own registry, which keeps algorithm spans and engine job spans nested
   /// in one timeline.
   obs::Registry* registry = nullptr;
+  /// When set, invoked after every completed step — each EM iteration of
+  /// the batch solver, each mini-batch Step of a streaming solver — with
+  /// the current servable model and the solver's resume state. A non-OK
+  /// return aborts the solve with that status (which is also how tests
+  /// simulate a driver crash at iteration k). Writing the pair to disk is
+  /// serve::SaveCheckpoint.
+  std::function<Status(const PcaModel&, const SolverCheckpoint&)>
+      on_checkpoint;
 };
 
 /// The common solver surface. Lifecycle:
@@ -112,6 +162,24 @@ class Solver {
 
   /// Finishes the solve over everything ingested so far.
   virtual StatusOr<SolveResult> Result() = 0;
+
+  /// Resume state for checkpoint/restart (see SolverCheckpoint). Solvers
+  /// without restart support keep the UNIMPLEMENTED default.
+  virtual StatusOr<SolverCheckpoint> Checkpoint() const {
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support checkpointing");
+  }
+
+  /// Restores the state captured by Checkpoint(). Call Init() first (to
+  /// set telemetry routing and options), then Restore(); subsequent Steps
+  /// are bit-identical to the run that wrote the checkpoint.
+  virtual Status Restore(const PcaModel& model,
+                         const SolverCheckpoint& checkpoint) {
+    (void)model;
+    (void)checkpoint;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support checkpoint restore");
+  }
 };
 
 /// Adapts a single-shot fit function (the batch baselines) to the Solver

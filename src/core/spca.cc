@@ -81,7 +81,7 @@ StatusOr<SpcaResult> Spca::Solve(const DistMatrix& y,
     guess_stats = guess.value().stats;
   }
 
-  auto result = RunEm(y, std::move(c), ss, registry);
+  auto result = RunEm(y, std::move(c), ss, registry, init.on_checkpoint);
   if (result.ok() && guess_stats.simulated_seconds > 0.0) {
     // The sample pre-fit is part of sPCA-SG's cost: shift the trace so
     // accuracy-vs-time curves (Figure 5) include the initialization delay.
@@ -145,10 +145,28 @@ StatusOr<SolveResult> Spca::Result() {
   return result;
 }
 
-StatusOr<SpcaResult> Spca::RunEm(const DistMatrix& y,
-                                 DenseMatrix initial_components,
-                                 double initial_ss,
-                                 obs::Registry* registry) const {
+Status Spca::Restore(const PcaModel& model,
+                     const SolverCheckpoint& checkpoint) {
+  if (checkpoint.solver != name()) {
+    return Status::InvalidArgument("checkpoint was written by solver '" +
+                                   checkpoint.solver + "', not 'spca'");
+  }
+  if (model.components.rows() == 0 || model.components.cols() == 0) {
+    return Status::InvalidArgument("checkpoint model has no components");
+  }
+  if (!(model.noise_variance > 0.0)) {
+    return Status::InvalidArgument("checkpoint noise variance must be > 0");
+  }
+  solve_options_.components = model.components;
+  solve_options_.noise_variance = model.noise_variance;
+  return Status::Ok();
+}
+
+StatusOr<SpcaResult> Spca::RunEm(
+    const DistMatrix& y, DenseMatrix initial_components, double initial_ss,
+    obs::Registry* registry,
+    const std::function<Status(const PcaModel&, const SolverCheckpoint&)>&
+        on_checkpoint) const {
   const size_t d = options_.num_components;
   const size_t dim = y.cols();
   const size_t n = y.rows();
@@ -282,6 +300,17 @@ StatusOr<SpcaResult> Spca::RunEm(const DistMatrix& y,
     ss = std::max(ss_new, 1e-12);
     result.iterations_run = iteration;
     iter_span.SetAttribute("ss", ss);
+
+    if (on_checkpoint) {
+      // result.model already aliases (C, ss, mean) — the complete resume
+      // state: warm-starting from it re-runs the remaining iterations
+      // bit-identically (each iteration is pure in the model and Y).
+      SolverCheckpoint checkpoint;
+      checkpoint.solver = "spca";
+      checkpoint.step = static_cast<uint64_t>(iteration);
+      checkpoint.rows_seen = n;
+      SPCA_RETURN_IF_ERROR(on_checkpoint(result.model, checkpoint));
+    }
 
     if (needs_errors) {
       IterationTrace trace;

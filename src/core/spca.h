@@ -1,6 +1,7 @@
 #ifndef SPCA_CORE_SPCA_H_
 #define SPCA_CORE_SPCA_H_
 
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -83,15 +84,29 @@ class Spca : public Solver {
   StatusOr<PcaModel> Snapshot() const override;
   StatusOr<SolveResult> Result() override;
 
+  /// Restores a checkpoint written by FitOptions::on_checkpoint during a
+  /// previous (possibly killed) solve: the checkpointed model becomes the
+  /// warm start of the next Solve/Result. Because the warm-start path
+  /// consumes no RNG draws and each EM iteration is a pure function of
+  /// (C, ss, Y), running the remaining iterations from the checkpoint is
+  /// bit-identical to the uninterrupted run. Iteration numbering restarts
+  /// at 1; callers wanting global numbering offset by checkpoint.step.
+  Status Restore(const PcaModel& model,
+                 const SolverCheckpoint& checkpoint) override;
+
   const SpcaOptions& options() const { return options_; }
 
  private:
   /// The EM loop proper (Algorithm 4 lines 3-14) from a concrete starting
-  /// point, emitting one spca.em_iteration span per pass.
-  StatusOr<SpcaResult> RunEm(const dist::DistMatrix& y,
-                             linalg::DenseMatrix initial_components,
-                             double initial_ss,
-                             obs::Registry* registry) const;
+  /// point, emitting one spca.em_iteration span per pass. `on_checkpoint`
+  /// (possibly empty) is invoked after every iteration with the current
+  /// model; the smart-guess pre-fit passes an empty callback so sample
+  /// fits are never checkpointed.
+  StatusOr<SpcaResult> RunEm(
+      const dist::DistMatrix& y, linalg::DenseMatrix initial_components,
+      double initial_ss, obs::Registry* registry,
+      const std::function<Status(const PcaModel&, const SolverCheckpoint&)>&
+          on_checkpoint = {}) const;
 
   StatusOr<SpcaResult> SolveBuffered() const;
 

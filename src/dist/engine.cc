@@ -32,6 +32,14 @@ constexpr const char* kRetryBackoffSec = "engine.retries.backoff_sec";
 constexpr const char* kStragglerTasks = "engine.stragglers.tasks";
 constexpr const char* kStragglerExtraFlops = "engine.stragglers.extra_flops";
 
+// Correlated node failures and speculative execution (created only when
+// the corresponding fault-plan knob is on).
+constexpr const char* kNodeLossTasks = "engine.faults.node_loss_tasks";
+constexpr const char* kSpeculationLaunched = "engine.speculation.launched";
+constexpr const char* kSpeculationCopiesWon = "engine.speculation.copies_won";
+constexpr const char* kSpeculationWastedFlops =
+    "engine.speculation.wasted_flops";
+
 }  // namespace
 
 const char* EngineModeToString(EngineMode mode) {
@@ -124,6 +132,14 @@ WorkerPool* Engine::EnsureWorkerPool(size_t num_threads) {
     pool_ = std::make_unique<WorkerPool>(num_threads);
     registry_->gauge("engine.pool.threads")
         ->Set(static_cast<double>(pool_->num_threads()));
+  } else if (pool_->num_threads() != num_threads) {
+    // Elastic resize: local execution threads track the cluster's worker
+    // count between jobs (never mid-job — RunMap calls this before
+    // dispatching any task).
+    pool_->Resize(num_threads);
+    registry_->gauge("engine.pool.threads")
+        ->Set(static_cast<double>(pool_->num_threads()));
+    registry_->counter("engine.pool.resizes")->Increment();
   } else {
     // Reusing the persistent pool saves one thread spawn+join per worker
     // that the per-job-thread engine used to pay.
@@ -131,6 +147,17 @@ WorkerPool* Engine::EnsureWorkerPool(size_t num_threads) {
         ->Add(static_cast<double>(pool_->num_threads()));
   }
   return pool_.get();
+}
+
+void Engine::ResizeCluster(int num_nodes, int cores_per_node) {
+  SPCA_CHECK_GE(num_nodes, 1);
+  spec_.num_nodes = num_nodes;
+  if (cores_per_node > 0) spec_.cores_per_node = cores_per_node;
+  registry_->counter("engine.cluster.resizes")->Increment();
+  registry_->gauge("engine.cluster.nodes")
+      ->Set(static_cast<double>(spec_.num_nodes));
+  registry_->gauge("engine.cluster.cores")
+      ->Set(static_cast<double>(spec_.total_cores()));
 }
 
 // The ComputeJobCost cost model lives in dist/replay.cc so FinishJob and
@@ -159,12 +186,27 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   trace.task_flops.reserve(contexts.size());
   trace.task_intermediate_bytes.reserve(contexts.size());
   trace.task_result_bytes.reserve(contexts.size());
+  uint64_t speculative_wasted_flops = 0;
   for (size_t task = 0; task < contexts.size(); ++task) {
     const auto& ctx = contexts[task];
     const TaskFault& fault = faults[task];
-    const uint64_t charged_flops = ChargedTaskFlops(ctx.flops(), fault);
+    // The single shared accounting function: replay calls exactly this on
+    // the same (healthy flops, fault, speculation policy) inputs, which is
+    // what makes replayed speculative costs match live ones bit-for-bit.
+    const TaskCharge charge = ResolveTaskCharge(ctx.flops(), fault,
+                                                fault_plan_.spec().speculation);
+    const uint64_t charged_flops = charge.committed_flops;
     trace.task_flops.push_back(charged_flops);
     total_flops += charged_flops;
+    if (charge.speculated) {
+      // The losing copy's occupancy is schedulable load (it held a core
+      // until the winner committed) but not committed work.
+      trace.speculative_flops.push_back(charge.duplicate_flops);
+      ++trace.speculative_launched;
+      if (charge.copy_won) ++trace.speculative_copies_won;
+      speculative_wasted_flops += charge.duplicate_flops;
+    }
+    if (fault.node_loss) ++trace.node_loss_tasks;
     const uint64_t extra = static_cast<uint64_t>(fault.extra_attempts);
     if (extra > 0) {
       trace.task_retries += extra;
@@ -201,7 +243,8 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
   const JobCost cost = ComputeJobCost(
       spec_, mode_, trace.task_flops, /*flop_scale=*/1.0,
       trace.charged_input_bytes, static_cast<double>(intermediate),
-      static_cast<double>(result), trace.backoff_sec);
+      static_cast<double>(result), trace.backoff_sec,
+      trace.speculative_flops.empty() ? nullptr : &trace.speculative_flops);
   trace.launch_sec = cost.launch_sec;
   trace.compute_sec = cost.compute_sec;
   trace.data_sec = cost.data_sec;
@@ -243,6 +286,18 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
         ->Add(static_cast<double>(trace.straggler_tasks));
     registry_->counter(kStragglerExtraFlops)
         ->Add(static_cast<double>(straggler_extra_flops));
+    if (fault_plan_.spec().node_failure_probability > 0.0) {
+      registry_->counter(kNodeLossTasks)
+          ->Add(static_cast<double>(trace.node_loss_tasks));
+    }
+    if (fault_plan_.spec().speculation.enabled) {
+      registry_->counter(kSpeculationLaunched)
+          ->Add(static_cast<double>(trace.speculative_launched));
+      registry_->counter(kSpeculationCopiesWon)
+          ->Add(static_cast<double>(trace.speculative_copies_won));
+      registry_->counter(kSpeculationWastedFlops)
+          ->Add(static_cast<double>(speculative_wasted_flops));
+    }
   }
 
   // Per-job distributions (the Section 5.2 per-job breakdown).
@@ -277,6 +332,19 @@ void Engine::FinishJob(const JobDesc& job, const DistMatrix& matrix,
       span->SetAttribute("fault.straggler_tasks",
                          static_cast<uint64_t>(trace.straggler_tasks));
       span->SetAttribute("fault.backoff_sec", trace.backoff_sec);
+      if (fault_plan_.spec().node_failure_probability > 0.0) {
+        span->SetAttribute("fault.node_loss_tasks",
+                           static_cast<uint64_t>(trace.node_loss_tasks));
+      }
+      if (fault_plan_.spec().speculation.enabled) {
+        span->SetAttribute("speculation.launched",
+                           static_cast<uint64_t>(trace.speculative_launched));
+        span->SetAttribute(
+            "speculation.copies_won",
+            static_cast<uint64_t>(trace.speculative_copies_won));
+        span->SetAttribute("speculation.wasted_flops",
+                           speculative_wasted_flops);
+      }
     }
 
     double cursor = sim_before;

@@ -135,6 +135,17 @@ class Engine {
     const uint64_t job_index = next_job_index_++;
     const std::vector<TaskFault> faults =
         fault_plan_.DrawJob(job_index, num_tasks);
+    // Recovery-aware scheduling: a straggler at or above the speculation
+    // threshold gets a duplicate attempt really executed (as one more
+    // scratch run — first commit wins, and with pure task functions both
+    // copies produce identical bits, so committing the last attempt is
+    // equivalent). The cost asymmetry is charged in FinishJob.
+    const SpeculationSpec& speculation = fault_plan_.spec().speculation;
+    auto total_attempts = [&](size_t p) {
+      const bool speculated = speculation.enabled &&
+                              faults[p].slowdown >= speculation.min_slowdown;
+      return 1 + faults[p].extra_attempts + (speculated ? 1 : 0);
+    };
 
     obs::Span span(registry_, job.name, "job");
     Stopwatch wall;
@@ -151,17 +162,14 @@ class Engine {
     const size_t num_workers = std::min(num_tasks, hardware);
     if (num_workers <= 1) {
       for (size_t p = 0; p < num_tasks; ++p) {
-        const int attempts = 1 + faults[p].extra_attempts;
+        const int attempts = total_attempts(p);
         for (int a = 0; a < attempts; ++a) {
           run_attempt(p, a, a + 1 == attempts);
         }
       }
     } else {
       WorkerPool* pool = EnsureWorkerPool(hardware);
-      pool->RunAttempts(
-          num_tasks,
-          [&](size_t p) { return 1 + faults[p].extra_attempts; },
-          run_attempt);
+      pool->RunAttempts(num_tasks, total_attempts, run_attempt);
     }
 
     FinishJob(job, matrix, contexts, faults, wall.ElapsedSeconds(), &span);
@@ -190,9 +198,19 @@ class Engine {
 
   /// Overrides how many local threads execute tasks (0 = use the hardware
   /// concurrency). 1 forces fully deterministic inline execution; tests use
-  /// >1 to exercise the worker pool on single-core machines. Must be called
-  /// before the first job that would create the pool.
+  /// >1 to exercise the worker pool on single-core machines. May be called
+  /// between jobs: an existing pool is re-sized before the next job runs.
   void SetLocalWorkers(size_t n) { local_workers_ = n; }
+
+  /// Elastic resize of the simulated cluster between jobs: workers
+  /// join/leave, and every subsequent job's cost is derived under the new
+  /// shape (FinishJob reads the live spec). `cores_per_node` <= 0 keeps
+  /// the current per-node core count. Results are unaffected — only
+  /// accounted cost changes — and the resize is recorded in the
+  /// engine.cluster.* metrics. Replaying a resized run under a single
+  /// ClusterSpec is approximate by construction; replay the job ranges
+  /// under their own specs for exact numbers.
+  void ResizeCluster(int num_nodes, int cores_per_node = 0);
 
   /// Installs the fault-injection plan every subsequent job consults.
   /// Call before the first job for a reproducible fault schedule (draws

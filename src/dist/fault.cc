@@ -12,6 +12,20 @@ FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec) {
   SPCA_CHECK_GE(spec_.straggler_probability, 0.0);
   SPCA_CHECK_GE(spec_.straggler_slowdown, 1.0);
   SPCA_CHECK_GE(spec_.retry_backoff_sec, 0.0);
+  SPCA_CHECK_GE(spec_.node_failure_probability, 0.0);
+  SPCA_CHECK_GE(spec_.num_workers, 1);
+  SPCA_CHECK_GT(spec_.speculation.relaunch_delay_factor, 0.0);
+  SPCA_CHECK_GT(spec_.speculation.min_slowdown, 1.0);
+}
+
+bool FaultPlan::WorkerLost(uint64_t job_index, uint64_t worker_index) const {
+  if (spec_.node_failure_probability <= 0.0) return false;
+  // Its own stream, salted differently from the per-task streams: one draw
+  // decides the fate of every task resident on the worker, which is what
+  // makes the failure correlated.
+  Rng rng(spec_.seed ^ ((job_index + 1) * 0x94d049bb133111ebULL) ^
+          ((worker_index + 1) * 0xd6e8feb86659fd93ULL));
+  return rng.NextDouble() < spec_.node_failure_probability;
 }
 
 TaskFault FaultPlan::Draw(uint64_t job_index, uint64_t task_index) const {
@@ -32,6 +46,14 @@ TaskFault FaultPlan::Draw(uint64_t job_index, uint64_t task_index) const {
       rng.NextDouble() < spec_.straggler_probability) {
     fault.slowdown = spec_.straggler_slowdown;
   }
+  // The correlated node loss adds one re-execution on a surviving worker
+  // (capped with the independent failures by max_task_attempts). Drawn
+  // last and from a separate stream, so schedules with the node knob off
+  // are bit-identical to pre-correlated-failure plans.
+  if (WorkerLost(job_index, WorkerOf(task_index))) {
+    fault.node_loss = true;
+    fault.extra_attempts = std::min(fault.extra_attempts + 1, max_extra);
+  }
   return fault;
 }
 
@@ -50,6 +72,34 @@ uint64_t ChargedTaskFlops(uint64_t committed_flops, const TaskFault& fault) {
       static_cast<double>(committed_flops) * fault.slowdown;
   return static_cast<uint64_t>(straggled + 0.5) +
          committed_flops * static_cast<uint64_t>(fault.extra_attempts);
+}
+
+TaskCharge ResolveTaskCharge(uint64_t healthy_flops, const TaskFault& fault,
+                             const SpeculationSpec& spec) {
+  TaskCharge charge;
+  const uint64_t retry_flops =
+      healthy_flops * static_cast<uint64_t>(fault.extra_attempts);
+  if (!spec.enabled || fault.slowdown < spec.min_slowdown) {
+    charge.committed_flops = ChargedTaskFlops(healthy_flops, fault);
+    return charge;
+  }
+  // First commit wins: the straggling original finishes at slowdown x
+  // healthy, the copy (launched after a relaunch delay, running at full
+  // speed) at (1 + delay) x healthy. The winner's occupancy is charged in
+  // the task's schedule slot; the loser occupies a core from the copy's
+  // launch until the winner commits and is charged as duplicate load.
+  const double healthy = static_cast<double>(healthy_flops);
+  const double original_finish = healthy * fault.slowdown;
+  const double copy_finish = healthy * (1.0 + spec.relaunch_delay_factor);
+  const double winner = std::min(original_finish, copy_finish);
+  charge.speculated = true;
+  charge.copy_won = copy_finish < original_finish;
+  charge.committed_flops = static_cast<uint64_t>(winner + 0.5) + retry_flops;
+  const double loser_occupancy =
+      winner - healthy * spec.relaunch_delay_factor;
+  charge.duplicate_flops =
+      static_cast<uint64_t>(std::max(loser_occupancy, 0.0) + 0.5);
+  return charge;
 }
 
 }  // namespace spca::dist

@@ -7,6 +7,26 @@
 
 namespace spca::dist {
 
+/// Speculative re-launch of straggler tasks, Spark/Hadoop style: when the
+/// scheduler notices a task running far behind its siblings it launches a
+/// duplicate attempt on another worker and commits whichever copy finishes
+/// first. The simulation keeps results bit-identical (task functions are
+/// pure, exactly one attempt commits) and charges only cost: the winning
+/// attempt's occupancy replaces the straggler's, and the losing copy's
+/// occupancy is charged as wasted duplicate load on the cluster.
+struct SpeculationSpec {
+  bool enabled = false;
+
+  /// The scheduler notices the straggler and launches the copy after the
+  /// healthy task duration times this factor (the copy then runs at full
+  /// speed, finishing at (1 + relaunch_delay_factor) x healthy time).
+  double relaunch_delay_factor = 0.25;
+
+  /// Only tasks with slowdown >= this threshold are speculated (matches
+  /// spark.speculation.multiplier: modest stragglers are left alone).
+  double min_slowdown = 2.0;
+};
+
 /// Configuration of the fault-injection layer: how often individual
 /// partition tasks fail (and are re-executed by the platform) or straggle
 /// (run at a fraction of the healthy compute rate). This models the
@@ -41,8 +61,27 @@ struct FaultSpec {
   /// Compute-time multiplier for straggler tasks (>= 1).
   double straggler_slowdown = 4.0;
 
+  /// Probability that a whole simulated worker is lost for one job. The
+  /// loss is *correlated*: a single seeded draw per (job, worker) kills
+  /// every task resident on that worker at once (task -> worker placement
+  /// is task_index % num_workers), and each victim is re-executed once on
+  /// a surviving worker. This models node failures, which per-task
+  /// independent draws cannot: they never produce the burst of
+  /// simultaneous re-executions a lost node causes.
+  double node_failure_probability = 0.0;
+
+  /// Number of simulated workers tasks are placed on for the correlated
+  /// node-failure draw. Independent of the execution thread count — the
+  /// placement is part of the deterministic fault schedule, not of the
+  /// real scheduling.
+  int num_workers = 16;
+
+  /// Speculative re-launch policy for stragglers.
+  SpeculationSpec speculation;
+
   bool active() const {
-    return task_failure_probability > 0.0 || straggler_probability > 0.0;
+    return task_failure_probability > 0.0 || straggler_probability > 0.0 ||
+           node_failure_probability > 0.0;
   }
 };
 
@@ -51,9 +90,38 @@ struct FaultSpec {
 struct TaskFault {
   int extra_attempts = 0;  // failed attempts before the success
   double slowdown = 1.0;   // compute multiplier of the successful attempt
+  /// True when one of the failed attempts came from a correlated node
+  /// loss rather than an independent task fault.
+  bool node_loss = false;
 
-  bool clean() const { return extra_attempts == 0 && slowdown == 1.0; }
+  bool clean() const {
+    return extra_attempts == 0 && slowdown == 1.0 && !node_loss;
+  }
 };
+
+/// How the scheduler resolved one task's straggle, and what it charges.
+/// Produced by ResolveTaskCharge, the single accounting function shared by
+/// live execution (Engine::FinishJob) and fault-injecting replay, so both
+/// charge bit-identical costs.
+struct TaskCharge {
+  /// Occupancy of the committing attempt plus all failed attempts, in
+  /// healthy-flop units; this is what enters the task's schedule slot.
+  uint64_t committed_flops = 0;
+  /// Occupancy of the losing speculative copy (0 when none launched);
+  /// charged as extra schedulable load on the cluster.
+  uint64_t duplicate_flops = 0;
+  bool speculated = false;  // a duplicate copy was launched
+  bool copy_won = false;    // the duplicate committed (original was killed)
+};
+
+/// Resolves the cost of one task under `fault` with speculation policy
+/// `spec`. Without speculation (or for non-straggling tasks) this reduces
+/// to ChargedTaskFlops. With speculation, the committing attempt's
+/// occupancy becomes min(slowdown, 1 + relaunch_delay_factor) x healthy
+/// flops — first commit wins — and the loser's occupancy from launch until
+/// the winner commits is returned as duplicate_flops.
+TaskCharge ResolveTaskCharge(uint64_t healthy_flops, const TaskFault& fault,
+                             const SpeculationSpec& spec);
 
 /// Seeded, deterministic fault schedule. Draw(job, task) is a pure
 /// function of (spec.seed, job index, task index): the engine draws every
@@ -70,10 +138,23 @@ class FaultPlan {
   bool active() const { return spec_.active(); }
 
   /// The fault assigned to task `task_index` of the `job_index`-th job.
+  /// Combines the independent per-task stream with the correlated
+  /// node-failure draw for the task's resident worker.
   TaskFault Draw(uint64_t job_index, uint64_t task_index) const;
 
   /// Draw() for every task of one job, in task order.
   std::vector<TaskFault> DrawJob(uint64_t job_index, size_t num_tasks) const;
+
+  /// Whether worker `worker_index` is lost for job `job_index` — a pure
+  /// function of (seed, job, worker), drawn from its own stream so it
+  /// kills every resident task with a single draw and never perturbs the
+  /// per-task streams.
+  bool WorkerLost(uint64_t job_index, uint64_t worker_index) const;
+
+  /// The worker hosting `task_index` under the plan's placement.
+  uint64_t WorkerOf(uint64_t task_index) const {
+    return task_index % static_cast<uint64_t>(spec_.num_workers);
+  }
 
   /// Total rescheduling delay for `extra_attempts` failed attempts.
   double BackoffSeconds(uint64_t extra_attempts) const {

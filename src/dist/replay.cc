@@ -9,18 +9,25 @@ JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
                        const std::vector<uint64_t>& task_flops,
                        double flop_scale, double input_bytes,
                        double intermediate_bytes, double result_bytes,
-                       double backoff_sec) {
+                       double backoff_sec,
+                       const std::vector<uint64_t>* extra_load_flops) {
   JobCost cost;
   cost.launch_sec = spec.job_launch_sec(mode) + backoff_sec;
 
   // Schedule tasks onto cores (in-order greedy onto the least-loaded core;
-  // deterministic and close to LPT for near-equal tasks).
+  // deterministic and close to LPT for near-equal tasks). Speculative
+  // duplicate occupancy is scheduled after the tasks, in the same order on
+  // both the live and the replay path.
   std::vector<double> core_load(std::max(1, spec.total_cores()), 0.0);
-  for (const uint64_t flops : task_flops) {
-    auto min_it = std::min_element(core_load.begin(), core_load.end());
-    *min_it += static_cast<double>(flops) * flop_scale /
-               spec.flops_per_sec_per_core;
-  }
+  const auto schedule = [&](const std::vector<uint64_t>& load) {
+    for (const uint64_t flops : load) {
+      auto min_it = std::min_element(core_load.begin(), core_load.end());
+      *min_it += static_cast<double>(flops) * flop_scale /
+                 spec.flops_per_sec_per_core;
+    }
+  };
+  schedule(task_flops);
+  if (extra_load_flops != nullptr) schedule(*extra_load_flops);
   cost.compute_sec = *std::max_element(core_load.begin(), core_load.end());
 
   // Input is read from the DFS at aggregate disk bandwidth (0 bytes when
@@ -49,7 +56,8 @@ JobCost ReplayJobCost(const JobTrace& trace, const ClusterSpec& spec,
       static_cast<double>(trace.stats.intermediate_bytes) *
           scales.intermediate_bytes,
       static_cast<double>(trace.stats.result_bytes) * scales.result_bytes,
-      trace.backoff_sec);
+      trace.backoff_sec,
+      trace.speculative_flops.empty() ? nullptr : &trace.speculative_flops);
 }
 
 JobCost ReplayJobCostWithFaults(const JobTrace& trace,
@@ -69,12 +77,19 @@ JobCost ReplayJobCostWithFaults(const JobTrace& trace,
                                trace.task_result_bytes.size() == num_tasks;
   std::vector<uint64_t> task_flops;
   task_flops.reserve(num_tasks);
+  // Injected speculative duplicates are appended after any duplicates the
+  // trace itself recorded (consistent with retries: injecting into an
+  // already-faulted trace charges both).
+  std::vector<uint64_t> extra_load = trace.speculative_flops;
   uint64_t extra_attempts = 0;
   double intermediate_bytes = 0.0;
   double result_bytes = 0.0;
   for (size_t task = 0; task < num_tasks; ++task) {
     const TaskFault fault = plan.Draw(job_index, task);
-    task_flops.push_back(ChargedTaskFlops(trace.task_flops[task], fault));
+    const TaskCharge charge = ResolveTaskCharge(
+        trace.task_flops[task], fault, plan.spec().speculation);
+    task_flops.push_back(charge.committed_flops);
+    if (charge.speculated) extra_load.push_back(charge.duplicate_flops);
     const uint64_t extra = static_cast<uint64_t>(fault.extra_attempts);
     extra_attempts += extra;
     if (have_task_bytes) {
@@ -99,7 +114,8 @@ JobCost ReplayJobCostWithFaults(const JobTrace& trace,
                         trace.charged_input_bytes * scales.input_bytes,
                         intermediate_bytes * scales.intermediate_bytes,
                         result_bytes * scales.result_bytes,
-                        trace.backoff_sec + plan.BackoffSeconds(extra_attempts));
+                        trace.backoff_sec + plan.BackoffSeconds(extra_attempts),
+                        extra_load.empty() ? nullptr : &extra_load);
 }
 
 double ReplayJobSeconds(const JobTrace& trace, const ClusterSpec& spec,
@@ -129,15 +145,29 @@ double ReplayJob(const JobTrace& trace, const ClusterSpec& spec,
     if (injecting) {
       uint64_t retries = 0;
       uint64_t stragglers = 0;
+      uint64_t node_losses = 0;
+      uint64_t speculated = 0;
       for (size_t task = 0; task < trace.task_flops.size(); ++task) {
         const TaskFault fault = fault_plan->Draw(job_index, task);
         retries += static_cast<uint64_t>(fault.extra_attempts);
         if (fault.slowdown > 1.0) ++stragglers;
+        if (fault.node_loss) ++node_losses;
+        if (ResolveTaskCharge(trace.task_flops[task], fault,
+                              fault_plan->spec().speculation)
+                .speculated) {
+          ++speculated;
+        }
       }
       attrs.push_back({"fault.retries", retries});
       attrs.push_back({"fault.straggler_tasks", stragglers});
       attrs.push_back({"fault.backoff_sec",
                        fault_plan->BackoffSeconds(retries)});
+      if (fault_plan->spec().node_failure_probability > 0.0) {
+        attrs.push_back({"fault.node_loss_tasks", node_losses});
+      }
+      if (fault_plan->spec().speculation.enabled) {
+        attrs.push_back({"speculation.launched", speculated});
+      }
     }
     const uint64_t job_span = registry->AddCompleteSpan(
         "replay." + trace.name, "replay_job", obs::Track::kSim, sim_start_sec,

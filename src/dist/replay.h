@@ -43,6 +43,17 @@ struct JobTrace {
   size_t task_retries = 0;
   /// Tasks whose committing attempt ran at the straggler slowdown.
   size_t straggler_tasks = 0;
+  /// Tasks killed by a correlated node loss (already counted in
+  /// task_retries; recorded so the correlated share is reportable).
+  size_t node_loss_tasks = 0;
+  /// Occupancy of each losing speculative duplicate, in charged flop
+  /// units, in task order over the speculated tasks only. These enter the
+  /// core schedule as extra load alongside task_flops; empty when
+  /// speculation was off.
+  std::vector<uint64_t> speculative_flops;
+  /// Speculative copies launched / copies that won the commit race.
+  size_t speculative_launched = 0;
+  size_t speculative_copies_won = 0;
   /// Extra worker flops charged for failed attempts (already included in
   /// task_flops; recorded for recovery-overhead reporting).
   uint64_t retry_flops = 0;
@@ -79,12 +90,15 @@ struct JobCost {
 /// assert depends on both paths calling exactly this function.
 /// `backoff_sec` is the fault layer's retry rescheduling delay; it is added
 /// to the job's launch time (a retry stalls the job, it does not move
-/// data).
+/// data). `extra_load_flops`, when non-null, is additional schedulable
+/// work placed on the cores after the tasks — the occupancy of losing
+/// speculative duplicates — scaled by the same `flop_scale`.
 JobCost ComputeJobCost(const ClusterSpec& spec, EngineMode mode,
                        const std::vector<uint64_t>& task_flops,
                        double flop_scale, double input_bytes,
                        double intermediate_bytes, double result_bytes,
-                       double backoff_sec = 0.0);
+                       double backoff_sec = 0.0,
+                       const std::vector<uint64_t>* extra_load_flops = nullptr);
 
 /// Recomputes one recorded job's cost under a (possibly different) cluster
 /// and engine mode, with the given scale multipliers. Fault charges the

@@ -184,4 +184,105 @@ PhaseDiffResult PhaseBreakdownDiff(const ParsedTrace& trace_a,
   return result;
 }
 
+namespace {
+
+/// One merged frame of the flame graph: all sim-track spans sharing a full
+/// name path collapse into a single node.
+struct FlameNode {
+  double total_sim_seconds = 0.0;
+  uint64_t count = 0;
+  std::map<std::string, FlameNode> children;
+};
+
+void RenderFlameNode(const std::string& name, const FlameNode& node, int depth,
+                     std::string* out) {
+  double child_seconds = 0.0;
+  for (const auto& [child_name, child] : node.children) {
+    (void)child_name;
+    child_seconds += child.total_sim_seconds;
+  }
+  const double self_seconds =
+      std::max(node.total_sim_seconds - child_seconds, 0.0);
+
+  std::string label(static_cast<size_t>(2 * depth + 2), ' ');
+  label += name;
+  if (node.count > 1) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), " x%llu",
+                  static_cast<unsigned long long>(node.count));
+    label += suffix;
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-44s %11.3f %11.3f\n", label.c_str(),
+                node.total_sim_seconds, self_seconds);
+  *out += line;
+
+  std::vector<std::pair<const std::string*, const FlameNode*>> ordered;
+  ordered.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    ordered.emplace_back(&child_name, &child);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second->total_sim_seconds != b.second->total_sim_seconds) {
+      return a.second->total_sim_seconds > b.second->total_sim_seconds;
+    }
+    return *a.first < *b.first;
+  });
+  for (const auto& [child_name, child] : ordered) {
+    RenderFlameNode(*child_name, *child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string FlameGraphReport(const ParsedTrace& trace) {
+  std::string out =
+      "Flame graph (sim-track spans; total sim_s, self sim_s):\n";
+
+  std::map<uint64_t, const ParsedSpan*> by_id;
+  for (const ParsedSpan& span : trace.spans) by_id[span.id] = &span;
+
+  FlameNode root;
+  size_t sim_spans = 0;
+  for (const ParsedSpan& span : trace.spans) {
+    if (span.track != Track::kSim) continue;
+    ++sim_spans;
+    // Name path from the root ancestor down to this span; parents on any
+    // track contribute their name (but only sim spans contribute time).
+    std::vector<const std::string*> path;
+    const ParsedSpan* cursor = &span;
+    while (cursor != nullptr && path.size() <= trace.spans.size()) {
+      path.push_back(&cursor->name);
+      if (cursor->parent_id == 0) break;
+      const auto parent = by_id.find(cursor->parent_id);
+      cursor = parent != by_id.end() ? parent->second : nullptr;
+    }
+    std::reverse(path.begin(), path.end());
+    FlameNode* node = &root;
+    for (const std::string* name : path) node = &node->children[*name];
+    node->total_sim_seconds += span.dur_sec;
+    ++node->count;
+  }
+
+  if (sim_spans == 0) {
+    out += "  (no sim-track spans)\n";
+    return out;
+  }
+  std::vector<std::pair<const std::string*, const FlameNode*>> roots;
+  roots.reserve(root.children.size());
+  for (const auto& [name, node] : root.children) {
+    roots.emplace_back(&name, &node);
+  }
+  std::sort(roots.begin(), roots.end(), [](const auto& a, const auto& b) {
+    if (a.second->total_sim_seconds != b.second->total_sim_seconds) {
+      return a.second->total_sim_seconds > b.second->total_sim_seconds;
+    }
+    return *a.first < *b.first;
+  });
+  for (const auto& [name, node] : roots) {
+    RenderFlameNode(*name, *node, 0, &out);
+  }
+  return out;
+}
+
 }  // namespace spca::obs

@@ -43,6 +43,19 @@ struct PhaseDiffResult {
 PhaseDiffResult PhaseBreakdownDiff(const ParsedTrace& trace_a,
                                    const ParsedTrace& trace_b);
 
+/// Text flame graph over the simulated-time track (trace_report --flame).
+/// Every sim-track span is merged into a tree node keyed by its full name
+/// path — the span names from its root ancestor down to itself, following
+/// parent links across tracks (a sim span under a wall-track parent keeps
+/// the wall frame in its path so nesting stays visible). Siblings with the
+/// same name merge: durations sum, and frames seen more than once get an
+/// " xN" count suffix. Rendered depth-first, children ordered by total
+/// sim-seconds descending then name ascending, with two columns per frame:
+/// total sim-seconds and self sim-seconds (total minus merged children,
+/// clamped at zero — a wall-track frame on the path contributes no time of
+/// its own).
+std::string FlameGraphReport(const ParsedTrace& trace);
+
 }  // namespace spca::obs
 
 #endif  // SPCA_OBS_TRACE_REPORT_H_

@@ -133,4 +133,212 @@ StatusOr<core::PcaModel> LoadModel(const std::string& path) {
   return model;
 }
 
+namespace {
+
+// Caps on sidecar counts: far above anything a solver writes, low enough
+// that a corrupted length field cannot drive a giant allocation.
+constexpr uint64_t kMaxCheckpointKeyLen = 256;
+constexpr uint64_t kMaxCheckpointEntries = 4096;
+
+void AppendKey(std::string* out, const std::string& key) {
+  const uint64_t len = key.size();
+  AppendBytes(out, &len, sizeof(len));
+  AppendBytes(out, key.data(), key.size());
+}
+
+Status WriteFileAtomicallyEnough(const std::string& payload,
+                                 const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const int close_result = std::fclose(f);
+  if (written != payload.size() || close_result != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveSolverState(const core::SolverCheckpoint& checkpoint,
+                       const std::string& path) {
+  if (checkpoint.solver.empty() ||
+      checkpoint.solver.size() > kMaxCheckpointKeyLen) {
+    return Status::InvalidArgument("checkpoint solver name must be 1.." +
+                                   std::to_string(kMaxCheckpointKeyLen) +
+                                   " bytes");
+  }
+  std::string payload;
+  AppendBytes(&payload, &kCheckpointMagic, sizeof(kCheckpointMagic));
+  AppendBytes(&payload, &kCheckpointFormatVersion,
+              sizeof(kCheckpointFormatVersion));
+  AppendKey(&payload, checkpoint.solver);
+  AppendBytes(&payload, &checkpoint.step, sizeof(checkpoint.step));
+  AppendBytes(&payload, &checkpoint.rows_seen, sizeof(checkpoint.rows_seen));
+  const uint64_t num_scalars = checkpoint.scalars.size();
+  AppendBytes(&payload, &num_scalars, sizeof(num_scalars));
+  for (const auto& [key, value] : checkpoint.scalars) {
+    if (key.empty() || key.size() > kMaxCheckpointKeyLen) {
+      return Status::InvalidArgument("bad checkpoint scalar key '" + key +
+                                     "'");
+    }
+    AppendKey(&payload, key);
+    AppendBytes(&payload, &value, sizeof(value));
+  }
+  const uint64_t num_matrices = checkpoint.matrices.size();
+  AppendBytes(&payload, &num_matrices, sizeof(num_matrices));
+  for (const auto& [key, matrix] : checkpoint.matrices) {
+    if (key.empty() || key.size() > kMaxCheckpointKeyLen) {
+      return Status::InvalidArgument("bad checkpoint matrix key '" + key +
+                                     "'");
+    }
+    AppendKey(&payload, key);
+    const uint64_t rows = matrix.rows();
+    const uint64_t cols = matrix.cols();
+    AppendBytes(&payload, &rows, sizeof(rows));
+    AppendBytes(&payload, &cols, sizeof(cols));
+    AppendBytes(&payload, matrix.data(), matrix.size() * sizeof(double));
+  }
+  const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  AppendBytes(&payload, &checksum, sizeof(checksum));
+  return WriteFileAtomicallyEnough(payload, path);
+}
+
+StatusOr<core::SolverCheckpoint> LoadSolverState(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open checkpoint " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read failed for " + path);
+
+  auto corrupt = [&path](const std::string& why) {
+    return Status::InvalidArgument("corrupt checkpoint " + path + ": " + why);
+  };
+  if (content.size() < sizeof(uint32_t) * 2 + sizeof(uint64_t)) {
+    return corrupt("truncated header");
+  }
+  // Checksum first: everything after it parses from verified bytes.
+  const size_t payload_size = content.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, content.data() + payload_size,
+              sizeof(stored_checksum));
+  if (Fnv1a64(content.data(), payload_size) != stored_checksum) {
+    return corrupt("checksum mismatch");
+  }
+
+  size_t offset = 0;
+  bool truncated = false;
+  auto read_pod = [&](auto* out) {
+    if (truncated || payload_size - offset < sizeof(*out)) {
+      truncated = true;
+      return;
+    }
+    std::memcpy(out, content.data() + offset, sizeof(*out));
+    offset += sizeof(*out);
+  };
+  auto read_key = [&](std::string* out) -> Status {
+    uint64_t len = 0;
+    read_pod(&len);
+    if (truncated) return Status::Ok();  // caught by the caller's check
+    if (len == 0 || len > kMaxCheckpointKeyLen) {
+      return Status::InvalidArgument("implausible key length");
+    }
+    if (payload_size - offset < len) {
+      truncated = true;
+      return Status::Ok();
+    }
+    out->assign(content.data() + offset, len);
+    offset += len;
+    return Status::Ok();
+  };
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  read_pod(&magic);
+  read_pod(&version);
+  if (magic != kCheckpointMagic) return corrupt("bad magic");
+  if (version != kCheckpointFormatVersion) {
+    return corrupt("unsupported format version " + std::to_string(version));
+  }
+
+  core::SolverCheckpoint checkpoint;
+  if (!read_key(&checkpoint.solver).ok()) {
+    return corrupt("implausible solver name length");
+  }
+  read_pod(&checkpoint.step);
+  read_pod(&checkpoint.rows_seen);
+  uint64_t num_scalars = 0;
+  read_pod(&num_scalars);
+  if (truncated) return corrupt("truncated");
+  if (num_scalars > kMaxCheckpointEntries) {
+    return corrupt("implausible scalar count");
+  }
+  for (uint64_t i = 0; i < num_scalars; ++i) {
+    std::string key;
+    if (!read_key(&key).ok()) return corrupt("implausible scalar key");
+    double value = 0.0;
+    read_pod(&value);
+    if (truncated) return corrupt("truncated scalar table");
+    checkpoint.SetScalar(key, value);
+  }
+  uint64_t num_matrices = 0;
+  read_pod(&num_matrices);
+  if (truncated) return corrupt("truncated");
+  if (num_matrices > kMaxCheckpointEntries) {
+    return corrupt("implausible matrix count");
+  }
+  for (uint64_t i = 0; i < num_matrices; ++i) {
+    std::string key;
+    if (!read_key(&key).ok()) return corrupt("implausible matrix key");
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    read_pod(&rows);
+    read_pod(&cols);
+    if (truncated) return corrupt("truncated matrix table");
+    if (rows > kMaxDim || cols > kMaxDim || rows * cols > kMaxElements) {
+      return corrupt("implausible matrix dimensions");
+    }
+    const size_t bytes = static_cast<size_t>(rows * cols) * sizeof(double);
+    if (payload_size - offset < bytes) return corrupt("truncated matrix data");
+    linalg::DenseMatrix matrix(static_cast<size_t>(rows),
+                               static_cast<size_t>(cols));
+    std::memcpy(matrix.data(), content.data() + offset, bytes);
+    offset += bytes;
+    checkpoint.SetMatrix(key, std::move(matrix));
+  }
+  if (offset != payload_size) return corrupt("trailing garbage");
+  return checkpoint;
+}
+
+Status SaveCheckpoint(const core::PcaModel& model,
+                      const core::SolverCheckpoint& checkpoint,
+                      const std::string& path) {
+  SPCA_RETURN_IF_ERROR(SaveModel(model, path));
+  const Status sidecar =
+      SaveSolverState(checkpoint, path + kCheckpointSidecarSuffix);
+  if (!sidecar.ok()) {
+    // Never leave a model that looks resumable but has no resume state.
+    std::remove(path.c_str());
+    return sidecar;
+  }
+  return Status::Ok();
+}
+
+StatusOr<LoadedCheckpoint> LoadCheckpoint(const std::string& path) {
+  auto model = LoadModel(path);
+  if (!model.ok()) return model.status();
+  auto state = LoadSolverState(path + kCheckpointSidecarSuffix);
+  if (!state.ok()) return state.status();
+  LoadedCheckpoint loaded;
+  loaded.model = std::move(model).value();
+  loaded.state = std::move(state).value();
+  return loaded;
+}
+
 }  // namespace spca::serve

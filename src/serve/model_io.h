@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/pca_model.h"
+#include "core/solver.h"
 
 namespace spca::serve {
 
@@ -41,6 +42,51 @@ Status SaveModel(const core::PcaModel& model, const std::string& path);
 /// Reads a model written by SaveModel, validating magic, version, shape,
 /// exact file size, and checksum.
 StatusOr<core::PcaModel> LoadModel(const std::string& path);
+
+/// Checkpoint sidecar format ("SPCS"): the solver's sufficient statistics
+/// beyond the servable model, written next to the SPCM file so a killed
+/// fit resumes bit-identically (core::Solver::Restore). Layout, all
+/// little-endian:
+///
+///   u32  magic          'S','P','C','S' (0x53435053 LE)
+///   u32  version        kCheckpointFormatVersion
+///   u64  solver_len     then that many bytes of Solver::name()
+///   u64  step
+///   u64  rows_seen
+///   u64  num_scalars    then per scalar: u64 key_len, key, f64 value
+///   u64  num_matrices   then per matrix: u64 key_len, key,
+///                       u64 rows, u64 cols, f64 data[rows*cols] row-major
+///   u64  checksum       FNV-1a 64 over every preceding byte
+///
+/// LoadSolverState applies the same corruption rejection discipline as
+/// LoadModel: wrong magic/version, truncation, implausible counts or
+/// dimensions, trailing garbage, and checksum mismatches all fail loudly.
+inline constexpr uint32_t kCheckpointMagic = 0x53435053u;  // "SPCS"
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// Sidecar path = model path + this suffix.
+inline constexpr const char* kCheckpointSidecarSuffix = ".sstat";
+
+/// Writes just the sidecar (exposed for tests; SaveCheckpoint is the
+/// user-facing entry point).
+Status SaveSolverState(const core::SolverCheckpoint& checkpoint,
+                       const std::string& path);
+StatusOr<core::SolverCheckpoint> LoadSolverState(const std::string& path);
+
+/// Writes `model` to `path` (SPCM) and `checkpoint` to
+/// `path + kCheckpointSidecarSuffix` (SPCS). Fails without leaving a
+/// model file behind if the sidecar cannot be written — a model whose
+/// resume state is missing must not look like a valid checkpoint.
+Status SaveCheckpoint(const core::PcaModel& model,
+                      const core::SolverCheckpoint& checkpoint,
+                      const std::string& path);
+
+struct LoadedCheckpoint {
+  core::PcaModel model;
+  core::SolverCheckpoint state;
+};
+
+/// Loads the (model, solver state) pair written by SaveCheckpoint.
+StatusOr<LoadedCheckpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace spca::serve
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "serve/model_io.h"
 #include "stream/drift.h"
 
 namespace spca::stream {
@@ -102,6 +103,24 @@ StatusOr<StreamRunSummary> StreamPipeline::Run(const BatchSource& next_batch,
     return Status::Ok();
   };
 
+  auto checkpoint = [&]() -> Status {
+    if (options_.checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_every_batches requires checkpoint_path");
+    }
+    auto model = solver_->Snapshot();
+    if (!model.ok()) return model.status();
+    auto state = solver_->Checkpoint();
+    if (!state.ok()) return state.status();
+    SPCA_RETURN_IF_ERROR(serve::SaveCheckpoint(model.value(), state.value(),
+                                               options_.checkpoint_path));
+    summary.checkpoints += 1;
+    if (metrics != nullptr) {
+      metrics->counter("stream.checkpoints")->Increment();
+    }
+    return Status::Ok();
+  };
+
   Status failure = Status::Ok();
   while (options_.max_batches == 0 || summary.batches < options_.max_batches) {
     auto batch = next_batch();
@@ -121,6 +140,14 @@ StatusOr<StreamRunSummary> StreamPipeline::Run(const BatchSource& next_batch,
       Status published = snapshot_and_publish();
       if (!published.ok()) {
         failure = published;
+        break;
+      }
+    }
+    if (options_.checkpoint_every_batches > 0 &&
+        summary.batches % options_.checkpoint_every_batches == 0) {
+      Status checkpointed = checkpoint();
+      if (!checkpointed.ok()) {
+        failure = checkpointed;
         break;
       }
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -31,6 +32,15 @@ struct StreamPipelineOptions {
   /// Retain each published snapshot in the summary (benchmarks compare
   /// them against a full-batch refit afterwards).
   bool keep_snapshots = false;
+  /// Durably checkpoint the solver after this many ingested batches
+  /// (0 = never). Each checkpoint overwrites checkpoint_path with the
+  /// servable model (SPCM) plus the solver's resume sidecar (SPCS), so a
+  /// killed run restarts from the latest batch boundary: Restore the pair
+  /// into a fresh solver and Run again on the remaining stream —
+  /// bit-identical to never having died. Requires a non-empty
+  /// checkpoint_path and a solver that implements Checkpoint().
+  size_t checkpoint_every_batches = 0;
+  std::string checkpoint_path;
   /// Metrics for the stream.* pipeline counters/gauges. May be null.
   obs::Registry* metrics = nullptr;
 };
@@ -56,6 +66,8 @@ struct StreamRunSummary {
   size_t batches = 0;
   size_t publishes = 0;
   size_t publish_failures = 0;
+  /// Checkpoints written to StreamPipelineOptions::checkpoint_path.
+  size_t checkpoints = 0;
   double wall_seconds = 0.0;
   std::vector<PublishRecord> publish_log;
 };

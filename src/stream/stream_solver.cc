@@ -66,11 +66,31 @@ double BlendRho(size_t steps_done, double decay) {
   return 1.0 / static_cast<double>(steps_done + 1);
 }
 
+// Checkpoint plumbing: vectors travel as n x 1 matrices in the
+// solver-agnostic SolverCheckpoint.
+DenseMatrix VectorAsMatrix(const DenseVector& v) {
+  DenseMatrix m(v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+DenseVector MatrixAsVector(const DenseMatrix& m) {
+  DenseVector v(m.rows() * m.cols());
+  for (size_t i = 0; i < v.size(); ++i) v[i] = m.data()[i];
+  return v;
+}
+
+Status MissingCheckpointField(const char* solver, const char* key) {
+  return Status::InvalidArgument(std::string(solver) +
+                                 " checkpoint is missing field '" + key + "'");
+}
+
 }  // namespace
 
 Status MiniBatchEmSolver::Init(const core::FitOptions& options) {
   registry_ = options.registry != nullptr ? options.registry
                                           : engine_->registry();
+  on_checkpoint_ = options.on_checkpoint;
   dim_ = 0;
   steps_ = 0;
   rows_seen_ = 0;
@@ -216,6 +236,83 @@ Status MiniBatchEmSolver::Step(const DistMatrix& batch) {
   step_span.SetAttribute("ss", ss_);
   registry_->SetSpanAttribute(step_span.id(), "sim_seconds",
                               point.simulated_seconds);
+
+  if (on_checkpoint_) {
+    auto model = Snapshot();
+    if (!model.ok()) return model.status();
+    auto checkpoint = Checkpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    SPCA_RETURN_IF_ERROR(on_checkpoint_(model.value(), checkpoint.value()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::SolverCheckpoint> MiniBatchEmSolver::Checkpoint() const {
+  if (steps_ == 0) {
+    return Status::FailedPrecondition("no rows ingested; nothing to "
+                                      "checkpoint");
+  }
+  core::SolverCheckpoint checkpoint;
+  checkpoint.solver = std::string(name());
+  checkpoint.step = steps_;
+  checkpoint.rows_seen = rows_seen_;
+  checkpoint.SetScalar("dim", static_cast<double>(dim_));
+  checkpoint.SetScalar("ss", ss_);
+  checkpoint.SetScalar("s_ss1", s_ss1_);
+  checkpoint.SetScalar("s_ss3", s_ss3_);
+  checkpoint.SetMatrix("mean_sum", VectorAsMatrix(mean_sum_));
+  checkpoint.SetMatrix("s_xtx", s_xtx_);
+  checkpoint.SetMatrix("s_ytx", s_ytx_);
+  return checkpoint;
+}
+
+Status MiniBatchEmSolver::Restore(const core::PcaModel& model,
+                                  const core::SolverCheckpoint& checkpoint) {
+  if (checkpoint.solver != name()) {
+    return Status::InvalidArgument("checkpoint was written by solver '" +
+                                   checkpoint.solver + "', not '" +
+                                   std::string(name()) + "'");
+  }
+  const double* dim = checkpoint.FindScalar("dim");
+  const double* ss = checkpoint.FindScalar("ss");
+  const double* s_ss1 = checkpoint.FindScalar("s_ss1");
+  const double* s_ss3 = checkpoint.FindScalar("s_ss3");
+  const DenseMatrix* mean_sum = checkpoint.FindMatrix("mean_sum");
+  const DenseMatrix* s_xtx = checkpoint.FindMatrix("s_xtx");
+  const DenseMatrix* s_ytx = checkpoint.FindMatrix("s_ytx");
+  if (dim == nullptr) return MissingCheckpointField("minibatch_em", "dim");
+  if (ss == nullptr) return MissingCheckpointField("minibatch_em", "ss");
+  if (s_ss1 == nullptr) return MissingCheckpointField("minibatch_em", "s_ss1");
+  if (s_ss3 == nullptr) return MissingCheckpointField("minibatch_em", "s_ss3");
+  if (mean_sum == nullptr) {
+    return MissingCheckpointField("minibatch_em", "mean_sum");
+  }
+  if (s_xtx == nullptr) return MissingCheckpointField("minibatch_em", "s_xtx");
+  if (s_ytx == nullptr) return MissingCheckpointField("minibatch_em", "s_ytx");
+  const size_t d = options_.num_components;
+  const size_t restored_dim = static_cast<size_t>(*dim);
+  if (model.components.rows() != restored_dim ||
+      model.components.cols() != d || mean_sum->rows() != restored_dim ||
+      s_xtx->rows() != d || s_xtx->cols() != d ||
+      s_ytx->rows() != restored_dim || s_ytx->cols() != d) {
+    return Status::InvalidArgument(
+        "minibatch_em checkpoint shapes do not match the solver options");
+  }
+  if (!(*ss > 0.0)) {
+    return Status::InvalidArgument("checkpoint noise variance must be > 0");
+  }
+  dim_ = restored_dim;
+  steps_ = checkpoint.step;
+  rows_seen_ = checkpoint.rows_seen;
+  mean_sum_ = MatrixAsVector(*mean_sum);
+  mean_ = mean_sum_;
+  if (rows_seen_ > 0) mean_.Scale(1.0 / static_cast<double>(rows_seen_));
+  c_ = model.components;
+  ss_ = *ss;
+  s_xtx_ = *s_xtx;
+  s_ytx_ = *s_ytx;
+  s_ss1_ = *s_ss1;
+  s_ss3_ = *s_ss3;
   return Status::Ok();
 }
 
@@ -261,6 +358,7 @@ struct OjaPartial {
 Status OjaSolver::Init(const core::FitOptions& options) {
   registry_ = options.registry != nullptr ? options.registry
                                           : engine_->registry();
+  on_checkpoint_ = options.on_checkpoint;
   dim_ = 0;
   steps_ = 0;
   rows_seen_ = 0;
@@ -438,6 +536,77 @@ Status OjaSolver::Step(const DistMatrix& batch) {
   step_span.SetAttribute("ss", point.ss);
   registry_->SetSpanAttribute(step_span.id(), "sim_seconds",
                               point.simulated_seconds);
+
+  if (on_checkpoint_) {
+    auto model = Snapshot();
+    if (!model.ok()) return model.status();
+    auto checkpoint = Checkpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    SPCA_RETURN_IF_ERROR(on_checkpoint_(model.value(), checkpoint.value()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::SolverCheckpoint> OjaSolver::Checkpoint() const {
+  if (steps_ == 0) {
+    return Status::FailedPrecondition("no rows ingested; nothing to "
+                                      "checkpoint");
+  }
+  core::SolverCheckpoint checkpoint;
+  checkpoint.solver = std::string(name());
+  checkpoint.step = steps_;
+  checkpoint.rows_seen = rows_seen_;
+  checkpoint.SetScalar("dim", static_cast<double>(dim_));
+  checkpoint.SetScalar("s_norm", s_norm_);
+  checkpoint.SetScalar("s_proj", s_proj_);
+  checkpoint.SetScalar("steps_since_reorth",
+                       static_cast<double>(steps_since_reorth_));
+  checkpoint.SetMatrix("mean_sum", VectorAsMatrix(mean_sum_));
+  // The raw basis, not the published orthonormalized one: restoring it
+  // keeps the lazy-reorthonormalization schedule bit-identical.
+  checkpoint.SetMatrix("c_raw", c_);
+  return checkpoint;
+}
+
+Status OjaSolver::Restore(const core::PcaModel& model,
+                          const core::SolverCheckpoint& checkpoint) {
+  if (checkpoint.solver != name()) {
+    return Status::InvalidArgument("checkpoint was written by solver '" +
+                                   checkpoint.solver + "', not '" +
+                                   std::string(name()) + "'");
+  }
+  const double* dim = checkpoint.FindScalar("dim");
+  const double* s_norm = checkpoint.FindScalar("s_norm");
+  const double* s_proj = checkpoint.FindScalar("s_proj");
+  const double* since_reorth = checkpoint.FindScalar("steps_since_reorth");
+  const DenseMatrix* mean_sum = checkpoint.FindMatrix("mean_sum");
+  const DenseMatrix* c_raw = checkpoint.FindMatrix("c_raw");
+  if (dim == nullptr) return MissingCheckpointField("oja", "dim");
+  if (s_norm == nullptr) return MissingCheckpointField("oja", "s_norm");
+  if (s_proj == nullptr) return MissingCheckpointField("oja", "s_proj");
+  if (since_reorth == nullptr) {
+    return MissingCheckpointField("oja", "steps_since_reorth");
+  }
+  if (mean_sum == nullptr) return MissingCheckpointField("oja", "mean_sum");
+  if (c_raw == nullptr) return MissingCheckpointField("oja", "c_raw");
+  const size_t restored_dim = static_cast<size_t>(*dim);
+  if (c_raw->rows() != restored_dim ||
+      c_raw->cols() != options_.num_components ||
+      mean_sum->rows() != restored_dim || model.components.rows() !=
+                                              restored_dim) {
+    return Status::InvalidArgument(
+        "oja checkpoint shapes do not match the solver options");
+  }
+  dim_ = restored_dim;
+  steps_ = checkpoint.step;
+  rows_seen_ = checkpoint.rows_seen;
+  steps_since_reorth_ = static_cast<size_t>(*since_reorth);
+  mean_sum_ = MatrixAsVector(*mean_sum);
+  mean_ = mean_sum_;
+  if (rows_seen_ > 0) mean_.Scale(1.0 / static_cast<double>(rows_seen_));
+  c_ = *c_raw;
+  s_norm_ = *s_norm;
+  s_proj_ = *s_proj;
   return Status::Ok();
 }
 

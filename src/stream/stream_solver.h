@@ -2,6 +2,7 @@
 #define SPCA_STREAM_STREAM_SOLVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -61,6 +62,14 @@ class MiniBatchEmSolver : public core::Solver {
   StatusOr<core::PcaModel> Snapshot() const override;
   StatusOr<core::SolveResult> Result() override;
 
+  /// Full resume state: the EMA-blended sufficient statistics plus the
+  /// exact mean accumulator. Restoring (Snapshot(), Checkpoint()) into a
+  /// freshly Init()ed solver makes subsequent Steps bit-identical to the
+  /// uninterrupted run.
+  StatusOr<core::SolverCheckpoint> Checkpoint() const override;
+  Status Restore(const core::PcaModel& model,
+                 const core::SolverCheckpoint& checkpoint) override;
+
   size_t steps() const { return steps_; }
   uint64_t rows_seen() const { return rows_seen_; }
   double noise_variance() const { return ss_; }
@@ -70,6 +79,8 @@ class MiniBatchEmSolver : public core::Solver {
   StreamSolverOptions options_;
 
   obs::Registry* registry_ = nullptr;
+  std::function<Status(const core::PcaModel&, const core::SolverCheckpoint&)>
+      on_checkpoint_;
   size_t dim_ = 0;  // fixed by the first batch
   size_t steps_ = 0;
   uint64_t rows_seen_ = 0;
@@ -108,6 +119,13 @@ class OjaSolver : public core::Solver {
   StatusOr<core::PcaModel> Snapshot() const override;
   StatusOr<core::SolveResult> Result() override;
 
+  /// Resume state including the *raw* (possibly sheared) basis — the
+  /// published model's orthonormalized components are not sufficient to
+  /// continue the lazy-reorthonormalization schedule bit-identically.
+  StatusOr<core::SolverCheckpoint> Checkpoint() const override;
+  Status Restore(const core::PcaModel& model,
+                 const core::SolverCheckpoint& checkpoint) override;
+
   size_t steps() const { return steps_; }
   uint64_t rows_seen() const { return rows_seen_; }
 
@@ -116,6 +134,8 @@ class OjaSolver : public core::Solver {
   StreamSolverOptions options_;
 
   obs::Registry* registry_ = nullptr;
+  std::function<Status(const core::PcaModel&, const core::SolverCheckpoint&)>
+      on_checkpoint_;
   size_t dim_ = 0;
   size_t steps_ = 0;
   uint64_t rows_seen_ = 0;

@@ -1,0 +1,193 @@
+// Seed-determinism regression suite: the exact draws of every seeded
+// generator the resilience machinery depends on — FaultPlan (including the
+// correlated node-loss stream and the speculation cost resolution),
+// workload::RowStream batches, and the load_gen query/arrival generators —
+// are rendered to text and compared against a checked-in golden file.
+//
+// Replay-exactness, checkpoint resume, and the chaos suites all assume
+// these streams never drift across refactors; a compiler- or code-change
+// that perturbs any draw shows up here as a one-line diff instead of a
+// mysterious bit-identity failure three suites away.
+//
+// To update after an intentional generator change:
+//   SPCA_REGENERATE_GOLDEN=1 ./determinism_golden_test
+// and commit the rewritten tests/golden/seed_determinism.golden.
+
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/dist_matrix.h"
+#include "dist/fault.h"
+#include "linalg/dense_matrix.h"
+#include "serve/model_io.h"
+#include "workload/load_gen.h"
+#include "workload/row_stream.h"
+
+namespace spca {
+namespace {
+
+using dist::FaultPlan;
+using dist::FaultSpec;
+using dist::TaskFault;
+
+void Line(std::string* out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out->append(buffer);
+  out->push_back('\n');
+}
+
+uint64_t HashDoubles(const std::vector<double>& values) {
+  return serve::Fnv1a64(values.data(), values.size() * sizeof(double));
+}
+
+std::string RenderFaultPlanSection() {
+  std::string out = "[fault_plan]\n";
+  FaultSpec spec;
+  spec.seed = 0xd5;
+  spec.task_failure_probability = 0.3;
+  spec.straggler_probability = 0.25;
+  spec.straggler_slowdown = 3.5;
+  spec.max_task_attempts = 4;
+  spec.retry_backoff_sec = 0.5;
+  spec.node_failure_probability = 0.2;
+  spec.num_workers = 4;
+  spec.speculation.enabled = true;
+  const FaultPlan plan(spec);
+  for (uint64_t job = 0; job < 4; ++job) {
+    for (uint64_t task = 0; task < 8; ++task) {
+      const TaskFault fault = plan.Draw(job, task);
+      const dist::TaskCharge charge =
+          dist::ResolveTaskCharge(100000, fault, spec.speculation);
+      Line(&out,
+           "job=%llu task=%llu extra=%d slowdown=%.17g node_loss=%d "
+           "committed=%llu duplicate=%llu speculated=%d copy_won=%d",
+           static_cast<unsigned long long>(job),
+           static_cast<unsigned long long>(task), fault.extra_attempts,
+           fault.slowdown, fault.node_loss ? 1 : 0,
+           static_cast<unsigned long long>(charge.committed_flops),
+           static_cast<unsigned long long>(charge.duplicate_flops),
+           charge.speculated ? 1 : 0, charge.copy_won ? 1 : 0);
+    }
+    Line(&out, "job=%llu backoff=%.17g",
+         static_cast<unsigned long long>(job),
+         plan.BackoffSeconds(job));
+  }
+  return out;
+}
+
+std::string RenderRowStreamSection() {
+  std::string out = "[row_stream]\n";
+  workload::RowStreamConfig config;
+  config.dim = 32;
+  config.rank = 3;
+  config.batch_rows = 40;
+  config.partitions_per_batch = 2;
+  config.drift_every_batches = 2;
+  config.seed = 9;
+  workload::RowStream stream(config);
+  for (int batch = 0; batch < 4; ++batch) {
+    const dist::DistMatrix m = stream.NextBatch();
+    std::vector<double> flat(m.rows() * m.cols(), 0.0);
+    for (size_t i = 0; i < m.rows(); ++i) {
+      m.ForEachEntry(i,
+                     [&](size_t k, double v) { flat[i * m.cols() + k] = v; });
+    }
+    Line(&out, "batch=%d hash=%016llx first=%.17g last=%.17g", batch,
+         static_cast<unsigned long long>(HashDoubles(flat)), flat.front(),
+         flat.back());
+  }
+  Line(&out, "rows_emitted=%llu drifts=%llu",
+       static_cast<unsigned long long>(stream.rows_emitted()),
+       static_cast<unsigned long long>(stream.drifts_applied()));
+  return out;
+}
+
+std::string RenderLoadGenSection() {
+  std::string out = "[load_gen]\n";
+  workload::QuerySetConfig sparse_config;
+  sparse_config.num_queries = 8;
+  sparse_config.dim = 64;
+  sparse_config.nnz_per_query = 5.0;
+  sparse_config.seed = 42;
+  const auto sparse = GenerateQueries(sparse_config);
+  for (size_t q = 0; q < sparse.size(); ++q) {
+    const auto& query = sparse[q];
+    std::vector<double> mixed;
+    for (const auto& entry : query.sparse.entries()) {
+      mixed.push_back(static_cast<double>(entry.index));
+      mixed.push_back(entry.value);
+    }
+    Line(&out, "sparse_query=%zu nnz=%zu hash=%016llx", q, query.nnz(),
+         static_cast<unsigned long long>(HashDoubles(mixed)));
+  }
+  workload::QuerySetConfig dense_config = sparse_config;
+  dense_config.dense = true;
+  dense_config.num_queries = 4;
+  const auto dense = GenerateQueries(dense_config);
+  for (size_t q = 0; q < dense.size(); ++q) {
+    std::vector<double> values(dense[q].dense.size());
+    for (size_t i = 0; i < values.size(); ++i) values[i] = dense[q].dense[i];
+    Line(&out, "dense_query=%zu hash=%016llx first=%.17g", q,
+         static_cast<unsigned long long>(HashDoubles(values)),
+         values.front());
+  }
+  workload::ArrivalScheduleConfig arrivals;
+  arrivals.qps = 500.0;
+  arrivals.num_arrivals = 8;
+  arrivals.poisson = true;
+  arrivals.seed = 3;
+  const auto schedule = GenerateArrivalSchedule(arrivals);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    Line(&out, "arrival=%zu offset=%.17g", i, schedule[i]);
+  }
+  return out;
+}
+
+TEST(DeterminismGolden, SeededGeneratorsMatchGolden) {
+  const std::string rendered = RenderFaultPlanSection() +
+                               RenderRowStreamSection() +
+                               RenderLoadGenSection();
+  ASSERT_FALSE(rendered.empty());
+
+  const std::string golden_path =
+      std::string(SPCA_TEST_SRCDIR) + "/golden/seed_determinism.golden";
+  if (std::getenv("SPCA_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << rendered;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run with SPCA_REGENERATE_GOLDEN=1 to create)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered, golden.str())
+      << "a seeded generator drifted from the checked-in golden; replay "
+         "exactness and checkpoint resume depend on these streams — if the "
+         "change is intentional, regenerate with SPCA_REGENERATE_GOLDEN=1";
+}
+
+// The rendered sections must also be stable within one process run (no
+// hidden global state): rendering twice yields identical text.
+TEST(DeterminismGolden, RenderingIsPure) {
+  EXPECT_EQ(RenderFaultPlanSection(), RenderFaultPlanSection());
+  EXPECT_EQ(RenderRowStreamSection(), RenderRowStreamSection());
+  EXPECT_EQ(RenderLoadGenSection(), RenderLoadGenSection());
+}
+
+}  // namespace
+}  // namespace spca

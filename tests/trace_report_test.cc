@@ -158,5 +158,96 @@ TEST(TraceReport, PhaseBreakdownDiffFlagsRegressions) {
   EXPECT_GT(reverse.max_relative_delta, 0.0);
 }
 
+// The flame graph is an exact text rendering — pin it down byte for byte
+// on a hand-built trace covering every rule at once: sibling merging with
+// the " xN" suffix, total-descending child order, self-time subtraction,
+// wall-track frames that appear on the path but contribute no time, and
+// wall spans with no sim descendants vanishing entirely.
+TEST(TraceReport, FlameGraphRendersHandBuiltTraceExactly) {
+  obs::ParsedTrace trace;
+  auto add = [&trace](uint64_t id, uint64_t parent, const char* name,
+                      obs::Track track, double dur_sec) {
+    obs::ParsedSpan span;
+    span.id = id;
+    span.parent_id = parent;
+    span.name = name;
+    span.track = track;
+    span.dur_sec = dur_sec;
+    trace.spans.push_back(span);
+  };
+  add(1, 0, "spca.fit", obs::Track::kSim, 10.0);
+  add(2, 1, "spca.em_iteration", obs::Track::kSim, 3.0);
+  add(3, 1, "spca.em_iteration", obs::Track::kSim, 4.0);
+  add(4, 2, "job.ym", obs::Track::kSim, 1.5);
+  add(5, 3, "job.ym", obs::Track::kSim, 2.0);
+  // Wall-track span with no sim descendants: absent from the flame graph.
+  add(6, 1, "trace.flush", obs::Track::kWall, 99.0);
+  // Wall-track parent of a sim span: appears on the path with zero time.
+  add(7, 0, "serve.batch_loop", obs::Track::kWall, 5.0);
+  add(8, 7, "serve.project", obs::Track::kSim, 0.5);
+
+  const std::string expected =
+      "Flame graph (sim-track spans; total sim_s, self sim_s):\n"
+      "  spca.fit                                        10.000       "
+      "3.000\n"
+      "    spca.em_iteration x2                           7.000       "
+      "3.500\n"
+      "      job.ym x2                                    3.500       "
+      "3.500\n"
+      "  serve.batch_loop                                 0.000       "
+      "0.000\n"
+      "    serve.project                                  0.500       "
+      "0.500\n";
+  EXPECT_EQ(obs::FlameGraphReport(trace), expected);
+
+  // Rendering is pure: a second pass over the same trace is identical.
+  EXPECT_EQ(obs::FlameGraphReport(trace), obs::FlameGraphReport(trace));
+}
+
+TEST(TraceReport, FlameGraphReportsEmptySimTrack) {
+  obs::ParsedTrace trace;
+  obs::ParsedSpan wall_only;
+  wall_only.id = 1;
+  wall_only.name = "serve.batch";
+  wall_only.track = obs::Track::kWall;
+  wall_only.dur_sec = 1.0;
+  trace.spans.push_back(wall_only);
+  EXPECT_EQ(obs::FlameGraphReport(trace),
+            "Flame graph (sim-track spans; total sim_s, self sim_s):\n"
+            "  (no sim-track spans)\n");
+}
+
+// A real engine-produced trace renders with the (wall-track) fit and
+// iteration frames on the path and the sim-phase spans merged beneath
+// them — and two identically-seeded runs captured through the two on-disk
+// trace formats must render byte-identically.
+TEST(TraceReport, FlameGraphAgreesAcrossTraceFormats) {
+  const std::string path = ::testing::TempDir() + "/flame_stream.jsonl";
+  const DistMatrix matrix = TestMatrix();
+
+  obs::Registry registry;
+  obs::TraceStreamer streamer(&registry, /*flush_every=*/3);
+  ASSERT_TRUE(streamer.Open(path).ok());
+  Engine engine(dist::ClusterSpec{}, EngineMode::kSpark, &registry);
+  ASSERT_TRUE(core::Spca(&engine, TestOptions()).Solve(matrix).ok());
+  ASSERT_TRUE(streamer.Close().ok());
+  auto streamed = obs::LoadTraceFile(path);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  Engine chrome_engine(dist::ClusterSpec{}, EngineMode::kSpark);
+  ASSERT_TRUE(core::Spca(&chrome_engine, TestOptions()).Solve(matrix).ok());
+  auto chrome =
+      obs::ParseTrace(obs::ChromeTraceJson(*chrome_engine.registry()));
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+
+  const std::string report = obs::FlameGraphReport(chrome.value());
+  EXPECT_NE(report.find("spca.fit"), std::string::npos);
+  EXPECT_NE(report.find("spca.em_iteration"), std::string::npos);
+  EXPECT_NE(report.find(" x"), std::string::npos);  // merged sim frames
+  EXPECT_EQ(report.find("(no sim-track spans)"), std::string::npos);
+  EXPECT_EQ(report, obs::FlameGraphReport(streamed.value()));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace spca

@@ -1,0 +1,41 @@
+# Regression test for the --save-model fault-provenance writer: when the
+# .meta sidecar cannot be written, spca_cli must exit non-zero, print an
+# error, and remove the model file it just saved (a model fitted under
+# fault injection must never be left behind without its provenance).
+#
+# Invoked by ctest as:
+#   cmake -D CLI=<path/to/spca_cli> -D OUT_DIR=<scratch dir> -P this_file
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "need -D CLI=... and -D OUT_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(model_path "${OUT_DIR}/model.spcm")
+# Squat the sidecar path with a directory so the meta write must fail
+# while the model write itself succeeds.
+file(MAKE_DIRECTORY "${model_path}.meta")
+
+execute_process(
+  COMMAND "${CLI}" --generate tweets --rows 600 --cols 80 --components 4
+          --iterations 2 --fault-rate 0.2 --straggler-rate 0.2
+          --save-model "${model_path}"
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+          "spca_cli exited 0 despite an unwritable .meta sidecar; stdout:\n"
+          "${stdout}")
+endif()
+if(NOT stderr MATCHES "error")
+  message(FATAL_ERROR
+          "spca_cli failed silently (no error on stderr); stderr:\n${stderr}")
+endif()
+if(EXISTS "${model_path}")
+  message(FATAL_ERROR
+          "orphaned model file left behind after the .meta write failed: "
+          "${model_path}")
+endif()
+message(STATUS "meta failure handled loudly and cleanly (exit ${exit_code})")

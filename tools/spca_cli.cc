@@ -16,6 +16,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,9 +69,27 @@ only recovery cost is charged — see DESIGN.md "Fault injection & recovery"):
   --max-retries N       retries per task before it must succeed (default 3)
   --retry-backoff SEC   rescheduling delay charged per retry (default 0)
   --fault-seed N        seed of the fault schedule (default 0x5ca1ab1e)
+  --correlated-faults P per-(job, worker) node-loss probability: one draw
+                        kills every task resident on that worker for the
+                        job (tasks are placed round-robin over
+                        --fault-workers workers)
+  --fault-workers N     simulated workers for node-loss placement (default 16)
+  --speculation         speculatively re-launch straggling tasks; first
+                        committed copy wins, the duplicate's occupancy is
+                        still charged to sim-time
+  --speculation-delay F   re-launch a copy after this fraction of the
+                        task's healthy time (default 0.25)
+  --speculation-min-slowdown F  only speculate on tasks at least this much
+                        slower than healthy (default 2)
   --replay-faults       keep the live run clean and inject the fault plan
                         during --replay-rows instead ("what would a 2%%
                         failure rate cost at a billion rows")
+
+Checkpoint/restart (sPCA only; see DESIGN.md "Checkpoint/restart"):
+  --checkpoint-dir DIR  write DIR/checkpoint.spcm (+ .sstat resume sidecar)
+                        after every EM iteration
+  --resume              load DIR/checkpoint.spcm and run only the remaining
+                        iterations; bit-identical to the uninterrupted run
 
 Output:
   --output PATH         write components as text (rows = dimensions)
@@ -131,9 +150,12 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--save-model", "--load-model",
       "--seed",       "--trace-out",  "--trace-stream", "--flush-every",
       "--replay-rows", "--fault-rate", "--fault-seed", "--straggler-rate",
-      "--straggler-slowdown", "--max-retries", "--retry-backoff"};
+      "--straggler-slowdown", "--max-retries", "--retry-backoff",
+      "--correlated-faults", "--fault-workers", "--speculation-delay",
+      "--speculation-min-slowdown", "--checkpoint-dir"};
   static const char* kFlagsBare[] = {"--smart-guess", "--metrics",
-                                     "--replay-faults", "--help"};
+                                     "--replay-faults", "--speculation",
+                                     "--resume", "--help"};
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -302,13 +324,73 @@ StatusOr<std::unique_ptr<spca::core::Solver>> MakeSolver(
   return Status::InvalidArgument("unknown --algorithm " + algorithm);
 }
 
-StatusOr<spca::core::PcaModel> RunAlgorithm(const Args& args,
+StatusOr<spca::core::PcaModel> RunAlgorithm(Args args,
                                             spca::dist::Engine* engine,
                                             const spca::dist::DistMatrix& y) {
+  // Checkpoint/restart (sPCA only): the checkpoint file is a normal SPCM
+  // model plus an .sstat sidecar of resume state, overwritten after every
+  // EM iteration. --resume warm-starts from it and runs only the remaining
+  // iterations; sidecar step numbering stays global across restarts.
+  const bool resume = args.Has("--resume");
+  const bool checkpointing = args.Has("--checkpoint-dir");
+  std::string checkpoint_file;
+  if (checkpointing || resume) {
+    if (args.Get("--algorithm", "spca") != "spca") {
+      return Status::InvalidArgument(
+          "--checkpoint-dir/--resume support only --algorithm spca");
+    }
+    if (!checkpointing) {
+      return Status::InvalidArgument("--resume needs --checkpoint-dir");
+    }
+    checkpoint_file = args.Get("--checkpoint-dir", "") + "/checkpoint.spcm";
+  }
+  uint64_t base_step = 0;
+  std::optional<spca::serve::LoadedCheckpoint> loaded;
+  if (resume) {
+    auto checkpoint = spca::serve::LoadCheckpoint(checkpoint_file);
+    if (!checkpoint.ok()) return checkpoint.status();
+    loaded = std::move(checkpoint).value();
+    base_step = loaded->state.step;
+    const long total_iterations = args.GetInt("--iterations", 10);
+    std::printf("resuming %s from iteration %llu of %ld\n",
+                checkpoint_file.c_str(),
+                static_cast<unsigned long long>(base_step), total_iterations);
+    if (static_cast<long>(base_step) >= total_iterations) {
+      std::printf("checkpoint already complete; nothing to run\n");
+      return std::move(loaded->model);
+    }
+    args.values["--iterations"] =
+        std::to_string(total_iterations - static_cast<long>(base_step));
+  }
+
   auto solver = MakeSolver(args, engine);
   if (!solver.ok()) return solver.status();
-  auto result = spca::core::RunSolver(solver.value().get(), y);
+
+  spca::core::FitOptions fit;
+  if (checkpointing) {
+    fit.on_checkpoint = [&](const spca::core::PcaModel& model,
+                            const spca::core::SolverCheckpoint& state) {
+      spca::core::SolverCheckpoint shifted = state;
+      shifted.step += base_step;
+      return spca::serve::SaveCheckpoint(model, shifted, checkpoint_file);
+    };
+  }
+
+  auto run = [&]() -> StatusOr<spca::core::SolveResult> {
+    if (!resume) return spca::core::RunSolver(solver.value().get(), y, fit);
+    // Restore must land between Init and Step, so spell out RunSolver.
+    SPCA_RETURN_IF_ERROR(solver.value()->Init(fit));
+    SPCA_RETURN_IF_ERROR(solver.value()->Restore(loaded->model,
+                                                 loaded->state));
+    SPCA_RETURN_IF_ERROR(solver.value()->Step(y));
+    return solver.value()->Result();
+  };
+  auto result = run();
   if (!result.ok()) return result.status();
+  if (checkpointing) {
+    std::printf("checkpointed every iteration to %s\n",
+                checkpoint_file.c_str());
+  }
   const std::string_view name = solver.value()->name();
   if (name == "spca") {
     std::printf("sPCA: %d iterations", result.value().iterations_run);
@@ -371,7 +453,14 @@ int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model,
       const std::string meta_path = path + ".meta";
       const Status meta_status = spca::obs::WriteFile(meta_path, fault_meta);
       if (!meta_status.ok()) {
-        std::fprintf(stderr, "error: %s\n", meta_status.ToString().c_str());
+        // The model without its provenance sidecar would masquerade as a
+        // clean-run artifact; remove it and fail the whole invocation.
+        std::remove(path.c_str());
+        std::fprintf(stderr,
+                     "error: %s\nerror: removed %s — a model fitted under "
+                     "fault injection must not be saved without its .meta "
+                     "provenance\n",
+                     meta_status.ToString().c_str(), path.c_str());
         return 1;
       }
       std::printf("saved fault metadata to %s\n", meta_path.c_str());
@@ -431,13 +520,24 @@ int Main(int argc, char** argv) {
   fault_spec.retry_backoff_sec = args->GetDouble("--retry-backoff", 0.0);
   fault_spec.seed = static_cast<uint64_t>(
       args->GetInt("--fault-seed", static_cast<long>(fault_spec.seed)));
+  fault_spec.node_failure_probability =
+      args->GetDouble("--correlated-faults", 0.0);
+  fault_spec.num_workers = static_cast<int>(args->GetInt(
+      "--fault-workers", static_cast<long>(fault_spec.num_workers)));
+  fault_spec.speculation.enabled = args->Has("--speculation");
+  fault_spec.speculation.relaunch_delay_factor = args->GetDouble(
+      "--speculation-delay", fault_spec.speculation.relaunch_delay_factor);
+  fault_spec.speculation.min_slowdown = args->GetDouble(
+      "--speculation-min-slowdown", fault_spec.speculation.min_slowdown);
   if (fault_spec.task_failure_probability < 0.0 ||
       fault_spec.task_failure_probability >= 1.0 ||
       fault_spec.straggler_probability < 0.0 ||
-      fault_spec.straggler_probability > 1.0) {
+      fault_spec.straggler_probability > 1.0 ||
+      fault_spec.node_failure_probability < 0.0 ||
+      fault_spec.node_failure_probability >= 1.0) {
     std::fprintf(stderr,
-                 "error: --fault-rate must be in [0, 1) and "
-                 "--straggler-rate in [0, 1]\n");
+                 "error: --fault-rate and --correlated-faults must be in "
+                 "[0, 1) and --straggler-rate in [0, 1]\n");
     return 2;
   }
   if (fault_spec.straggler_slowdown < 1.0 ||
@@ -445,6 +545,14 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --straggler-slowdown must be >= 1, --max-retries and "
                  "--retry-backoff non-negative\n");
+    return 2;
+  }
+  if (fault_spec.num_workers < 1 ||
+      fault_spec.speculation.relaunch_delay_factor <= 0.0 ||
+      fault_spec.speculation.min_slowdown <= 1.0) {
+    std::fprintf(stderr,
+                 "error: --fault-workers must be >= 1, --speculation-delay "
+                 "> 0, --speculation-min-slowdown > 1\n");
     return 2;
   }
   const spca::dist::FaultPlan fault_plan(fault_spec);
@@ -495,6 +603,18 @@ int Main(int argc, char** argv) {
   std::string fault_meta;
   if (fault_plan.active() && !replay_faults_only) {
     const spca::dist::CommStats& stats = engine.stats();
+    auto counter = [&registry](const char* name) -> unsigned long long {
+      const spca::obs::Counter* c = registry.FindCounter(name);
+      return c == nullptr ? 0 : c->AsUint64();
+    };
+    const unsigned long long node_loss_tasks =
+        counter("engine.faults.node_loss_tasks");
+    const unsigned long long speculation_launched =
+        counter("engine.speculation.launched");
+    const unsigned long long speculation_copies_won =
+        counter("engine.speculation.copies_won");
+    const unsigned long long speculation_wasted_flops =
+        counter("engine.speculation.wasted_flops");
     std::printf(
         "fault recovery: %llu task retries, %llu stragglers "
         "(seed %llu, rate %.3g, straggler rate %.3g)\n",
@@ -503,29 +623,61 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(fault_spec.seed),
         fault_spec.task_failure_probability,
         fault_spec.straggler_probability);
+    if (fault_spec.node_failure_probability > 0.0) {
+      std::printf("node losses: %llu tasks killed by correlated failures "
+                  "(rate %.3g, %d workers)\n",
+                  node_loss_tasks, fault_spec.node_failure_probability,
+                  fault_spec.num_workers);
+    }
+    if (fault_spec.speculation.enabled) {
+      std::printf("speculation: %llu copies launched, %llu won, "
+                  "%llu duplicate flops charged\n",
+                  speculation_launched, speculation_copies_won,
+                  speculation_wasted_flops);
+    }
     // Provenance side-channel for --save-model: the fit ran under fault
     // injection; record the plan and what it cost so the served model's
-    // history is auditable.
-    char meta[512];
-    std::snprintf(meta, sizeof(meta),
-                  "fault_seed=%llu\n"
-                  "fault_rate=%.17g\n"
-                  "straggler_rate=%.17g\n"
-                  "straggler_slowdown=%.17g\n"
-                  "max_retries=%d\n"
-                  "retry_backoff_sec=%.17g\n"
-                  "task_retries=%llu\n"
-                  "straggler_tasks=%llu\n"
-                  "algorithm=%s\n",
-                  static_cast<unsigned long long>(fault_spec.seed),
-                  fault_spec.task_failure_probability,
-                  fault_spec.straggler_probability,
-                  fault_spec.straggler_slowdown,
-                  fault_spec.max_task_attempts - 1,
-                  fault_spec.retry_backoff_sec,
-                  static_cast<unsigned long long>(stats.task_retries),
-                  static_cast<unsigned long long>(stats.straggler_tasks),
-                  args->Get("--algorithm", "spca").c_str());
+    // history is auditable. The buffer is checked for truncation below —
+    // a partial provenance record must never be written silently.
+    char meta[1024];
+    const int meta_len = std::snprintf(
+        meta, sizeof(meta),
+        "fault_seed=%llu\n"
+        "fault_rate=%.17g\n"
+        "straggler_rate=%.17g\n"
+        "straggler_slowdown=%.17g\n"
+        "max_retries=%d\n"
+        "retry_backoff_sec=%.17g\n"
+        "node_failure_probability=%.17g\n"
+        "fault_workers=%d\n"
+        "speculation=%d\n"
+        "speculation_delay=%.17g\n"
+        "speculation_min_slowdown=%.17g\n"
+        "task_retries=%llu\n"
+        "straggler_tasks=%llu\n"
+        "node_loss_tasks=%llu\n"
+        "speculation_launched=%llu\n"
+        "speculation_copies_won=%llu\n"
+        "speculation_wasted_flops=%llu\n"
+        "algorithm=%s\n",
+        static_cast<unsigned long long>(fault_spec.seed),
+        fault_spec.task_failure_probability,
+        fault_spec.straggler_probability, fault_spec.straggler_slowdown,
+        fault_spec.max_task_attempts - 1, fault_spec.retry_backoff_sec,
+        fault_spec.node_failure_probability, fault_spec.num_workers,
+        fault_spec.speculation.enabled ? 1 : 0,
+        fault_spec.speculation.relaunch_delay_factor,
+        fault_spec.speculation.min_slowdown,
+        static_cast<unsigned long long>(stats.task_retries),
+        static_cast<unsigned long long>(stats.straggler_tasks),
+        node_loss_tasks, speculation_launched, speculation_copies_won,
+        speculation_wasted_flops, args->Get("--algorithm", "spca").c_str());
+    if (meta_len < 0 || static_cast<size_t>(meta_len) >= sizeof(meta)) {
+      std::fprintf(stderr,
+                   "error: fault metadata truncated (%d bytes needed)\n",
+                   meta_len);
+      return 1;
+    }
     fault_meta = meta;
   }
 

@@ -24,6 +24,7 @@ namespace {
 
 constexpr const char* kUsage =
     R"(usage: trace_report TRACE_FILE...
+       trace_report --flame TRACE_FILE...
        trace_report --diff TRACE_A TRACE_B [--tolerance FRACTION]
 
 Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
@@ -32,6 +33,10 @@ Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
     (the Figure 4/5 rows, regenerated from span attributes alone)
   * a per-phase job/sim-seconds breakdown (from the engine.phase.* counters
     when the trace carries metrics, else aggregated from the job spans)
+
+--flame prints a text flame graph of the simulated-time track instead:
+sim spans merged by their full name path, siblings with the same name
+collapsed with an " xN" count, children sorted by total sim-seconds.
 
 --diff compares two traces' per-phase simulated seconds and prints a
 delta table. Exit status is 3 when any phase's |B-A|/A exceeds
@@ -63,7 +68,7 @@ int DiffTraces(const char* path_a, const char* path_b, double tolerance) {
   return 0;
 }
 
-int ReportOne(const char* path, bool print_heading) {
+int ReportOne(const char* path, bool print_heading, bool flame) {
   auto trace = spca::obs::LoadTraceFile(path);
   if (!trace.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", path,
@@ -71,6 +76,10 @@ int ReportOne(const char* path, bool print_heading) {
     return 1;
   }
   if (print_heading) std::printf("==> %s <==\n", path);
+  if (flame) {
+    std::fputs(spca::obs::FlameGraphReport(trace.value()).c_str(), stdout);
+    return 0;
+  }
   std::printf("%zu spans\n\n", trace->spans.size());
   std::fputs(spca::obs::AccuracyTimeReport(trace.value()).c_str(), stdout);
   std::printf("\n%s", spca::obs::PhaseBreakdownReport(trace.value()).c_str());
@@ -104,10 +113,16 @@ int main(int argc, char** argv) {
     }
     return DiffTraces(argv[2], argv[3], tolerance);
   }
+  const bool flame = std::strcmp(argv[1], "--flame") == 0;
+  const int first = flame ? 2 : 1;
+  if (first >= argc) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   int exit_code = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (i > 1) std::printf("\n");
-    if (ReportOne(argv[i], argc > 2) != 0) exit_code = 1;
+  for (int i = first; i < argc; ++i) {
+    if (i > first) std::printf("\n");
+    if (ReportOne(argv[i], argc - first > 1, flame) != 0) exit_code = 1;
   }
   return exit_code;
 }
