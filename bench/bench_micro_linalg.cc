@@ -277,4 +277,17 @@ BENCHMARK(BM_SvdWideViaGram)->Arg(2000)->Arg(8000);
 }  // namespace
 }  // namespace spca::linalg
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records which kernel ISA the
+// runtime dispatcher resolved to (scalar / avx2 / neon) in the benchmark
+// context, so JSON output is self-describing. tools/bench_kernels.sh
+// reads it to label per-ISA timings in BENCH_kernels.json (schema v2)
+// and to pick the right speedup gate.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "spca_kernel_isa", spca::linalg::kernels::DispatchedIsaName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

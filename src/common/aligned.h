@@ -1,0 +1,64 @@
+#ifndef SPCA_COMMON_ALIGNED_H_
+#define SPCA_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <vector>
+
+namespace spca {
+
+/// Minimal aligned allocator. The SIMD kernel layer wants matrix/vector
+/// storage to start on a cache-line (64-byte) boundary: the kernels use
+/// unaligned loads and are *correct* on any pointer, but an aligned base
+/// keeps vector loads from splitting cache lines on the hot row-0-of-
+/// a-contiguous-matrix case and makes performance deterministic across
+/// allocations. 64 bytes also covers any future 512-bit path.
+///
+/// Every allocation also carries kTailPadBytes of zeroed padding past the
+/// last element. This is the over-read half of the kernel alignment
+/// contract (DESIGN.md par.8): vector kernels may READ one full 256-bit
+/// vector spanning the logical end of a buffer (they never write there),
+/// so a 1-3 column row tail can ride in an ordinary unmasked load whose
+/// surplus lanes are discarded, instead of a per-iteration masked load.
+/// The padding is zeroed so the dead lanes never hold signaling-NaN or
+/// denormal bit patterns that would trap or stall the FMA pipes.
+template <typename T, size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr size_t kTailPadBytes = 32;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "Alignment must not weaken T's");
+
+  AlignedAllocator() = default;
+  template <typename U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    const size_t bytes = n * sizeof(T) + kTailPadBytes;
+    void* p = ::operator new(bytes, std::align_val_t(Alignment));
+    std::memset(static_cast<char*>(p) + n * sizeof(T), 0, kTailPadBytes);
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Cache-line-aligned double storage: what DenseMatrix / DenseVector hold.
+using AlignedDoubleBuffer = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace spca
+
+#endif  // SPCA_COMMON_ALIGNED_H_

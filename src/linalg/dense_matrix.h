@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 
 namespace spca {
@@ -22,15 +23,16 @@ class DenseVector {
   DenseVector() = default;
   /// Zero vector of the given size.
   explicit DenseVector(size_t size) : data_(size, 0.0) {}
-  /// Takes ownership of the given values.
-  explicit DenseVector(std::vector<double> values) : data_(std::move(values)) {}
+  /// Copies the given values into aligned storage.
+  explicit DenseVector(const std::vector<double>& values)
+      : data_(values.begin(), values.end()) {}
 
   size_t size() const { return data_.size(); }
   double operator[](size_t i) const { return data_[i]; }
   double& operator[](size_t i) { return data_[i]; }
   const double* data() const { return data_.data(); }
   double* data() { return data_.data(); }
-  const std::vector<double>& values() const { return data_; }
+  const AlignedDoubleBuffer& values() const { return data_; }
 
   /// this += other. Sizes must match.
   void Add(const DenseVector& other);
@@ -53,11 +55,16 @@ class DenseVector {
   double Norm1() const;
 
  private:
-  std::vector<double> data_;
+  AlignedDoubleBuffer data_;
 };
 
 /// Dense row-major matrix of doubles. This is the workhorse for all the
 /// small driver-side matrices (C, M, XtX, ...) in the paper's algorithms.
+/// Storage is one contiguous rows*cols buffer whose base is cache-line
+/// (64-byte) aligned — the SIMD kernel layer's alignment contract: rows
+/// are row_stride() == cols() doubles apart (no padding), kernels never
+/// *require* alignment, but the aligned base keeps whole-matrix sweeps
+/// and the common aligned-row case from splitting cache lines.
 class DenseMatrix {
  public:
   DenseMatrix() : rows_(0), cols_(0) {}
@@ -133,7 +140,7 @@ class DenseMatrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedDoubleBuffer data_;
 };
 
 }  // namespace linalg

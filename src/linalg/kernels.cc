@@ -1,149 +1,195 @@
 #include "linalg/kernels.h"
 
-// This translation unit is compiled with stronger optimization flags than
-// the rest of spca_linalg (see src/linalg/CMakeLists.txt): the kernels are
-// the per-row inner loops of every distributed job, and the manual 4x
-// unrolling below plus `restrict` qualification is what lets the compiler
-// keep accumulators in registers and vectorize across the column
-// dimension. None of that changes results: per output element the
-// floating-point operations execute in exactly the order of the scalar
-// loops these kernels replaced (element-independent unrolling, sequential
-// reduction chains), so everything downstream stays bit-identical.
+// Runtime ISA dispatch for the micro-kernels. The per-ISA variants live
+// in their own translation units (kernels_scalar.cc, kernels_avx2.cc,
+// kernels_neon.cc) compiled with the matching target flags; this TU owns
+// the one-time resolution of a function-pointer table and the thin public
+// forwarding shims. See kernel_dispatch.h for the resolution rules
+// (SPCA_KERNEL_ISA env override, then best host-supported ISA).
 
-#if defined(__GNUC__) || defined(__clang__)
-#define SPCA_RESTRICT __restrict__
-#else
-#define SPCA_RESTRICT
-#endif
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace spca::linalg::kernels {
+namespace {
+
+struct KernelTable {
+  Isa isa;
+  void (*axpy_row)(double, const double*, size_t, double*);
+  void (*add_row)(const double*, size_t, double*);
+  double (*dot_row)(const double*, const double*, size_t, double);
+  void (*rank1_update)(const double*, size_t, const double*, size_t, double*,
+                       size_t);
+  void (*sym_rank1_update)(const double*, size_t, double*, size_t);
+  void (*sparse_row_gemv)(const SparseEntry*, size_t, const double*, size_t,
+                          size_t, double*);
+  void (*row_gemm)(const double*, size_t, const double*, size_t, size_t,
+                   double*);
+};
+
+constexpr KernelTable kScalarTable = {
+    Isa::kScalar,       scalar::AxpyRow,       scalar::AddRow,
+    scalar::DotRow,     scalar::Rank1Update,   scalar::SymRank1Update,
+    scalar::SparseRowGemv, scalar::RowGemm,
+};
+
+#if defined(SPCA_KERNELS_HAVE_AVX2)
+constexpr KernelTable kAvx2Table = {
+    Isa::kAvx2,       avx2::AxpyRow,       avx2::AddRow,
+    avx2::DotRow,     avx2::Rank1Update,   avx2::SymRank1Update,
+    avx2::SparseRowGemv, avx2::RowGemm,
+};
+#endif
+
+#if defined(SPCA_KERNELS_HAVE_NEON)
+constexpr KernelTable kNeonTable = {
+    Isa::kNeon,       neon::AxpyRow,       neon::AddRow,
+    neon::DotRow,     neon::Rank1Update,   neon::SymRank1Update,
+    neon::SparseRowGemv, neon::RowGemm,
+};
+#endif
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarTable;
+#if defined(SPCA_KERNELS_HAVE_AVX2)
+    case Isa::kAvx2:
+      return &kAvx2Table;
+#endif
+#if defined(SPCA_KERNELS_HAVE_NEON)
+    case Isa::kNeon:
+      return &kNeonTable;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+Isa BestSupportedIsa() {
+#if defined(SPCA_KERNELS_HAVE_AVX2)
+  // FMA is checked separately from AVX2: the avx2 TU uses vfmadd
+  // throughout, and a few early AVX2 parts lack FMA.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+#endif
+#if defined(SPCA_KERNELS_HAVE_NEON)
+  return Isa::kNeon;  // baseline on aarch64
+#endif
+  return Isa::kScalar;
+}
+
+const KernelTable* Resolve() {
+  Isa choice = BestSupportedIsa();
+  if (const char* env = std::getenv("SPCA_KERNEL_ISA");
+      env != nullptr && env[0] != '\0') {
+    Isa requested = choice;
+    bool known = true;
+    if (std::strcmp(env, "scalar") == 0) {
+      requested = Isa::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      requested = Isa::kAvx2;
+    } else if (std::strcmp(env, "neon") == 0) {
+      requested = Isa::kNeon;
+    } else {
+      known = false;
+      std::fprintf(stderr,
+                   "spca: unknown SPCA_KERNEL_ISA='%s' (want scalar|avx2|"
+                   "neon); dispatching %s\n",
+                   env, IsaName(choice));
+    }
+    if (known) {
+      if (IsaAvailable(requested)) {
+        choice = requested;
+      } else {
+        // Never dispatch an ISA the host cannot execute; fall back to
+        // scalar (not "best") so a forced run is at least deterministic.
+        choice = Isa::kScalar;
+        std::fprintf(stderr,
+                     "spca: SPCA_KERNEL_ISA=%s not available on this "
+                     "host/build; dispatching scalar\n",
+                     env);
+      }
+    }
+  }
+  return TableFor(choice);
+}
+
+const KernelTable& Table() {
+  static const KernelTable* table = Resolve();  // once, thread-safe
+  return *table;
+}
+
+}  // namespace
+
+Isa DispatchedIsa() { return Table().isa; }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* DispatchedIsaName() { return IsaName(DispatchedIsa()); }
+
+bool IsaAvailable(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(SPCA_KERNELS_HAVE_AVX2)
+  if (isa == Isa::kAvx2) {
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+#endif
+#if defined(SPCA_KERNELS_HAVE_NEON)
+  if (isa == Isa::kNeon) return true;
+#endif
+  return false;
+}
 
 void AxpyRow(double v, const double* b, size_t n, double* out) {
-  const double* SPCA_RESTRICT bp = b;
-  double* SPCA_RESTRICT op = out;
-  size_t j = 0;
-  for (; j + 4 <= n; j += 4) {
-    op[j] += v * bp[j];
-    op[j + 1] += v * bp[j + 1];
-    op[j + 2] += v * bp[j + 2];
-    op[j + 3] += v * bp[j + 3];
-  }
-  for (; j < n; ++j) op[j] += v * bp[j];
+  Table().axpy_row(v, b, n, out);
 }
 
 void AddRow(const double* b, size_t n, double* out) {
-  const double* SPCA_RESTRICT bp = b;
-  double* SPCA_RESTRICT op = out;
-  size_t j = 0;
-  for (; j + 4 <= n; j += 4) {
-    op[j] += bp[j];
-    op[j + 1] += bp[j + 1];
-    op[j + 2] += bp[j + 2];
-    op[j + 3] += bp[j + 3];
-  }
-  for (; j < n; ++j) op[j] += bp[j];
+  Table().add_row(b, n, out);
 }
 
 double DotRow(const double* a, const double* b, size_t n, double init) {
-  // Unrolled for loop overhead only: the accumulator is one strictly
-  // left-to-right dependency chain, never split into partial sums, so the
-  // result is bit-identical to the naive loop (and to splicing into a
-  // caller's running sum via `init`).
-  double acc = init;
-  size_t j = 0;
-  for (; j + 4 <= n; j += 4) {
-    acc += a[j] * b[j];
-    acc += a[j + 1] * b[j + 1];
-    acc += a[j + 2] * b[j + 2];
-    acc += a[j + 3] * b[j + 3];
-  }
-  for (; j < n; ++j) acc += a[j] * b[j];
-  return acc;
+  return Table().dot_row(a, b, n, init);
 }
 
 void Rank1Update(const double* a, size_t rows, const double* b, size_t cols,
                  double* out, size_t out_stride) {
-  for (size_t i = 0; i < rows; ++i) {
-    const double ai = a[i];
-    if (ai == 0.0) continue;
-    AxpyRow(ai, b, cols, out + i * out_stride);
-  }
+  Table().rank1_update(a, rows, b, cols, out, out_stride);
 }
 
 void SymRank1Update(const double* x, size_t d, double* out, size_t stride) {
-  const double* SPCA_RESTRICT xp = x;
-  for (size_t a = 0; a < d; ++a) {
-    const double xa = xp[a];
-    double* SPCA_RESTRICT row = out + a * stride;
-    size_t b = a;
-    for (; b + 4 <= d; b += 4) {
-      row[b] += xa * xp[b];
-      row[b + 1] += xa * xp[b + 1];
-      row[b + 2] += xa * xp[b + 2];
-      row[b + 3] += xa * xp[b + 3];
-    }
-    for (; b < d; ++b) row[b] += xa * xp[b];
-  }
+  Table().sym_rank1_update(x, d, out, stride);
 }
 
 void SymMirrorLower(double* out, size_t d, size_t stride) {
+  // Pure copies — one implementation serves every ISA bit-identically.
   for (size_t a = 1; a < d; ++a) {
-    double* SPCA_RESTRICT row = out + a * stride;
+    double* row = out + a * stride;
     for (size_t b = 0; b < a; ++b) row[b] = out[b * stride + a];
   }
 }
 
 void SparseRowGemv(const SparseEntry* entries, size_t nnz, const double* b,
                    size_t b_stride, size_t d, double* out) {
-  // Column-chunked: for each register-sized block of output columns, sweep
-  // the entries innermost so the accumulators never leave registers. Per
-  // output element the entries are still visited in CSR order, starting
-  // from the prior out[] value — the same accumulation sequence as the
-  // entry-outer scalar loop.
-  constexpr size_t kChunk = 8;
-  double* SPCA_RESTRICT op = out;
-  size_t j = 0;
-  for (; j + kChunk <= d; j += kChunk) {
-    double acc0 = op[j], acc1 = op[j + 1], acc2 = op[j + 2], acc3 = op[j + 3];
-    double acc4 = op[j + 4], acc5 = op[j + 5], acc6 = op[j + 6],
-           acc7 = op[j + 7];
-    for (size_t k = 0; k < nnz; ++k) {
-      const double v = entries[k].value;
-      const double* SPCA_RESTRICT row = b + entries[k].index * b_stride + j;
-      acc0 += v * row[0];
-      acc1 += v * row[1];
-      acc2 += v * row[2];
-      acc3 += v * row[3];
-      acc4 += v * row[4];
-      acc5 += v * row[5];
-      acc6 += v * row[6];
-      acc7 += v * row[7];
-    }
-    op[j] = acc0;
-    op[j + 1] = acc1;
-    op[j + 2] = acc2;
-    op[j + 3] = acc3;
-    op[j + 4] = acc4;
-    op[j + 5] = acc5;
-    op[j + 6] = acc6;
-    op[j + 7] = acc7;
-  }
-  for (; j < d; ++j) {
-    double acc = op[j];
-    for (size_t k = 0; k < nnz; ++k) {
-      acc += entries[k].value * b[entries[k].index * b_stride + j];
-    }
-    op[j] = acc;
-  }
+  Table().sparse_row_gemv(entries, nnz, b, b_stride, d, out);
 }
 
 void RowGemm(const double* a_row, size_t k, const double* b, size_t b_stride,
              size_t n, double* c_row) {
-  for (size_t kk = 0; kk < k; ++kk) {
-    const double aik = a_row[kk];
-    if (aik == 0.0) continue;
-    AxpyRow(aik, b + kk * b_stride, n, c_row);
-  }
+  Table().row_gemm(a_row, k, b, b_stride, n, c_row);
 }
 
 }  // namespace spca::linalg::kernels

@@ -65,6 +65,12 @@ Publishing:
                         rename + registry Load instead of in-memory install
   --background-publisher  publish from a dedicated thread (swaps overlap
                         ingestion; latest snapshot wins)
+  --checkpoint-every-batches N  durably checkpoint the solver every N
+                        ingested batches (default 0 = never); a killed run
+                        restarts from the latest checkpointed batch
+                        boundary, bit-identical to never having died
+  --checkpoint-path PATH  where the checkpoint pair (model + solver resume
+                        sidecar) lands; required when checkpointing
 
 Serving (query traffic during ingest):
   --serve-concurrency N closed-loop query driver threads (default 2;
@@ -105,6 +111,8 @@ struct Options {
   std::string name = "stream";
   std::string spool;
   bool background_publisher = false;
+  size_t checkpoint_every = 0;
+  std::string checkpoint_path;
 
   size_t serve_concurrency = 2;
   size_t threads = 2;
@@ -163,6 +171,9 @@ bool ParseOptions(int argc, char** argv, Options* out) {
     } else if (flag == "--spool") {
       if (!need_value()) return false;
       out->spool = value;
+    } else if (flag == "--checkpoint-path") {
+      if (!need_value()) return false;
+      out->checkpoint_path = value;
     } else if (flag == "--seed") {
       if (!need_value()) return false;
       out->seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -184,6 +195,7 @@ bool ParseOptions(int argc, char** argv, Options* out) {
           {"--components", &out->components},
           {"--reorth-every", &out->reorth_every},
           {"--publish-every", &out->publish_every},
+          {"--checkpoint-every-batches", &out->checkpoint_every},
           {"--serve-concurrency", &out->serve_concurrency},
           {"--threads", &out->threads},
           {"--batch-max", &out->batch_max},
@@ -226,6 +238,12 @@ bool ParseOptions(int argc, char** argv, Options* out) {
   if (out->dim == 0 || out->rank == 0 || out->batch_rows == 0 ||
       out->batches == 0 || out->threads == 0 || out->batch_max == 0) {
     std::fprintf(stderr, "error: sizes must be positive\n");
+    return false;
+  }
+  if (out->checkpoint_every > 0 && out->checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every-batches requires "
+                 "--checkpoint-path\n");
     return false;
   }
   return true;
@@ -352,6 +370,8 @@ int Main(int argc, char** argv) {
   pipeline_options.publish_every_batches = options.publish_every;
   pipeline_options.max_batches = options.batches;
   pipeline_options.background_publisher = options.background_publisher;
+  pipeline_options.checkpoint_every_batches = options.checkpoint_every;
+  pipeline_options.checkpoint_path = options.checkpoint_path;
   pipeline_options.metrics = &registry;
   spca::stream::StreamPipeline pipeline(solver.get(), &publisher,
                                         pipeline_options);
@@ -364,6 +384,10 @@ int Main(int argc, char** argv) {
       options.publish_every, options.spool.empty()
                                  ? "in-memory install"
                                  : ("spool " + options.spool).c_str());
+  if (options.checkpoint_every > 0) {
+    std::printf("checkpointing every %zu batches to %s\n",
+                options.checkpoint_every, options.checkpoint_path.c_str());
+  }
 
   auto summary = pipeline.Run(
       [&]() -> std::optional<spca::dist::DistMatrix> {
@@ -384,6 +408,10 @@ int Main(int argc, char** argv) {
               run.wall_seconds > 0.0 ? run.rows_ingested / run.wall_seconds
                                      : 0.0,
               run.publishes, run.publish_failures, stream.drifts_applied());
+  if (options.checkpoint_every > 0) {
+    std::printf("wrote %zu checkpoints to %s\n", run.checkpoints,
+                options.checkpoint_path.c_str());
+  }
   double previous_angle = -1.0;
   for (const auto& publish : run.publish_log) {
     const double degrees = publish.angle_to_reference_rad * 180.0 /
