@@ -1,6 +1,6 @@
 // bench_serve — throughput/latency benchmark of the projection service,
-// emitting BENCH_serve.json (the serving-layer perf baseline; see
-// EXPERIMENTS.md "Serving benchmark").
+// emitting BENCH_serve.json schema v2 (the serving-layer perf baseline;
+// see EXPERIMENTS.md "Serving benchmark").
 //
 // A synthetic model (Gaussian components, deterministic seed) is saved and
 // reloaded through the model file format, then served under a closed-loop
@@ -9,8 +9,25 @@
 // serve.latency_sec fine-bucket histogram — the same numbers spca_serve
 // --metrics prints.
 //
+// The socket leg measures the full SPCQ wire path: --shards service
+// shards behind the consistent-hash router fronted by the poll()-loop
+// SocketServer, driven by --connections pipelined client connections
+// keeping --window requests outstanding each. Its latencies are
+// client-side wire round trips (encode -> socket -> parse -> route ->
+// batch -> project -> encode -> socket -> decode), so under deep
+// pipelining they are queueing-dominated (Little's law: about
+// window/qps per connection).
+//
+// --slo-p99-ms / --slo-min-qps turn the socket point into a regression
+// gate: the bench exits non-zero when the measured p99 exceeds or the
+// throughput undershoots the bound, and the bounds are recorded in the
+// JSON so CI and the checked-in baseline agree on what was promised.
+//
 // Usage: bench_serve [--out FILE] [--duration SEC] [--threads N]
 //                    [--batch-max N] [--dim D] [--components d]
+//                    [--shards N] [--connections N] [--window N]
+//                    [--models N] [--slo-p99-ms MS] [--slo-min-qps QPS]
+//                    [--no-socket]
 // (standalone flags; this bench does not use BenchEnv).
 
 #include <algorithm>
@@ -25,6 +42,9 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/shard_set.h"
 #include "obs/json.h"
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -44,12 +64,23 @@ struct BenchOptions {
   size_t batch_max = 64;
   size_t dim = 2000;
   size_t components = 50;
+  // Socket leg.
+  bool socket = true;
+  size_t shards = 4;
+  size_t connections = 2;
+  size_t window = 1024;  // outstanding requests per connection
+  size_t num_models = 8;
+  double slo_p99_ms = 0.0;   // 0 = gate off
+  double slo_min_qps = 0.0;  // 0 = gate off
 };
 
 struct LoadPoint {
-  std::string mode;  // "closed" | "open"
+  std::string mode;  // "closed" | "open" | "socket"
   double offered_qps = 0.0;  // open loop only
   size_t concurrency = 0;    // closed loop only
+  size_t shards = 0;         // socket only
+  size_t connections = 0;    // socket only
+  size_t window = 0;         // socket only
   uint64_t ok = 0;
   uint64_t shed = 0;
   double seconds = 0.0;
@@ -161,10 +192,171 @@ LoadPoint MeasurePoint(spca::obs::Registry* registry,
   return point;
 }
 
+/// The socket leg: a fresh ShardSet + SocketServer, options.num_models
+/// copies of the model spread across the shards by the router, and one
+/// pipelined client connection per driver thread. Latencies are measured
+/// client-side per request (stamped at flush, matched on the echoed
+/// request id).
+LoadPoint MeasureSocketPoint(spca::obs::Registry* registry,
+                             const BenchOptions& options,
+                             const spca::core::PcaModel& model,
+                             const std::vector<spca::workload::Query>& queries) {
+  registry->ResetMetricsWithPrefix("serve.");
+  registry->ResetMetricsWithPrefix("net.");
+  spca::net::ShardSetOptions shard_options;
+  shard_options.num_shards = options.shards;
+  shard_options.service.num_threads = options.threads;
+  shard_options.service.batch_max = options.batch_max;
+  shard_options.service.queue_capacity = 1u << 16;
+  // Tens of thousands of batches/s across four dispatchers would all
+  // serialize on the registry's span mutex; keep spans out of the hot
+  // path (counters and histograms still record).
+  shard_options.service.record_batch_spans = false;
+  shard_options.metrics = registry;
+  spca::net::ShardSet shards(shard_options);
+  SPCA_CHECK(shards.Start().ok());
+  std::vector<std::string> model_names;
+  for (size_t m = 0; m < options.num_models; ++m) {
+    model_names.push_back("bench" + std::to_string(m));
+    SPCA_CHECK(shards.InstallModel(model_names.back(), model).ok());
+  }
+  spca::net::ServerOptions server_options;
+  server_options.metrics = registry;
+  spca::net::SocketServer server(&shards, server_options);
+  SPCA_CHECK(server.Start().ok());
+
+  struct ConnStats {
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    std::vector<double> latencies;
+  };
+  std::vector<ConnStats> stats(options.connections);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(options.duration_sec));
+  auto now_sec = [] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  // Flushing every request would cost a syscall per query; flushing too
+  // rarely starves the window. A quarter window keeps the pipe full —
+  // and the burst size here is also the shard-batch size upstream: each
+  // flush fans out across the shards, so bigger bursts mean bigger
+  // batches and fewer dispatcher wakeups per request.
+  const size_t flush_every =
+      std::max<size_t>(1, std::min<size_t>(256, options.window / 4));
+
+  std::vector<std::thread> drivers;
+  drivers.reserve(options.connections);
+  for (size_t c = 0; c < options.connections; ++c) {
+    drivers.emplace_back([&, c] {
+      ConnStats* out = &stats[c];
+      spca::net::Client client;
+      SPCA_CHECK(client.Connect("127.0.0.1", server.port()).ok());
+      std::vector<double> send_time;  // by request_id - 1
+      std::vector<uint64_t> unflushed;
+      uint64_t next_id = 0;
+      size_t qi = c;
+      auto queue_one = [&] {
+        const auto& query = queries[qi % queries.size()];
+        const std::string& name = model_names[qi % model_names.size()];
+        qi += options.connections;
+        ++next_id;
+        client.QueueSparse(/*tenant=*/c, next_id, name, query.sparse.View());
+        send_time.push_back(0.0);
+        unflushed.push_back(next_id);
+      };
+      auto flush = [&] {
+        const double stamp = now_sec();
+        for (const uint64_t id : unflushed) send_time[id - 1] = stamp;
+        unflushed.clear();
+        SPCA_CHECK(client.Flush().ok());
+      };
+      for (size_t k = 0; k < options.window; ++k) queue_one();
+      flush();
+      size_t outstanding = options.window;
+      size_t since_flush = 0;
+      bool sending = true;
+      spca::net::ClientResponse response;
+      out->latencies.reserve(1u << 20);
+      while (outstanding > 0) {
+        SPCA_CHECK(client.Receive(&response).ok());
+        --outstanding;
+        out->latencies.push_back(now_sec() -
+                                 send_time[response.request_id - 1]);
+        if (response.outcome == spca::serve::RequestOutcome::kOk) {
+          ++out->ok;
+        } else if (response.outcome == spca::serve::RequestOutcome::kShed) {
+          ++out->shed;
+        }
+        if (sending && std::chrono::steady_clock::now() >= deadline) {
+          sending = false;
+        }
+        if (sending) {
+          queue_one();
+          ++outstanding;
+          if (++since_flush >= flush_every) {
+            flush();
+            since_flush = 0;
+          }
+        } else if (!unflushed.empty()) {
+          flush();  // drain: everything queued must still go out
+        }
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  LoadPoint point;
+  point.mode = "socket";
+  point.shards = options.shards;
+  point.connections = options.connections;
+  point.window = options.window;
+  point.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  server.Stop();
+  shards.Stop();
+
+  std::vector<double> latencies;
+  for (ConnStats& s : stats) {
+    point.ok += s.ok;
+    point.shed += s.shed;
+    latencies.insert(latencies.end(), s.latencies.begin(), s.latencies.end());
+  }
+  point.qps = point.seconds > 0.0
+                  ? static_cast<double>(point.ok) / point.seconds
+                  : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double q) {
+      const size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(latencies.size() - 1) +
+                              0.5));
+      return 1e3 * latencies[idx];
+    };
+    point.p50_ms = pct(0.50);
+    point.p95_ms = pct(0.95);
+    point.p99_ms = pct(0.99);
+  }
+  if (const auto* batches = registry->FindCounter("serve.batches");
+      batches != nullptr && batches->value() > 0) {
+    point.mean_batch = static_cast<double>(point.ok) / batches->value();
+  }
+  return point;
+}
+
 std::string PointJson(const LoadPoint& point) {
   std::string json = "    {\"mode\":\"" + point.mode + "\"";
   if (point.mode == "open") {
     json += ",\"offered_qps\":" + JsonNumber(point.offered_qps);
+  } else if (point.mode == "socket") {
+    json += ",\"shards\":" + JsonNumber(static_cast<double>(point.shards));
+    json += ",\"connections\":" +
+            JsonNumber(static_cast<double>(point.connections));
+    json += ",\"window\":" + JsonNumber(static_cast<double>(point.window));
   } else {
     json += ",\"concurrency\":" + JsonNumber(
                                       static_cast<double>(point.concurrency));
@@ -213,13 +405,43 @@ int Main(int argc, char** argv) {
     } else if (flag == "--components") {
       options.components = std::strtoul(value.c_str(), nullptr, 10);
       take();
+    } else if (flag == "--shards") {
+      options.shards = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--connections") {
+      options.connections = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--window") {
+      options.window = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--models") {
+      options.num_models = std::strtoul(value.c_str(), nullptr, 10);
+      take();
+    } else if (flag == "--slo-p99-ms") {
+      options.slo_p99_ms = std::atof(value.c_str());
+      take();
+    } else if (flag == "--slo-min-qps") {
+      options.slo_min_qps = std::atof(value.c_str());
+      take();
+    } else if (flag == "--no-socket") {
+      options.socket = false;
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve [--out FILE] [--duration SEC] "
                    "[--threads N] [--batch-max N] [--dim D] "
-                   "[--components d]\n");
+                   "[--components d] [--shards N] [--connections N] "
+                   "[--window N] [--models N] [--slo-p99-ms MS] "
+                   "[--slo-min-qps QPS] [--no-socket]\n");
       return 2;
     }
+  }
+  if (options.socket &&
+      (options.shards == 0 || options.connections == 0 ||
+       options.window == 0 || options.num_models == 0)) {
+    std::fprintf(stderr,
+                 "error: --shards/--connections/--window/--models must be "
+                 "positive\n");
+    return 2;
   }
 
   std::printf("bench_serve: D=%zu d=%zu, %zu threads, batch max %zu, "
@@ -229,11 +451,10 @@ int Main(int argc, char** argv) {
 
   // Round-trip the model through the on-disk format so the bench also
   // covers the load path spca_serve takes.
+  const spca::core::PcaModel model =
+      SyntheticModel(options.dim, options.components);
   const std::string model_path = options.out + ".model.tmp";
-  SPCA_CHECK(
-      spca::serve::SaveModel(SyntheticModel(options.dim, options.components),
-                             model_path)
-          .ok());
+  SPCA_CHECK(spca::serve::SaveModel(model, model_path).ok());
   spca::obs::Registry registry;
   spca::serve::ModelRegistry models(&registry);
   SPCA_CHECK(models.Load("bench", model_path).ok());
@@ -271,8 +492,19 @@ int Main(int argc, char** argv) {
                 p.qps, p.offered_qps, p.p50_ms, p.p95_ms, p.p99_ms,
                 static_cast<unsigned long long>(p.shed));
   }
+  if (options.socket) {
+    points.push_back(MeasureSocketPoint(&registry, options, model, queries));
+    const LoadPoint& p = points.back();
+    std::printf("  socket %zu shards, %zu conns x window %zu: %8.0f qps  "
+                "p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  mean batch %.1f  "
+                "shed %llu\n",
+                p.shards, p.connections, p.window, p.qps, p.p50_ms, p.p95_ms,
+                p.p99_ms, p.mean_batch,
+                static_cast<unsigned long long>(p.shed));
+  }
 
   std::string json = "{\n  \"bench\": \"serve\",\n";
+  json += "  \"schema\": \"spca.bench_serve.v2\",\n";
   json += "  \"dim\": " + JsonNumber(static_cast<double>(options.dim)) + ",\n";
   json += "  \"components\": " +
           JsonNumber(static_cast<double>(options.components)) + ",\n";
@@ -281,6 +513,8 @@ int Main(int argc, char** argv) {
   json += "  \"batch_max\": " +
           JsonNumber(static_cast<double>(options.batch_max)) + ",\n";
   json += "  \"duration_sec\": " + JsonNumber(options.duration_sec) + ",\n";
+  json += "  \"slo\": {\"p99_ms\": " + JsonNumber(options.slo_p99_ms) +
+          ", \"min_qps\": " + JsonNumber(options.slo_min_qps) + "},\n";
   json += "  \"points\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
     json += PointJson(points[i]);
@@ -294,7 +528,33 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", options.out.c_str());
-  return 0;
+
+  // The SLO gate: regression in the socket point fails the bench run.
+  int violations = 0;
+  if (options.socket && (options.slo_p99_ms > 0.0 ||
+                         options.slo_min_qps > 0.0)) {
+    const LoadPoint& p = points.back();
+    if (options.slo_p99_ms > 0.0 && p.p99_ms > options.slo_p99_ms) {
+      std::fprintf(stderr,
+                   "SLO VIOLATION: socket p99 %.3f ms exceeds bound %.3f ms\n",
+                   p.p99_ms, options.slo_p99_ms);
+      ++violations;
+    }
+    if (options.slo_min_qps > 0.0 && p.qps < options.slo_min_qps) {
+      std::fprintf(stderr,
+                   "SLO VIOLATION: socket qps %.0f below bound %.0f\n",
+                   p.qps, options.slo_min_qps);
+      ++violations;
+    }
+    if (violations == 0) {
+      std::printf("SLO ok: p99 %.3f ms <= %.3f ms, qps %.0f >= %.0f\n",
+                  p.p99_ms,
+                  options.slo_p99_ms > 0.0 ? options.slo_p99_ms : p.p99_ms,
+                  p.qps,
+                  options.slo_min_qps > 0.0 ? options.slo_min_qps : 0.0);
+    }
+  }
+  return violations > 0 ? 3 : 0;
 }
 
 }  // namespace

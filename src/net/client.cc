@@ -1,0 +1,164 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace spca::net {
+
+namespace {
+constexpr size_t kReadChunkBytes = 64u << 10;
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      send_buffer_(std::move(other.send_buffer_)),
+      recv_buffer_(std::move(other.recv_buffer_)),
+      recv_start_(other.recv_start_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    send_buffer_ = std::move(other.send_buffer_);
+    recv_buffer_ = std::move(other.recv_buffer_);
+    recv_start_ = other.recv_start_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  send_buffer_.clear();
+  recv_buffer_.clear();
+  recv_start_ = 0;
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    Close();
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            ") failed: " + why);
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void Client::QueueSparse(uint64_t tenant, uint64_t request_id,
+                         const std::string& model, linalg::SparseRowView row) {
+  EncodeSparseRequest(tenant, request_id, model, row, &send_buffer_);
+}
+
+void Client::QueueDense(uint64_t tenant, uint64_t request_id,
+                        const std::string& model,
+                        const linalg::DenseVector& row) {
+  EncodeDenseRequest(tenant, request_id, model, row.data(), row.size(),
+                     &send_buffer_);
+}
+
+void Client::QueueBytes(const uint8_t* data, size_t size) {
+  send_buffer_.insert(send_buffer_.end(), data, data + size);
+}
+
+Status Client::Flush() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  size_t offset = 0;
+  while (offset < send_buffer_.size()) {
+    const ssize_t n = write(fd_, send_buffer_.data() + offset,
+                            send_buffer_.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  send_buffer_.clear();
+  return Status::Ok();
+}
+
+Status Client::Receive(ClientResponse* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  for (;;) {
+    ResponseFrame frame;
+    size_t consumed = 0;
+    const FrameError error = DecodeResponse(
+        recv_buffer_.data() + recv_start_, recv_buffer_.size() - recv_start_,
+        kDefaultMaxFrameBytes, &frame, &consumed);
+    if (error == FrameError::kOk) {
+      out->malformed = frame.outcome == WireOutcome::kMalformed;
+      out->outcome = FromWireOutcome(frame.outcome);
+      out->request_id = frame.request_id;
+      // Reuse the caller's buffer when the width matches — a pipelined
+      // receive loop then runs allocation-free.
+      if (out->coordinates.size() != frame.count) {
+        out->coordinates = linalg::DenseVector(frame.count);
+      }
+      if (frame.count > 0) {
+        std::memcpy(out->coordinates.data(), frame.coordinates,
+                    size_t{frame.count} * sizeof(double));
+      }
+      recv_start_ += consumed;
+      // Compact once the parsed prefix dominates the buffer.
+      if (recv_start_ > (1u << 20) ||
+          recv_start_ == recv_buffer_.size()) {
+        recv_buffer_.erase(recv_buffer_.begin(),
+                           recv_buffer_.begin() +
+                               static_cast<ptrdiff_t>(recv_start_));
+        recv_start_ = 0;
+      }
+      return Status::Ok();
+    }
+    if (error != FrameError::kIncomplete) {
+      return Status::Internal(std::string("bad response frame: ") +
+                              FrameErrorToString(error));
+    }
+
+    const size_t old_size = recv_buffer_.size();
+    recv_buffer_.resize(old_size + kReadChunkBytes);
+    const ssize_t n = read(fd_, recv_buffer_.data() + old_size,
+                           kReadChunkBytes);
+    if (n > 0) {
+      recv_buffer_.resize(old_size + static_cast<size_t>(n));
+      continue;
+    }
+    recv_buffer_.resize(old_size);
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return Status::Internal(
+          recv_buffer_.size() > recv_start_
+              ? "connection closed mid-frame"
+              : "connection closed");
+    }
+    return Status::Internal(std::string("read failed: ") +
+                            std::strerror(errno));
+  }
+}
+
+}  // namespace spca::net

@@ -1,0 +1,74 @@
+#ifndef SPCA_NET_CLIENT_H_
+#define SPCA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "net/protocol.h"
+#include "serve/service.h"
+
+namespace spca::net {
+
+/// One decoded response, with the coordinates copied out of the receive
+/// buffer so callers may hold it across further receives.
+struct ClientResponse {
+  serve::RequestOutcome outcome = serve::RequestOutcome::kShutdown;
+  bool malformed = false;  // the server rejected the frame at protocol level
+  uint64_t request_id = 0;
+  linalg::DenseVector coordinates;
+};
+
+/// A blocking SPCQ client over one TCP connection. Writes are buffered:
+/// Queue*() appends frames locally and Flush() ships them in one write
+/// burst, so a pipelined caller pays one syscall for many requests.
+/// Responses come back in shard-completion order; match on request_id.
+///
+/// This is the test/bench-side counterpart of SocketServer — deliberately
+/// synchronous and single-connection. Drive several Clients from several
+/// threads for parallel load.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (host is a dotted-quad address, e.g.
+  /// "127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Appends one encoded request to the send buffer (no I/O yet).
+  void QueueSparse(uint64_t tenant, uint64_t request_id,
+                   const std::string& model, linalg::SparseRowView row);
+  void QueueDense(uint64_t tenant, uint64_t request_id,
+                  const std::string& model, const linalg::DenseVector& row);
+  /// Appends pre-encoded frame bytes (a prepared pipeline batch).
+  void QueueBytes(const uint8_t* data, size_t size);
+  size_t queued_bytes() const { return send_buffer_.size(); }
+
+  /// Writes the whole send buffer to the socket (blocking).
+  Status Flush();
+
+  /// Blocks until one full response frame arrives and decodes it. Fails
+  /// on EOF, I/O error, or an unparseable response.
+  Status Receive(ClientResponse* out);
+
+ private:
+  int fd_ = -1;
+  std::vector<uint8_t> send_buffer_;
+  std::vector<uint8_t> recv_buffer_;
+  size_t recv_start_ = 0;  // parse offset into recv_buffer_
+};
+
+}  // namespace spca::net
+
+#endif  // SPCA_NET_CLIENT_H_

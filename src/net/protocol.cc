@@ -1,0 +1,268 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace spca::net {
+
+namespace {
+
+// The wire format is little-endian and the sparse payload shares
+// linalg::SparseEntry's in-memory layout (16 bytes: u32 index, 4 bytes of
+// padding the wire spells as zero, f64 value) so entries land with one
+// memcpy. Both assumptions are compile-time checked here rather than
+// handled at runtime — the project only targets little-endian hosts.
+static_assert(std::endian::native == std::endian::little,
+              "SPCQ wire codec requires a little-endian host");
+static_assert(sizeof(linalg::SparseEntry) == 16 &&
+                  offsetof(linalg::SparseEntry, index) == 0 &&
+                  offsetof(linalg::SparseEntry, value) == 8,
+              "wire sparse entries must match SparseEntry's layout");
+
+constexpr size_t kWireEntryBytes = 16;
+
+size_t PaddedNameEnd(size_t name_len) {
+  return (kRequestHeaderBytes + name_len + 7u) & ~size_t{7};
+}
+
+template <typename T>
+T ReadPod(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, T value) {
+  const size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const void* data, size_t size) {
+  const size_t offset = out->size();
+  out->resize(offset + size);
+  if (size > 0) std::memcpy(out->data() + offset, data, size);
+}
+
+void AppendRequestHeader(uint64_t tenant, uint64_t request_id,
+                         std::string_view model, uint16_t flags, uint32_t dim,
+                         uint32_t count, size_t payload_bytes,
+                         std::vector<uint8_t>* out) {
+  SPCA_CHECK_LE(model.size(), kMaxModelNameBytes);
+  const size_t name_end = PaddedNameEnd(model.size());
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(name_end + payload_bytes));
+  AppendPod<uint32_t>(out, kRequestMagic);
+  AppendPod<uint16_t>(out, kWireVersion);
+  AppendPod<uint16_t>(out, flags);
+  AppendPod<uint64_t>(out, tenant);
+  AppendPod<uint64_t>(out, request_id);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(model.size()));
+  AppendPod<uint32_t>(out, dim);
+  AppendPod<uint32_t>(out, count);
+  AppendPod<uint32_t>(out, 0);  // reserved
+  AppendBytes(out, model.data(), model.size());
+  for (size_t i = kRequestHeaderBytes + model.size(); i < name_end; ++i) {
+    out->push_back(0);
+  }
+}
+
+}  // namespace
+
+WireOutcome ToWireOutcome(serve::RequestOutcome outcome) {
+  return static_cast<WireOutcome>(static_cast<uint16_t>(outcome));
+}
+
+serve::RequestOutcome FromWireOutcome(WireOutcome outcome) {
+  if (outcome == WireOutcome::kMalformed) {
+    return serve::RequestOutcome::kBadRequest;
+  }
+  return static_cast<serve::RequestOutcome>(static_cast<uint16_t>(outcome));
+}
+
+const char* FrameErrorToString(FrameError error) {
+  switch (error) {
+    case FrameError::kOk:
+      return "OK";
+    case FrameError::kIncomplete:
+      return "INCOMPLETE";
+    case FrameError::kBadMagic:
+      return "BAD_MAGIC";
+    case FrameError::kBadVersion:
+      return "BAD_VERSION";
+    case FrameError::kOversized:
+      return "OVERSIZED";
+    case FrameError::kBadLength:
+      return "BAD_LENGTH";
+    case FrameError::kBadName:
+      return "BAD_NAME";
+    case FrameError::kBadCount:
+      return "BAD_COUNT";
+    case FrameError::kBadDim:
+      return "BAD_DIM";
+    case FrameError::kUnsortedIndices:
+      return "UNSORTED_INDICES";
+    case FrameError::kBadReserved:
+      return "BAD_RESERVED";
+    case FrameError::kBadOutcome:
+      return "BAD_OUTCOME";
+  }
+  return "UNKNOWN";
+}
+
+FrameError DecodeRequest(const uint8_t* data, size_t size, size_t max_frame,
+                         RequestFrame* out, size_t* consumed) {
+  *consumed = 0;
+  if (size < kLengthPrefixBytes) return FrameError::kIncomplete;
+  const size_t payload_len = ReadPod<uint32_t>(data);
+  if (payload_len > max_frame) return FrameError::kOversized;
+  if (payload_len < kRequestHeaderBytes) return FrameError::kBadLength;
+  if (size < kLengthPrefixBytes + payload_len) return FrameError::kIncomplete;
+
+  const uint8_t* p = data + kLengthPrefixBytes;
+  if (ReadPod<uint32_t>(p) != kRequestMagic) return FrameError::kBadMagic;
+  if (ReadPod<uint16_t>(p + 4) != kWireVersion) return FrameError::kBadVersion;
+  RequestFrame frame;
+  frame.flags = ReadPod<uint16_t>(p + 6);
+  frame.tenant = ReadPod<uint64_t>(p + 8);
+  frame.request_id = ReadPod<uint64_t>(p + 16);
+  const uint32_t name_len = ReadPod<uint32_t>(p + 24);
+  frame.dim = ReadPod<uint32_t>(p + 28);
+  frame.count = ReadPod<uint32_t>(p + 32);
+  if (ReadPod<uint32_t>(p + 36) != 0) return FrameError::kBadReserved;
+
+  if (name_len > kMaxModelNameBytes) return FrameError::kBadName;
+  const size_t name_end = PaddedNameEnd(name_len);
+  if (name_end > payload_len) return FrameError::kBadName;
+  if (frame.dim == 0) return FrameError::kBadDim;
+
+  const size_t row_bytes = payload_len - name_end;
+  if (frame.is_dense()) {
+    if (frame.count != frame.dim) return FrameError::kBadCount;
+    if (row_bytes != size_t{frame.count} * sizeof(double)) {
+      return FrameError::kBadCount;
+    }
+  } else {
+    if (row_bytes != size_t{frame.count} * kWireEntryBytes) {
+      return FrameError::kBadCount;
+    }
+    // Indices must be strictly increasing and within [0, dim) — exactly
+    // SparseVector's construction contract, validated here so a hostile
+    // frame can never trip a CHECK inside the serving path.
+    uint32_t previous = 0;
+    bool first = true;
+    const uint8_t* entry = p + name_end;
+    for (uint32_t k = 0; k < frame.count; ++k, entry += kWireEntryBytes) {
+      const uint32_t index = ReadPod<uint32_t>(entry);
+      if (index >= frame.dim) return FrameError::kBadDim;
+      if (!first && index <= previous) return FrameError::kUnsortedIndices;
+      previous = index;
+      first = false;
+    }
+  }
+
+  frame.model = std::string_view(reinterpret_cast<const char*>(p) +
+                                     kRequestHeaderBytes,
+                                 name_len);
+  frame.payload = p + name_end;
+  *out = frame;
+  *consumed = kLengthPrefixBytes + payload_len;
+  return FrameError::kOk;
+}
+
+FrameError DecodeResponse(const uint8_t* data, size_t size, size_t max_frame,
+                          ResponseFrame* out, size_t* consumed) {
+  *consumed = 0;
+  if (size < kLengthPrefixBytes) return FrameError::kIncomplete;
+  const size_t payload_len = ReadPod<uint32_t>(data);
+  if (payload_len > max_frame) return FrameError::kOversized;
+  if (payload_len < kResponseHeaderBytes) return FrameError::kBadLength;
+  if (size < kLengthPrefixBytes + payload_len) return FrameError::kIncomplete;
+
+  const uint8_t* p = data + kLengthPrefixBytes;
+  if (ReadPod<uint32_t>(p) != kResponseMagic) return FrameError::kBadMagic;
+  if (ReadPod<uint16_t>(p + 4) != kWireVersion) return FrameError::kBadVersion;
+  const uint16_t outcome = ReadPod<uint16_t>(p + 6);
+  const bool known =
+      outcome <= static_cast<uint16_t>(serve::RequestOutcome::kShutdown) ||
+      outcome == static_cast<uint16_t>(WireOutcome::kMalformed);
+  if (!known) return FrameError::kBadOutcome;
+  ResponseFrame frame;
+  frame.outcome = static_cast<WireOutcome>(outcome);
+  frame.request_id = ReadPod<uint64_t>(p + 8);
+  frame.count = ReadPod<uint32_t>(p + 16);
+  if (ReadPod<uint32_t>(p + 20) != 0) return FrameError::kBadReserved;
+  if (frame.count > 0 && frame.outcome != WireOutcome::kOk) {
+    return FrameError::kBadCount;
+  }
+  if (payload_len !=
+      kResponseHeaderBytes + size_t{frame.count} * sizeof(double)) {
+    return FrameError::kBadCount;
+  }
+  frame.coordinates = p + kResponseHeaderBytes;
+  *out = frame;
+  *consumed = kLengthPrefixBytes + payload_len;
+  return FrameError::kOk;
+}
+
+void EncodeSparseRequest(uint64_t tenant, uint64_t request_id,
+                         std::string_view model, linalg::SparseRowView row,
+                         std::vector<uint8_t>* out) {
+  AppendRequestHeader(tenant, request_id, model, /*flags=*/0,
+                      static_cast<uint32_t>(row.dim()),
+                      static_cast<uint32_t>(row.nnz()),
+                      row.nnz() * kWireEntryBytes, out);
+  // SparseEntry's layout is the wire layout (checked above), so the whole
+  // entry block ships as one append; the 4 padding bytes per entry are
+  // whatever the source buffer holds and are ignored by decoders.
+  AppendBytes(out, row.begin(), row.nnz() * kWireEntryBytes);
+}
+
+void EncodeDenseRequest(uint64_t tenant, uint64_t request_id,
+                        std::string_view model, const double* row, size_t dim,
+                        std::vector<uint8_t>* out) {
+  AppendRequestHeader(tenant, request_id, model, /*flags=*/1,
+                      static_cast<uint32_t>(dim), static_cast<uint32_t>(dim),
+                      dim * sizeof(double), out);
+  AppendBytes(out, row, dim * sizeof(double));
+}
+
+void EncodeResponse(WireOutcome outcome, uint64_t request_id,
+                    const double* coordinates, size_t count,
+                    std::vector<uint8_t>* out) {
+  SPCA_CHECK(count == 0 || outcome == WireOutcome::kOk);
+  AppendPod<uint32_t>(
+      out,
+      static_cast<uint32_t>(kResponseHeaderBytes + count * sizeof(double)));
+  AppendPod<uint32_t>(out, kResponseMagic);
+  AppendPod<uint16_t>(out, kWireVersion);
+  AppendPod<uint16_t>(out, static_cast<uint16_t>(outcome));
+  AppendPod<uint64_t>(out, request_id);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(count));
+  AppendPod<uint32_t>(out, 0);  // reserved
+  AppendBytes(out, coordinates, count * sizeof(double));
+}
+
+serve::ProjectionRequest ToProjectionRequest(const RequestFrame& frame) {
+  serve::ProjectionRequest request;
+  request.model.assign(frame.model.data(), frame.model.size());
+  request.tenant = frame.tenant;
+  if (frame.is_dense()) {
+    request.dense = linalg::DenseVector(frame.dim);
+    std::memcpy(request.dense.data(), frame.payload,
+                size_t{frame.count} * sizeof(double));
+  } else {
+    std::vector<linalg::SparseEntry> entries(frame.count);
+    if (frame.count > 0) {
+      std::memcpy(entries.data(), frame.payload,
+                  size_t{frame.count} * kWireEntryBytes);
+    }
+    request.sparse = linalg::SparseVector(std::move(entries), frame.dim);
+  }
+  return request;
+}
+
+}  // namespace spca::net

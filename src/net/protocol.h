@@ -1,0 +1,173 @@
+#ifndef SPCA_NET_PROTOCOL_H_
+#define SPCA_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "linalg/sparse_matrix.h"
+#include "serve/service.h"
+
+namespace spca::net {
+
+/// SPCQ v1 — the length-prefixed binary wire format of the serving plane.
+///
+/// Every frame on the wire is
+///
+///   [u32 payload_len][payload_len bytes of payload]
+///
+/// with all integers little-endian (asserted at build time; this library
+/// targets little-endian hosts only). A request payload is laid out as
+///
+///   offset  size  field
+///   0       4     magic "SPCQ"
+///   4       2     version (kWireVersion)
+///   6       2     flags (bit 0: dense row payload)
+///   8       8     tenant id
+///   16      8     request id (opaque; echoed verbatim in the response)
+///   24      4     model name length in bytes (<= kMaxModelNameBytes)
+///   28      4     row dimensionality D
+///   32      4     entry count (sparse: nnz <= D; dense: exactly D)
+///   36      4     reserved, must be zero
+///   40      n     model name bytes (no NUL)
+///   40+n    p     zero padding to the next 8-byte boundary
+///   ...           row payload:
+///                   sparse: count x {u32 index, u32 zero, f64 value}
+///                           (16 bytes each, indices strictly increasing,
+///                            all < D — the in-memory SparseEntry layout,
+///                            so the decoder lands entries with one memcpy)
+///                   dense:  count x f64 (8 bytes each)
+///
+/// A response payload ("SPCR") is
+///
+///   offset  size  field
+///   0       4     magic "SPCR"
+///   4       2     version
+///   6       2     outcome (WireOutcome)
+///   8       8     request id (echoed; 0 when the request was unparseable)
+///   16      4     coordinate count d (0 unless outcome == kOk)
+///   20      4     reserved, must be zero
+///   24      8*d   latent coordinates
+///
+/// Responses on one connection may arrive out of request order (requests
+/// route to independent shards); clients match them by request id.
+///
+/// Decoding is zero-copy: DecodeRequest/DecodeResponse only validate and
+/// return views into the caller's buffer. Every malformed input maps to a
+/// typed FrameError — the decoder never aborts, allocates proportionally
+/// to an attacker-controlled length, or reads past `size` (the corruption
+/// battery in tests/net_test.cc and the ASan CI shard hold it to that).
+
+inline constexpr uint32_t kRequestMagic = 0x51435053u;   // "SPCQ" LE
+inline constexpr uint32_t kResponseMagic = 0x52435053u;  // "SPCR" LE
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kLengthPrefixBytes = 4;
+inline constexpr size_t kRequestHeaderBytes = 40;   // fixed part, past prefix
+inline constexpr size_t kResponseHeaderBytes = 24;  // fixed part, past prefix
+inline constexpr size_t kMaxModelNameBytes = 256;
+/// Default cap on payload_len; a flipped high byte in a length prefix must
+/// produce a typed rejection, never a giant allocation.
+inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Outcome field of a response frame. Values 0..5 mirror
+/// serve::RequestOutcome one-to-one; kMalformed is the protocol-level
+/// rejection a server sends (with request id 0) just before closing a
+/// connection it can no longer parse.
+enum class WireOutcome : uint16_t {
+  kOk = 0,
+  kShed = 1,
+  kDeadlineExceeded = 2,
+  kNoModel = 3,
+  kBadRequest = 4,
+  kShutdown = 5,
+  kMalformed = 64,
+};
+
+WireOutcome ToWireOutcome(serve::RequestOutcome outcome);
+/// Malformed maps to kBadRequest on the client side (there is no
+/// serve-level equivalent of "the bytes made no sense").
+serve::RequestOutcome FromWireOutcome(WireOutcome outcome);
+
+/// Typed result of decoding one frame. kIncomplete is not an error — it
+/// means "wait for more bytes" (or, at EOF, a mid-frame disconnect).
+/// Everything from kBadMagic down is a permanent, connection-fatal parse
+/// failure: the stream cannot be resynchronized past a corrupt frame.
+enum class FrameError : int {
+  kOk = 0,
+  kIncomplete,
+  kBadMagic,
+  kBadVersion,
+  kOversized,       // length prefix exceeds the configured frame cap
+  kBadLength,       // payload too short for the fixed header
+  kBadName,         // name length over cap or past the payload end
+  kBadCount,        // entry count inconsistent with the payload size
+  kBadDim,          // zero dimensionality, or count/indices outside it
+  kUnsortedIndices, // sparse indices not strictly increasing
+  kBadReserved,     // reserved field non-zero (future versions use it)
+  kBadOutcome,      // response outcome value outside the known set
+};
+
+const char* FrameErrorToString(FrameError error);
+
+/// Decoded view of one request frame. Points into the caller's buffer;
+/// valid only while those bytes stay put.
+struct RequestFrame {
+  uint16_t flags = 0;
+  uint64_t tenant = 0;
+  uint64_t request_id = 0;
+  std::string_view model;      // name bytes in the buffer
+  uint32_t dim = 0;            // row dimensionality D
+  uint32_t count = 0;          // nnz (sparse) or D (dense)
+  const uint8_t* payload = nullptr;  // first byte of the row payload
+
+  bool is_dense() const { return (flags & 1u) != 0; }
+};
+
+/// Decoded view of one response frame.
+struct ResponseFrame {
+  WireOutcome outcome = WireOutcome::kMalformed;
+  uint64_t request_id = 0;
+  uint32_t count = 0;                   // latent coordinates
+  const uint8_t* coordinates = nullptr; // count doubles
+};
+
+/// Tries to decode one request frame from data[0, size). On kOk fills
+/// `*out` and sets `*consumed` to the full frame size (prefix included).
+/// On kIncomplete more bytes are needed (*consumed is 0). Any other value
+/// is a typed rejection; *consumed is undefined and the connection should
+/// be torn down after an error response.
+FrameError DecodeRequest(const uint8_t* data, size_t size, size_t max_frame,
+                         RequestFrame* out, size_t* consumed);
+
+/// Same contract for response frames (client side).
+FrameError DecodeResponse(const uint8_t* data, size_t size, size_t max_frame,
+                          ResponseFrame* out, size_t* consumed);
+
+/// Appends one encoded request frame to `*out`. The sparse entries (when
+/// `dense` is null) must be strictly increasing in index and within dim —
+/// EncodeRequest CHECK-fails otherwise, mirroring SparseVector's own
+/// construction contract.
+void EncodeSparseRequest(uint64_t tenant, uint64_t request_id,
+                         std::string_view model,
+                         linalg::SparseRowView row,
+                         std::vector<uint8_t>* out);
+void EncodeDenseRequest(uint64_t tenant, uint64_t request_id,
+                        std::string_view model, const double* row, size_t dim,
+                        std::vector<uint8_t>* out);
+
+/// Appends one encoded response frame to `*out`. `coordinates` may be null
+/// when `count` is 0 (every non-OK outcome).
+void EncodeResponse(WireOutcome outcome, uint64_t request_id,
+                    const double* coordinates, size_t count,
+                    std::vector<uint8_t>* out);
+
+/// Materializes a decoded frame as a serve::ProjectionRequest. This is the
+/// single copy on the request path: the dense row (or the 16-byte wire
+/// entries, which share SparseEntry's layout) memcpy straight into the
+/// request's owned buffer. The frame must have decoded kOk.
+serve::ProjectionRequest ToProjectionRequest(const RequestFrame& frame);
+
+}  // namespace spca::net
+
+#endif  // SPCA_NET_PROTOCOL_H_

@@ -1,0 +1,399 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace spca::net {
+
+namespace {
+
+constexpr size_t kReadChunkBytes = 64u << 10;
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::Ok();
+}
+
+/// "BAD_MAGIC" -> "bad_magic" for counter names.
+std::string RejectCounterName(FrameError error) {
+  std::string name = "net.rejects.";
+  if (error == FrameError::kIncomplete) {
+    name += "truncated";  // mid-frame disconnect
+    return name;
+  }
+  for (const char* p = FrameErrorToString(error); *p != '\0'; ++p) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  return name;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ShardSet* shards, ServerOptions options)
+    : shards_(shards),
+      options_(std::move(options)),
+      mailbox_(std::make_shared<Mailbox>()) {
+  SPCA_CHECK(shards_ != nullptr);
+  if (obs::Registry* metrics = options_.metrics; metrics != nullptr) {
+    frames_in_ = metrics->counter("net.frames_in");
+    bytes_in_ = metrics->counter("net.bytes_in");
+    bytes_out_ = metrics->counter("net.bytes_out");
+    responses_out_ = metrics->counter("net.responses_out");
+  }
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (stopped_) return Status::FailedPrecondition("server already stopped");
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return Status::Internal("pipe() failed");
+  wake_read_fd_ = pipe_fds[0];
+  SPCA_RETURN_IF_ERROR(SetNonBlocking(wake_read_fd_));
+  SPCA_RETURN_IF_ERROR(SetNonBlocking(pipe_fds[1]));
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    mailbox_->wake_fd = pipe_fds[1];
+    mailbox_->open = true;
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address " + options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::Internal("bind(" + options_.bind_address + ":" +
+                            std::to_string(options_.port) +
+                            ") failed: " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 128) != 0) return Status::Internal("listen() failed");
+  SPCA_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::Internal("getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  loop_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  if (stopped_ || !started_) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    if (mailbox_->wake_fd >= 0) {
+      const char byte = 1;
+      [[maybe_unused]] const ssize_t n = write(mailbox_->wake_fd, &byte, 1);
+    }
+  }
+  if (loop_.joinable()) loop_.join();
+  // The loop is gone: close every fd and seal the mailbox so straggler
+  // shard callbacks (requests still draining in the ShardSet) no-op.
+  for (auto& [id, conn] : connections_) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    mailbox_->open = false;
+    if (mailbox_->wake_fd >= 0) close(mailbox_->wake_fd);
+    mailbox_->wake_fd = -1;
+    mailbox_->items.clear();
+  }
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  wake_read_fd_ = -1;
+}
+
+void SocketServer::CountReject(FrameError error) {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->counter(RejectCounterName(error))->Add(1);
+}
+
+void SocketServer::RejectMalformed(Connection* conn, FrameError error) {
+  CountReject(error);
+  // Best effort: tell the peer why before hanging up. request id 0 — the
+  // offending frame never parsed far enough to trust one.
+  EncodeResponse(WireOutcome::kMalformed, /*request_id=*/0, nullptr, 0,
+                 &conn->out);
+  conn->closing = true;
+}
+
+void SocketServer::ReadAndParse(Connection* conn) {
+  bool saw_eof = false;
+  for (;;) {
+    const size_t old_size = conn->in.size();
+    conn->in.resize(old_size + kReadChunkBytes);
+    const ssize_t n = read(conn->fd, conn->in.data() + old_size,
+                           kReadChunkBytes);
+    if (n > 0) {
+      conn->in.resize(old_size + static_cast<size_t>(n));
+      if (bytes_in_ != nullptr) bytes_in_->Add(static_cast<double>(n));
+      continue;
+    }
+    conn->in.resize(old_size);
+    if (n == 0) {
+      saw_eof = true;
+    } else if (errno == EINTR) {
+      continue;
+    }
+    // n < 0 with EAGAIN/EWOULDBLOCK: drained the socket for now.
+    break;
+  }
+
+  size_t offset = 0;
+  size_t submitted = 0;
+  while (!conn->closing) {
+    RequestFrame frame;
+    size_t consumed = 0;
+    const FrameError error =
+        DecodeRequest(conn->in.data() + offset, conn->in.size() - offset,
+                      options_.max_frame_bytes, &frame, &consumed);
+    if (error == FrameError::kIncomplete) break;
+    if (error != FrameError::kOk) {
+      RejectMalformed(conn, error);
+      break;
+    }
+    const uint64_t connection_id = conn->id;
+    const uint64_t request_id = frame.request_id;
+    std::shared_ptr<Mailbox> mailbox = mailbox_;
+    // The response callback runs on the shard's dispatcher thread (or
+    // inline right here for immediate shed/shutdown rejections): encode
+    // there, hand the bytes to the loop through the mailbox. Submits are
+    // deferred — the burst-wide KickAll below wakes the dispatchers once
+    // per read instead of once per frame, so shard batches track the
+    // burst size.
+    shards_->SubmitWithCallback(
+        ToProjectionRequest(frame),
+        [mailbox = std::move(mailbox), connection_id,
+         request_id](serve::ProjectionResponse response) {
+          Completion completion;
+          completion.connection_id = connection_id;
+          const size_t count =
+              response.outcome == serve::RequestOutcome::kOk
+                  ? response.coordinates.size()
+                  : 0;
+          EncodeResponse(ToWireOutcome(response.outcome), request_id,
+                         response.coordinates.data(), count,
+                         &completion.bytes);
+          std::lock_guard<std::mutex> lock(mailbox->mutex);
+          if (!mailbox->open) return;  // server already stopped
+          mailbox->items.push_back(std::move(completion));
+          if (mailbox->items.size() == 1 && mailbox->wake_fd >= 0) {
+            const char byte = 1;
+            [[maybe_unused]] const ssize_t n =
+                write(mailbox->wake_fd, &byte, 1);
+          }
+        },
+        /*defer_notify=*/true);
+    ++submitted;
+    offset += consumed;
+  }
+  if (submitted > 0) {
+    if (frames_in_ != nullptr) {
+      frames_in_->Add(static_cast<double>(submitted));
+    }
+    shards_->KickAll();
+  }
+  if (offset > 0) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<ptrdiff_t>(offset));
+  }
+
+  if (saw_eof && !conn->closing) {
+    if (!conn->in.empty()) {
+      // The peer hung up mid-frame: typed rejection, nobody left to tell.
+      CountReject(FrameError::kIncomplete);
+    }
+    conn->closing = true;
+  }
+}
+
+bool SocketServer::FlushWrites(Connection* conn) {
+  while (conn->out_start < conn->out.size()) {
+    const ssize_t n = write(conn->fd, conn->out.data() + conn->out_start,
+                            conn->out.size() - conn->out_start);
+    if (n > 0) {
+      conn->out_start += static_cast<size_t>(n);
+      if (bytes_out_ != nullptr) bytes_out_->Add(static_cast<double>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // peer went away
+  }
+  if (conn->out_start == conn->out.size()) {
+    conn->out.clear();
+    conn->out_start = 0;
+  } else if (conn->out_start > (1u << 20)) {
+    // Reclaim the flushed prefix so a long-lived connection's buffer does
+    // not grow without bound.
+    conn->out.erase(conn->out.begin(),
+                    conn->out.begin() + static_cast<ptrdiff_t>(conn->out_start));
+    conn->out_start = 0;
+  }
+  if (conn->out.size() - conn->out_start > options_.max_outbound_bytes) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("net.slow_consumer_closes")->Add(1);
+    }
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::CloseConnection(Connection* conn) {
+  if (conn->fd >= 0) close(conn->fd);
+  conn->fd = -1;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("net.disconnects")->Add(1);
+    options_.metrics->gauge("net.active_connections")
+        ->Set(static_cast<double>(connections_.size() - 1));
+  }
+}
+
+void SocketServer::AcceptNew() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: accepted everything pending
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conn.id = next_connection_id_++;
+    connections_.emplace(conn.id, std::move(conn));
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("net.connections")->Add(1);
+      options_.metrics->gauge("net.active_connections")
+          ->Set(static_cast<double>(connections_.size()));
+    }
+  }
+}
+
+void SocketServer::DrainMailbox() {
+  std::vector<Completion> completions;
+  {
+    std::lock_guard<std::mutex> lock(mailbox_->mutex);
+    completions.swap(mailbox_->items);
+  }
+  for (Completion& completion : completions) {
+    auto it = connections_.find(completion.connection_id);
+    if (it == connections_.end() || it->second.fd < 0) continue;  // conn gone
+    it->second.out.insert(it->second.out.end(), completion.bytes.begin(),
+                          completion.bytes.end());
+    if (responses_out_ != nullptr) responses_out_->Add(1);
+  }
+}
+
+void SocketServer::Loop() {
+  std::vector<pollfd> poll_fds;
+  std::vector<uint64_t> poll_ids;  // conn id per poll_fds entry (0 = fixed)
+  while (!stop_.load(std::memory_order_acquire)) {
+    poll_fds.clear();
+    poll_ids.clear();
+    poll_fds.push_back({listen_fd_, POLLIN, 0});
+    poll_ids.push_back(0);
+    poll_fds.push_back({wake_read_fd_, POLLIN, 0});
+    poll_ids.push_back(0);
+    for (auto& [id, conn] : connections_) {
+      short events = POLLIN;
+      if (conn.out_start < conn.out.size()) events |= POLLOUT;
+      poll_fds.push_back({conn.fd, events, 0});
+      poll_ids.push_back(id);
+    }
+
+    const int ready = poll(poll_fds.data(),
+                           static_cast<nfds_t>(poll_fds.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure; Stop() still cleans up
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if ((poll_fds[1].revents & POLLIN) != 0) {
+      char drain[256];
+      while (read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    if ((poll_fds[0].revents & POLLIN) != 0) AcceptNew();
+
+    for (size_t i = 2; i < poll_fds.size(); ++i) {
+      auto it = connections_.find(poll_ids[i]);
+      if (it == connections_.end()) continue;
+      Connection* conn = &it->second;
+      if ((poll_fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (poll_fds[i].revents & POLLIN) == 0) {
+        conn->closing = true;
+        conn->out.clear();  // peer is gone; nothing to flush
+        conn->out_start = 0;
+      } else if ((poll_fds[i].revents & POLLIN) != 0) {
+        ReadAndParse(conn);
+      }
+    }
+
+    // Completions produced before this instant — by shard dispatchers or
+    // inline rejections during ReadAndParse — become writable bytes now.
+    DrainMailbox();
+
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      Connection* conn = &it->second;
+      bool alive = FlushWrites(conn);
+      if (alive && conn->closing &&
+          conn->out_start == conn->out.size()) {
+        alive = false;  // flushed everything owed; finish the close
+      }
+      if (!alive) {
+        CloseConnection(conn);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace spca::net

@@ -1,0 +1,132 @@
+#ifndef SPCA_NET_SERVER_H_
+#define SPCA_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "net/shard_set.h"
+#include "obs/registry.h"
+
+namespace spca::net {
+
+struct ServerOptions {
+  /// Address to bind; the default only accepts loopback clients (tests,
+  /// local benches). Use "0.0.0.0" to serve externally.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; port() reports the bound one.
+  uint16_t port = 0;
+  /// Frames whose length prefix exceeds this are rejected kOversized
+  /// before any allocation happens.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// A connection whose unflushed response backlog exceeds this is closed
+  /// (slow or stuck consumer; net.slow_consumer_closes counts them).
+  size_t max_outbound_bytes = 64u << 20;
+  /// net.* counters/gauges; may be null.
+  obs::Registry* metrics = nullptr;
+};
+
+/// The poll()-based event-loop front-end of the serving plane: accepts
+/// loopback/TCP connections, parses SPCQ frames in place from each
+/// connection's receive buffer (one memcpy moves the row payload into the
+/// shard's batch request — see protocol.h), routes every request through
+/// the ShardSet's consistent-hash router, and writes SPCR responses back
+/// as shard dispatchers complete them. One thread runs the loop; all
+/// projection work happens on the shards' worker pools, and response
+/// encoding happens on the shard dispatcher threads, so the loop itself
+/// only shuttles bytes.
+///
+/// Responses on a connection may be written out of request order (shards
+/// complete independently); clients match on the echoed request id.
+///
+/// Malformed traffic never crashes the server: every decode failure maps
+/// to a typed FrameError counter (net.rejects.<reason>), a best-effort
+/// kMalformed response, and a connection close — the stream cannot be
+/// resynchronized past a corrupt length prefix. A mid-frame disconnect
+/// counts net.rejects.truncated.
+///
+/// Lifecycle: construct -> Start() -> Stop(). Stop the server *before*
+/// stopping the ShardSet; responses completed after Stop are dropped.
+class SocketServer {
+ public:
+  /// `shards` must outlive the server and should already be Start()ed.
+  SocketServer(ShardSet* shards, ServerOptions options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, and launches the event-loop thread.
+  Status Start();
+  /// Shuts the loop down and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start); 0 before.
+  uint16_t port() const { return port_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::vector<uint8_t> in;   // unparsed request bytes
+    std::vector<uint8_t> out;  // unflushed response bytes
+    size_t out_start = 0;      // flushed prefix of `out`
+    bool closing = false;      // flush `out`, then close
+  };
+
+  /// One completed response headed for a connection. Produced by shard
+  /// dispatcher callbacks (already wire-encoded there), consumed by the
+  /// loop. The mailbox outlives the server via shared_ptr so straggler
+  /// callbacks after Stop() land in a closed mailbox instead of freed
+  /// memory.
+  struct Completion {
+    uint64_t connection_id = 0;
+    std::vector<uint8_t> bytes;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::vector<Completion> items;
+    int wake_fd = -1;  // write end of the loop's wake pipe
+    bool open = false;
+  };
+
+  void Loop();
+  void AcceptNew();
+  void ReadAndParse(Connection* conn);
+  bool FlushWrites(Connection* conn);  // false when the conn must close
+  void CloseConnection(Connection* conn);
+  void DrainMailbox();
+  void RejectMalformed(Connection* conn, FrameError error);
+  void CountReject(FrameError error);
+
+  ShardSet* const shards_;
+  const ServerOptions options_;
+  std::shared_ptr<Mailbox> mailbox_;
+  // Hot-path counters, resolved once at construction (registry pointers
+  // are stable); all null when options_.metrics is null.
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* responses_out_ = nullptr;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  uint64_t next_connection_id_ = 1;
+  std::map<uint64_t, Connection> connections_;  // by id
+  std::thread loop_;
+};
+
+}  // namespace spca::net
+
+#endif  // SPCA_NET_SERVER_H_

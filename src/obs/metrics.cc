@@ -24,19 +24,25 @@ int Histogram::FineBucketIndex(double value) {
   return std::clamp(i, 0, kNumFineBuckets - 1);
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value) { ObserveMany(&value, 1); }
+
+void Histogram::ObserveMany(const double* values, size_t count) {
+  if (count == 0) return;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) {
-    min_ = value;
-    max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  for (size_t i = 0; i < count; ++i) {
+    const double value = values[i];
+    if (count_ == 0) {
+      min_ = value;
+      max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[BucketIndex(value)];
+    ++fine_[FineBucketIndex(value)];
   }
-  ++count_;
-  sum_ += value;
-  ++buckets_[BucketIndex(value)];
-  ++fine_[FineBucketIndex(value)];
 }
 
 double Histogram::Quantile(double q) const {

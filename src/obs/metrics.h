@@ -83,6 +83,10 @@ class Histogram {
   static constexpr int kNumFineBuckets = kFinePerDecade * kFineDecades;
 
   void Observe(double value);
+  /// Observes `count` values under one lock acquisition — the serving
+  /// dispatchers record a whole batch's latencies at once instead of
+  /// contending per request.
+  void ObserveMany(const double* values, size_t count);
 
   uint64_t count() const;
   double sum() const;

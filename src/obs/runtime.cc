@@ -1,0 +1,15 @@
+#include "obs/runtime.h"
+
+#include <string>
+
+namespace spca::obs {
+
+void RecordKernelIsa(Registry* registry, std::string_view isa_name,
+                     int isa_id) {
+  if (registry == nullptr) return;
+  registry->gauge("kernel.isa_id")->Set(static_cast<double>(isa_id));
+  registry->gauge(std::string("kernel.isa.") + std::string(isa_name))
+      ->Set(1.0);
+}
+
+}  // namespace spca::obs

@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/kernel_dispatch.h"
+#include "obs/runtime.h"
+
 namespace spca::serve {
 
 const char* RequestOutcomeToString(RequestOutcome outcome) {
@@ -34,6 +37,24 @@ ProjectionService::ProjectionService(ModelRegistry* models,
       pool_(options.num_threads) {
   SPCA_CHECK(models_ != nullptr);
   SPCA_CHECK_GT(options_.batch_max, 0u);
+  // Every projection this service executes runs on the dispatched kernel
+  // tier; stamp it so a metrics dump or trace says which one served.
+  obs::RecordKernelIsa(options_.metrics, linalg::kernels::DispatchedIsaName(),
+                       static_cast<int>(linalg::kernels::DispatchedIsa()));
+  if (obs::Registry* metrics = options_.metrics; metrics != nullptr) {
+    hot_.requests = metrics->counter("serve.requests");
+    hot_.shed = metrics->counter("serve.shed");
+    hot_.ok = metrics->counter("serve.ok");
+    hot_.batches = metrics->counter("serve.batches");
+    hot_.deadline_exceeded = metrics->counter("serve.deadline_exceeded");
+    hot_.no_model = metrics->counter("serve.no_model");
+    hot_.bad_request = metrics->counter("serve.bad_request");
+    hot_.query_flops = metrics->counter("serve.query_flops");
+    hot_.latency_sec = metrics->histogram("serve.latency_sec");
+    hot_.queue_sec = metrics->histogram("serve.queue_sec");
+    hot_.batch_size = metrics->histogram("serve.batch_size");
+    hot_.batch_exec_sec = metrics->histogram("serve.batch_exec_sec");
+  }
 }
 
 ProjectionService::~ProjectionService() { Stop(); }
@@ -70,14 +91,34 @@ void ProjectionService::Stop() {
 
 std::future<ProjectionResponse> ProjectionService::Submit(
     ProjectionRequest request) {
+  auto promise = std::make_shared<std::promise<ProjectionResponse>>();
+  std::future<ProjectionResponse> future = promise->get_future();
   Pending pending;
-  pending.submit_sec = NowSeconds();
-  pending.deadline_sec = pending.submit_sec + request.timeout_sec;
   pending.request = std::move(request);
-  std::future<ProjectionResponse> future = pending.promise.get_future();
+  pending.callback = [promise = std::move(promise)](
+                         ProjectionResponse response) {
+    promise->set_value(std::move(response));
+  };
+  Enqueue(std::move(pending), /*notify=*/true);
+  return future;
+}
 
-  obs::Registry* metrics = options_.metrics;
-  if (metrics != nullptr) metrics->counter("serve.requests")->Add(1);
+void ProjectionService::SubmitWithCallback(
+    ProjectionRequest request, std::function<void(ProjectionResponse)> done,
+    bool defer_notify) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(done);
+  Enqueue(std::move(pending), /*notify=*/!defer_notify);
+}
+
+void ProjectionService::Kick() { queue_cv_.notify_one(); }
+
+void ProjectionService::Enqueue(Pending pending, bool notify) {
+  pending.submit_sec = NowSeconds();
+  pending.deadline_sec = pending.submit_sec + pending.request.timeout_sec;
+
+  if (hot_.requests != nullptr) hot_.requests->Add(1);
 
   RequestOutcome reject = RequestOutcome::kOk;
   {
@@ -91,16 +132,23 @@ std::future<ProjectionResponse> ProjectionService::Submit(
     }
   }
   if (reject == RequestOutcome::kOk) {
-    queue_cv_.notify_one();
-    return future;
+    if (notify) queue_cv_.notify_one();
+    return;
   }
-  if (metrics != nullptr && reject == RequestOutcome::kShed) {
-    metrics->counter("serve.shed")->Add(1);
+  if (hot_.shed != nullptr && reject == RequestOutcome::kShed) {
+    hot_.shed->Add(1);
   }
   ProjectionResponse response;
   response.outcome = reject;
   Resolve(&pending, std::move(response));
-  return future;
+}
+
+void ProjectionService::ResizePool(size_t num_threads) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    resize_threads_ = std::max<size_t>(1, num_threads);
+  }
+  queue_cv_.notify_one();
 }
 
 size_t ProjectionService::queue_depth() const {
@@ -111,17 +159,33 @@ size_t ProjectionService::queue_depth() const {
 void ProjectionService::DispatchLoop() {
   for (;;) {
     std::deque<Pending> batch;
+    size_t resize_to = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || !queue_.empty() || resize_threads_ != 0;
+      });
       if (stopping_) return;  // Stop() resolves the remainder as kShutdown
+      resize_to = resize_threads_;
+      resize_threads_ = 0;
       const size_t take = std::min(queue_.size(), options_.batch_max);
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
     }
-    ExecuteBatch(&batch);
+    // The dispatcher is the only thread that ever calls pool_.Run, so
+    // resizing between batches is exactly the pool's contract ("driver
+    // thread, no Run in flight").
+    if (resize_to != 0 && resize_to != pool_.num_threads()) {
+      pool_.Resize(resize_to);
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("serve.pool_resizes")->Add(1);
+        options_.metrics->gauge("serve.pool_threads")
+            ->Set(static_cast<double>(resize_to));
+      }
+    }
+    if (!batch.empty()) ExecuteBatch(&batch);
   }
 }
 
@@ -182,7 +246,7 @@ void ProjectionService::ExecuteBatch(std::deque<Pending>* batch) {
   // each calling the identical per-row projection a sequential caller
   // would — batching affects scheduling only, never arithmetic.
   if (!items.empty()) {
-    pool_.Run(items.size(), [&items](size_t i) {
+    const auto run_row = [&items](size_t i) {
       Item& item = items[i];
       const ProjectionRequest& request = item.pending->request;
       if (request.is_dense()) {
@@ -190,10 +254,26 @@ void ProjectionService::ExecuteBatch(std::deque<Pending>* batch) {
       } else {
         item.projector->ProjectSparse(request.sparse.View(), item.out.data());
       }
-    });
+    };
+    if (pool_.num_threads() == 1) {
+      // A one-thread pool adds two context switches per batch for zero
+      // parallelism; run the rows inline on the dispatcher instead. Same
+      // per-row calls in the same order — bit-identical results.
+      for (size_t i = 0; i < items.size(); ++i) run_row(i);
+    } else {
+      pool_.Run(items.size(), run_row);
+    }
   }
   const double done_sec = NowSeconds();
 
+  // One ObserveMany per histogram per batch: recording per request would
+  // contend on the (shard-shared) histogram mutex half a million times a
+  // second at socket saturation.
+  std::vector<double> latencies, queue_waits;
+  if (metrics != nullptr) {
+    latencies.reserve(items.size());
+    queue_waits.reserve(items.size());
+  }
   for (auto& item : items) {
     ProjectionResponse response;
     response.outcome = RequestOutcome::kOk;
@@ -202,46 +282,49 @@ void ProjectionService::ExecuteBatch(std::deque<Pending>* batch) {
     response.total_sec = done_sec - item.pending->submit_sec;
     response.batch_size = batch->size();
     if (metrics != nullptr) {
-      metrics->histogram("serve.latency_sec")->Observe(response.total_sec);
-      metrics->histogram("serve.queue_sec")->Observe(response.queue_sec);
+      latencies.push_back(response.total_sec);
+      queue_waits.push_back(response.queue_sec);
     }
     Resolve(item.pending, std::move(response));
   }
+  if (metrics != nullptr) {
+    hot_.latency_sec->ObserveMany(latencies.data(), latencies.size());
+    hot_.queue_sec->ObserveMany(queue_waits.data(), queue_waits.size());
+  }
 
   if (metrics != nullptr) {
-    metrics->counter("serve.batches")->Add(1);
-    metrics->counter("serve.ok")->Add(static_cast<double>(items.size()));
+    hot_.batches->Add(1);
+    hot_.ok->Add(static_cast<double>(items.size()));
     if (expired > 0) {
-      metrics->counter("serve.deadline_exceeded")
-          ->Add(static_cast<double>(expired));
+      hot_.deadline_exceeded->Add(static_cast<double>(expired));
     }
     if (no_model > 0) {
-      metrics->counter("serve.no_model")->Add(static_cast<double>(no_model));
+      hot_.no_model->Add(static_cast<double>(no_model));
     }
     if (bad_request > 0) {
-      metrics->counter("serve.bad_request")
-          ->Add(static_cast<double>(bad_request));
+      hot_.bad_request->Add(static_cast<double>(bad_request));
     }
-    metrics->counter("serve.query_flops")->Add(static_cast<double>(flops));
-    metrics->histogram("serve.batch_size")
-        ->Observe(static_cast<double>(batch->size()));
-    metrics->histogram("serve.batch_exec_sec")->Observe(done_sec - formed_sec);
+    hot_.query_flops->Add(static_cast<double>(flops));
+    hot_.batch_size->Observe(static_cast<double>(batch->size()));
+    hot_.batch_exec_sec->Observe(done_sec - formed_sec);
     // AddCompleteSpan is mutex-protected (unlike the RAII span stack), so
     // recording from the dispatcher thread is safe.
-    metrics->AddCompleteSpan(
-        "serve.batch", "serve", obs::Track::kWall, formed_sec,
-        done_sec - formed_sec, /*parent_id=*/0,
-        {{"batch_size", static_cast<uint64_t>(batch->size())},
-         {"ok", static_cast<uint64_t>(items.size())},
-         {"expired", expired},
-         {"flops", flops}});
+    if (options_.record_batch_spans) {
+      metrics->AddCompleteSpan(
+          "serve.batch", "serve", obs::Track::kWall, formed_sec,
+          done_sec - formed_sec, /*parent_id=*/0,
+          {{"batch_size", static_cast<uint64_t>(batch->size())},
+           {"ok", static_cast<uint64_t>(items.size())},
+           {"expired", expired},
+           {"flops", flops}});
+    }
     if (options_.notify_job_listener) metrics->NotifyJobCompleted();
   }
 }
 
 void ProjectionService::Resolve(Pending* pending,
                                 ProjectionResponse response) {
-  pending->promise.set_value(std::move(response));
+  pending->callback(std::move(response));
 }
 
 }  // namespace spca::serve

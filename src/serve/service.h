@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <limits>
 #include <memory>
@@ -38,6 +39,7 @@ const char* RequestOutcomeToString(RequestOutcome outcome);
 /// non-empty to take the dense-row kernel path instead.
 struct ProjectionRequest {
   std::string model;           // name in the ModelRegistry
+  uint64_t tenant = 0;         // multi-tenant accounting only; never routing
   linalg::SparseVector sparse;
   linalg::DenseVector dense;   // dense path when size() > 0
   /// Seconds the request may wait before execution starts, measured from
@@ -72,6 +74,12 @@ struct ServiceOptions {
   /// concurrently running engine jobs against the same registry — the
   /// streamer is single-thread-driven.
   bool notify_job_listener = false;
+  /// Record one serve.batch span per executed batch. Spans accumulate in
+  /// the registry (and serialize on its mutex); a saturated multi-shard
+  /// socket bench executes tens of thousands of batches a second, so the
+  /// high-throughput path turns this off. Counters and histograms are
+  /// unaffected.
+  bool record_batch_spans = true;
 };
 
 /// The batched projection front-end: requests enter a bounded queue,
@@ -108,6 +116,30 @@ class ProjectionService {
   /// by the dispatcher once the request's batch executes.
   std::future<ProjectionResponse> Submit(ProjectionRequest request);
 
+  /// Callback flavor of Submit for the socket front-end: no promise/future
+  /// machinery per request. The callback is invoked exactly once — inline
+  /// on the submitting thread for immediate rejections (kShed/kShutdown),
+  /// on the dispatcher thread otherwise — and must not re-enter the
+  /// service.
+  ///
+  /// `defer_notify` enqueues without waking the dispatcher; the caller
+  /// MUST follow a deferred burst with Kick() or the requests sit until
+  /// the next undeferred submit. The socket front-end submits a whole
+  /// read burst deferred and kicks once — the dispatcher then forms one
+  /// big batch instead of preempting the parser after every frame.
+  void SubmitWithCallback(ProjectionRequest request,
+                          std::function<void(ProjectionResponse)> done,
+                          bool defer_notify = false);
+
+  /// Wakes the dispatcher; pairs with defer_notify submits.
+  void Kick();
+
+  /// Requests the dispatcher resize its worker pool to `num_threads`
+  /// (at least 1) between batches — in-flight batches finish on the old
+  /// pool. Returns immediately; the resize lands before the next batch
+  /// executes. Safe to call concurrently with Submit from any thread.
+  void ResizePool(size_t num_threads);
+
   size_t queue_depth() const;
   const ServiceOptions& options() const { return options_; }
 
@@ -125,7 +157,10 @@ class ProjectionService {
  private:
   struct Pending {
     ProjectionRequest request;
-    std::promise<ProjectionResponse> promise;
+    /// Invoked exactly once with the response. Submit() wraps a promise in
+    /// one of these; the socket path passes its own, so no per-request
+    /// promise shared-state allocation happens off the future path.
+    std::function<void(ProjectionResponse)> callback;
     double submit_sec = 0.0;
     double deadline_sec = 0.0;
   };
@@ -133,15 +168,37 @@ class ProjectionService {
   void DispatchLoop();
   void ExecuteBatch(std::deque<Pending>* batch);
   void Resolve(Pending* pending, ProjectionResponse response);
+  void Enqueue(Pending pending, bool notify);
 
   ModelRegistry* const models_;
   const ServiceOptions options_;
   const std::chrono::steady_clock::time_point epoch_;
   dist::WorkerPool pool_;
 
+  /// Hot-path metric handles, resolved once at construction (registry
+  /// pointers are stable): name lookups cost a map walk per call, which
+  /// a saturated socket path pays hundreds of thousands of times a
+  /// second. All null when options_.metrics is null.
+  struct HotMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
+    obs::Counter* no_model = nullptr;
+    obs::Counter* bad_request = nullptr;
+    obs::Counter* query_flops = nullptr;
+    obs::Histogram* latency_sec = nullptr;
+    obs::Histogram* queue_sec = nullptr;
+    obs::Histogram* batch_size = nullptr;
+    obs::Histogram* batch_exec_sec = nullptr;
+  };
+  HotMetrics hot_;
+
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
+  size_t resize_threads_ = 0;  // pending ResizePool request; 0 = none
   bool started_ = false;
   bool stopping_ = false;
   std::thread dispatcher_;

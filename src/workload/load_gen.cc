@@ -66,18 +66,52 @@ std::vector<double> GenerateArrivalSchedule(
     return offsets;
   }
   const double mean_gap = 1.0 / config.qps;
+  const bool bursty = config.burst_factor > 1.0 &&
+                      config.burst_period_sec > 0.0 &&
+                      config.burst_duration_sec > 0.0;
+  SPCA_CHECK_GE(config.burst_factor, 1.0);
   Rng rng(config.seed);
   double t = 0.0;
   for (size_t i = 0; i < config.num_arrivals; ++i) {
+    double gap;
     if (config.poisson) {
       // Inverse-CDF exponential gap; 1 - u keeps the argument in (0, 1].
-      t += -mean_gap * std::log(1.0 - rng.NextDouble());
+      gap = -mean_gap * std::log(1.0 - rng.NextDouble());
     } else {
-      t += mean_gap;
+      gap = mean_gap;
     }
+    if (bursty) {
+      // Rate-modulated thinning: gaps drawn at the base rate shrink by
+      // burst_factor while the arrival lands inside a burst window. The
+      // same unit-rate draws underlie bursty and flat schedules, so
+      // flipping bursts on only re-times — never re-orders — the load.
+      const double phase = std::fmod(t, config.burst_period_sec);
+      if (phase < config.burst_duration_sec) gap /= config.burst_factor;
+    }
+    t += gap;
     offsets.push_back(t);
   }
   return offsets;
+}
+
+std::vector<TaggedQuery> GenerateTenantMix(const TenantMixConfig& config) {
+  SPCA_CHECK(!config.models.empty());
+  SPCA_CHECK_GT(config.num_tenants, 0u);
+  std::vector<Query> rows = GenerateQueries(config.query);
+  // Tenant tags ride on a derived seed so the row payloads above stay
+  // bit-identical to the untagged GenerateQueries output.
+  Rng rng(config.query.seed ^ 0x7e6a2c3b19d5f041ull);
+  ZipfSampler tenants(config.num_tenants, config.tenant_zipf_exponent);
+  std::vector<TaggedQuery> tagged;
+  tagged.reserve(rows.size());
+  for (auto& row : rows) {
+    TaggedQuery q;
+    q.tenant = static_cast<uint64_t>(tenants.Sample(&rng));
+    q.model_index = static_cast<size_t>(q.tenant) % config.models.size();
+    q.query = std::move(row);
+    tagged.push_back(std::move(q));
+  }
+  return tagged;
 }
 
 }  // namespace spca::workload

@@ -2,6 +2,7 @@
 #define SPCA_WORKLOAD_LOAD_GEN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "linalg/dense_matrix.h"
@@ -50,12 +51,50 @@ struct ArrivalScheduleConfig {
   /// uniform 1/qps spacing when false.
   bool poisson = true;
   uint64_t seed = 1;
+  /// Burst spikes: every `burst_period_sec` of schedule time the offered
+  /// rate multiplies by `burst_factor` for the first `burst_duration_sec`
+  /// of the period (inter-arrival gaps shrink by the factor while the
+  /// burst is on). Defaults leave the schedule flat — and, burst-off, the
+  /// generated offsets are bit-identical to the pre-burst generator for
+  /// the same seed (pinned by the determinism golden). Requires
+  /// burst_factor >= 1.
+  double burst_factor = 1.0;
+  double burst_period_sec = 0.0;
+  double burst_duration_sec = 0.0;
 };
 
 /// Arrival offsets in seconds from test start: num_arrivals values,
 /// non-decreasing, starting at the first inter-arrival gap. Deterministic
 /// in config.
 std::vector<double> GenerateArrivalSchedule(const ArrivalScheduleConfig& config);
+
+/// Multi-tenant load: every query carries a tenant id drawn from a
+/// Zipf(tenant_zipf_exponent) popularity (tenant 0 hottest) and targets
+/// the model that tenant is pinned to (tenant % models). With several
+/// models spread across service shards by the consistent-hash router,
+/// a skewed tenant mix exercises skewed shard load the way a hot tenant
+/// would in production.
+struct TenantMixConfig {
+  size_t num_tenants = 8;
+  double tenant_zipf_exponent = 1.0;
+  /// Model names queries target; must be non-empty.
+  std::vector<std::string> models;
+  /// Row shape/count/seed of the underlying query set.
+  QuerySetConfig query;
+};
+
+struct TaggedQuery {
+  uint64_t tenant = 0;
+  size_t model_index = 0;  // into TenantMixConfig::models
+  Query query;
+};
+
+/// Generates query.num_queries tagged rows. Deterministic in config; the
+/// row payloads are exactly GenerateQueries(config.query) — tenant tags
+/// ride on an independent RNG stream so the rows stay bit-identical to
+/// the untagged set (the socket-vs-in-process identity test leans on
+/// this).
+std::vector<TaggedQuery> GenerateTenantMix(const TenantMixConfig& config);
 
 }  // namespace spca::workload
 

@@ -16,6 +16,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/runtime.h"
 #include "workload/synthetic.h"
 
 namespace spca::obs {
@@ -155,6 +156,24 @@ TEST(RegistryTest, ResetMetricsWithPrefixIsSelective) {
   EXPECT_EQ(registry.FindGauge("engine.memory")->value(), 0.0);
   EXPECT_EQ(registry.FindHistogram("engine.job.sec")->count(), 0u);
   EXPECT_EQ(registry.FindCounter("spca.iterations")->value(), 7.0);
+}
+
+TEST(RegistryTest, RecordKernelIsaStampsGaugesIdempotently) {
+  Registry registry;
+  RecordKernelIsa(&registry, "avx2", 1);
+  ASSERT_NE(registry.FindGauge("kernel.isa_id"), nullptr);
+  EXPECT_EQ(registry.FindGauge("kernel.isa_id")->value(), 1.0);
+  ASSERT_NE(registry.FindGauge("kernel.isa.avx2"), nullptr);
+  EXPECT_EQ(registry.FindGauge("kernel.isa.avx2")->value(), 1.0);
+
+  // Dispatch resolves once per process, so every owner of a registry may
+  // stamp it again without drift.
+  RecordKernelIsa(&registry, "avx2", 1);
+  EXPECT_EQ(registry.FindGauge("kernel.isa_id")->value(), 1.0);
+  EXPECT_EQ(registry.FindGauge("kernel.isa.avx2")->value(), 1.0);
+  EXPECT_EQ(registry.FindGauge("kernel.isa.scalar"), nullptr);
+
+  RecordKernelIsa(nullptr, "avx2", 1);  // null registry: no-op
 }
 
 // ----------------------------------------------------------------- spans

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -614,6 +615,75 @@ TEST(LoadGenTest, UniformAndClosedLoopSchedules) {
   config.qps = 0.0;  // closed loop: all arrivals immediate
   const auto closed = workload::GenerateArrivalSchedule(config);
   EXPECT_EQ(closed, std::vector<double>(5, 0.0));
+}
+
+TEST(LoadGenTest, TenantMixTagsRideOnBitIdenticalRows) {
+  workload::TenantMixConfig mix;
+  mix.num_tenants = 5;
+  mix.models = {"a", "b", "c"};
+  mix.query.num_queries = 300;
+  mix.query.dim = 80;
+  mix.query.seed = 17;
+
+  const auto tagged = workload::GenerateTenantMix(mix);
+  const auto again = workload::GenerateTenantMix(mix);
+  const auto untagged = workload::GenerateQueries(mix.query);
+  ASSERT_EQ(tagged.size(), 300u);
+
+  std::vector<size_t> per_tenant(mix.num_tenants, 0);
+  for (size_t i = 0; i < tagged.size(); ++i) {
+    // Deterministic in config.
+    EXPECT_EQ(tagged[i].tenant, again[i].tenant);
+    EXPECT_EQ(tagged[i].model_index, again[i].model_index);
+    // Tenant pinning and range.
+    ASSERT_LT(tagged[i].tenant, mix.num_tenants);
+    EXPECT_EQ(tagged[i].model_index, tagged[i].tenant % mix.models.size());
+    ++per_tenant[tagged[i].tenant];
+    // The tags ride on an independent RNG stream: row payloads stay
+    // bit-identical to the untagged query set (the socket-vs-in-process
+    // identity test depends on this).
+    ASSERT_EQ(tagged[i].query.sparse.nnz(), untagged[i].sparse.nnz());
+    for (size_t k = 0; k < untagged[i].sparse.nnz(); ++k) {
+      EXPECT_EQ(tagged[i].query.sparse.entries()[k],
+                untagged[i].sparse.entries()[k]);
+    }
+  }
+  // Zipf popularity: tenant 0 is the hottest.
+  EXPECT_GT(per_tenant[0], per_tenant[mix.num_tenants - 1]);
+  EXPECT_EQ(*std::max_element(per_tenant.begin(), per_tenant.end()),
+            per_tenant[0]);
+}
+
+TEST(LoadGenTest, BurstScheduleDensifiesBurstWindows) {
+  workload::ArrivalScheduleConfig config;
+  config.qps = 1000.0;
+  config.num_arrivals = 2000;
+  config.seed = 9;
+  const auto flat = workload::GenerateArrivalSchedule(config);
+
+  // Burst gating off (period 0) leaves the schedule bit-identical to the
+  // flat generator, whatever the factor says.
+  config.burst_factor = 8.0;
+  EXPECT_EQ(workload::GenerateArrivalSchedule(config), flat);
+
+  // Burst on: 4x rate for the first 100 ms of every 500 ms period.
+  config.burst_period_sec = 0.5;
+  config.burst_duration_sec = 0.1;
+  config.burst_factor = 4.0;
+  const auto bursty = workload::GenerateArrivalSchedule(config);
+  ASSERT_EQ(bursty.size(), 2000u);
+  size_t in_burst = 0;
+  for (size_t i = 0; i < bursty.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(bursty[i], bursty[i - 1]);
+    }
+    if (std::fmod(bursty[i], 0.5) < 0.1) ++in_burst;
+  }
+  // The burst window is 20% of schedule time but runs at 4x rate, so it
+  // should hold ~50% of the arrivals ((0.1*4)/(0.1*4 + 0.4)); a flat
+  // schedule would put ~20% there. Loose bound well clear of both.
+  EXPECT_GT(in_burst, bursty.size() * 35 / 100);
+  EXPECT_EQ(bursty, workload::GenerateArrivalSchedule(config));
 }
 
 // ---- Degenerate models ---------------------------------------------------

@@ -9,7 +9,14 @@
 //
 // The load is open-loop by default (Poisson arrivals at --qps, replayed
 // from a seeded schedule); --qps 0 switches to closed-loop with
-// --concurrency outstanding requests. Run with --help for the full list.
+// --concurrency outstanding requests. Models are spread across --shards
+// independent service shards by a consistent-hash router, and --listen
+// fronts the shards with the SPCQ socket server:
+//   spca_serve --model a=a.spcm --model b=b.spcm --shards 4 --listen 7077
+// serves the socket for --duration seconds; adding --loopback instead
+// drives the configured load through a client against the bound port
+// (the full wire round trip, self-contained — used by the smoke tests).
+// Run with --help for the full list.
 
 #include <atomic>
 #include <chrono>
@@ -17,14 +24,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/client.h"
+#include "net/server.h"
+#include "net/shard_set.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/stream.h"
-#include "serve/model_registry.h"
 #include "serve/service.h"
 #include "workload/load_gen.h"
 
@@ -36,30 +46,49 @@ constexpr const char* kUsage = R"(spca_serve — batched PCA projection service
 
 Models:
   --model PATH          model file written by spca_cli --save-model; repeat
-                        the flag to serve several (NAME=PATH names one —
-                        queries target the first model's name by default)
+                        the flag to serve several (NAME=PATH names one);
+                        tenants are pinned round-robin across the models
 
 Service:
-  --threads N           worker threads executing batches (default 4)
+  --shards N            independent service shards behind the
+                        consistent-hash router (default 1)
+  --threads N           worker threads per shard executing batches
+                        (default 4)
   --batch-max N         max requests coalesced into one batch (default 64)
-  --queue-cap N         admission-control queue bound; requests beyond it
-                        are shed (default 1024)
+  --queue-cap N         per-shard admission queue bound; requests beyond
+                        it are shed (default 1024)
   --timeout-sec SEC     per-request deadline while queued (default: none)
+
+Socket front-end:
+  --listen PORT         accept SPCQ connections on 127.0.0.1:PORT (0 picks
+                        an ephemeral port, printed at startup) and serve
+                        for --duration seconds instead of self-driving
+  --loopback            with --listen: drive the configured load through a
+                        socket client against the bound port, then exit
 
 Load:
   --qps RATE            open-loop offered load, Poisson arrivals (default
                         2000); 0 switches to closed-loop driving
-  --duration SEC        measurement length (default 5)
+  --duration SEC        measurement / serving length (default 5)
   --concurrency N       closed-loop outstanding requests (default 8)
   --queries N           distinct query rows generated (default 4096)
   --nnz N               mean non-zeros per sparse query (default 12)
   --dense               send dense query rows instead of sparse
+  --tenants N           tenant ids drawn Zipf(--tenant-zipf) per query
+                        (default 8); tenant t targets model t %% #models
+  --tenant-zipf S       tenant popularity skew (default 1.0)
+  --burst-factor F      offered-rate multiplier during burst windows
+                        (default 1 = flat)
+  --burst-period SEC    burst window period; with --burst-duration SEC the
+                        first SEC of every period runs at F x qps
+  --burst-duration SEC  burst window length within each period
   --seed N              query/schedule seed (default 1)
 
 Observability:
   --metrics             print the metrics registry at exit (includes the
                         serve.latency_sec p50/p95/p99 columns)
-  --trace-stream PATH   stream serve.batch spans as JSON-lines while running
+  --trace-stream PATH   stream serve.batch spans as JSON-lines while
+                        running (single shard only)
   --flush-every N       streaming flush window in batches (default 32)
 
 Flags accept both "--flag value" and "--flag=value".
@@ -67,16 +96,24 @@ Flags accept both "--flag value" and "--flag=value".
 
 struct Options {
   std::vector<std::pair<std::string, std::string>> models;  // name, path
+  size_t shards = 1;
   size_t threads = 4;
   size_t batch_max = 64;
   size_t queue_cap = 1024;
   double timeout_sec = 0.0;  // <= 0: none
+  int listen_port = -1;      // < 0: no socket front-end
+  bool loopback = false;
   double qps = 2000.0;
   double duration_sec = 5.0;
   size_t concurrency = 8;
   size_t num_queries = 4096;
   double nnz = 12.0;
   bool dense = false;
+  size_t tenants = 8;
+  double tenant_zipf = 1.0;
+  double burst_factor = 1.0;
+  double burst_period_sec = 0.0;
+  double burst_duration_sec = 0.0;
   uint64_t seed = 1;
   bool print_metrics = false;
   std::string trace_stream_path;
@@ -109,6 +146,8 @@ bool ParseOptions(int argc, char** argv, Options* out) {
       out->print_metrics = true;
     } else if (flag == "--dense") {
       out->dense = true;
+    } else if (flag == "--loopback") {
+      out->loopback = true;
     } else if (flag == "--model") {
       if (!need_value()) return false;
       // NAME=PATH when the original argument had two '='s the first split
@@ -122,6 +161,9 @@ bool ParseOptions(int argc, char** argv, Options* out) {
         path = value;
       }
       out->models.emplace_back(name, path);
+    } else if (flag == "--shards") {
+      if (!need_value()) return false;
+      out->shards = std::strtoul(value.c_str(), nullptr, 10);
     } else if (flag == "--threads") {
       if (!need_value()) return false;
       out->threads = std::strtoul(value.c_str(), nullptr, 10);
@@ -134,6 +176,9 @@ bool ParseOptions(int argc, char** argv, Options* out) {
     } else if (flag == "--timeout-sec") {
       if (!need_value()) return false;
       out->timeout_sec = std::atof(value.c_str());
+    } else if (flag == "--listen") {
+      if (!need_value()) return false;
+      out->listen_port = std::atoi(value.c_str());
     } else if (flag == "--qps") {
       if (!need_value()) return false;
       out->qps = std::atof(value.c_str());
@@ -149,6 +194,21 @@ bool ParseOptions(int argc, char** argv, Options* out) {
     } else if (flag == "--nnz") {
       if (!need_value()) return false;
       out->nnz = std::atof(value.c_str());
+    } else if (flag == "--tenants") {
+      if (!need_value()) return false;
+      out->tenants = std::strtoul(value.c_str(), nullptr, 10);
+    } else if (flag == "--tenant-zipf") {
+      if (!need_value()) return false;
+      out->tenant_zipf = std::atof(value.c_str());
+    } else if (flag == "--burst-factor") {
+      if (!need_value()) return false;
+      out->burst_factor = std::atof(value.c_str());
+    } else if (flag == "--burst-period") {
+      if (!need_value()) return false;
+      out->burst_period_sec = std::atof(value.c_str());
+    } else if (flag == "--burst-duration") {
+      if (!need_value()) return false;
+      out->burst_duration_sec = std::atof(value.c_str());
     } else if (flag == "--seed") {
       if (!need_value()) return false;
       out->seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -167,11 +227,26 @@ bool ParseOptions(int argc, char** argv, Options* out) {
     std::fprintf(stderr, "error: need at least one --model\n%s", kUsage);
     return false;
   }
-  if (out->threads == 0 || out->batch_max == 0 || out->concurrency == 0 ||
-      out->num_queries == 0 || out->duration_sec <= 0.0) {
+  if (out->shards == 0 || out->threads == 0 || out->batch_max == 0 ||
+      out->concurrency == 0 || out->num_queries == 0 || out->tenants == 0 ||
+      out->duration_sec <= 0.0) {
     std::fprintf(stderr,
-                 "error: --threads/--batch-max/--concurrency/--queries must "
-                 "be positive and --duration > 0\n");
+                 "error: --shards/--threads/--batch-max/--concurrency/"
+                 "--queries/--tenants must be positive and --duration > 0\n");
+    return false;
+  }
+  if (out->listen_port > 65535) {
+    std::fprintf(stderr, "error: --listen port out of range\n");
+    return false;
+  }
+  if (out->loopback && out->listen_port < 0) {
+    std::fprintf(stderr, "error: --loopback requires --listen\n");
+    return false;
+  }
+  if (!out->trace_stream_path.empty() && out->shards != 1) {
+    std::fprintf(stderr,
+                 "error: --trace-stream supports a single shard (one "
+                 "dispatcher driving the stream)\n");
     return false;
   }
   return true;
@@ -203,10 +278,11 @@ struct OutcomeCounts {
 };
 
 spca::serve::ProjectionRequest MakeRequest(
-    const std::string& model, const spca::workload::Query& query,
-    double timeout_sec) {
+    const std::string& model, uint64_t tenant,
+    const spca::workload::Query& query, double timeout_sec) {
   spca::serve::ProjectionRequest request;
   request.model = model;
+  request.tenant = tenant;
   if (query.is_dense()) {
     request.dense = query.dense;
   } else {
@@ -218,9 +294,9 @@ spca::serve::ProjectionRequest MakeRequest(
 
 /// Replays the seeded arrival schedule in real time, one Submit per
 /// arrival, then waits for every response. Returns measured seconds.
-double RunOpenLoop(spca::serve::ProjectionService* service,
-                   const std::string& model,
-                   const std::vector<spca::workload::Query>& queries,
+double RunOpenLoop(spca::net::ShardSet* shards,
+                   const std::vector<std::string>& model_names,
+                   const std::vector<spca::workload::TaggedQuery>& queries,
                    const std::vector<double>& schedule, double timeout_sec,
                    OutcomeCounts* counts) {
   std::vector<std::future<spca::serve::ProjectionResponse>> futures;
@@ -231,8 +307,10 @@ double RunOpenLoop(spca::serve::ProjectionService* service,
         start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(schedule[i]));
     std::this_thread::sleep_until(arrival);
-    futures.push_back(service->Submit(
-        MakeRequest(model, queries[i % queries.size()], timeout_sec)));
+    const auto& tagged = queries[i % queries.size()];
+    futures.push_back(shards->Submit(MakeRequest(
+        model_names[tagged.model_index], tagged.tenant, tagged.query,
+        timeout_sec)));
   }
   for (auto& future : futures) counts->Count(future.get().outcome);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -242,9 +320,9 @@ double RunOpenLoop(spca::serve::ProjectionService* service,
 
 /// --qps 0: N driver threads each keep one request outstanding until the
 /// measurement window closes.
-double RunClosedLoop(spca::serve::ProjectionService* service,
-                     const std::string& model,
-                     const std::vector<spca::workload::Query>& queries,
+double RunClosedLoop(spca::net::ShardSet* shards,
+                     const std::vector<std::string>& model_names,
+                     const std::vector<spca::workload::TaggedQuery>& queries,
                      double duration_sec, size_t concurrency,
                      double timeout_sec, OutcomeCounts* counts) {
   const auto start = std::chrono::steady_clock::now();
@@ -257,9 +335,105 @@ double RunClosedLoop(spca::serve::ProjectionService* service,
     drivers.emplace_back([&, t] {
       size_t i = t;  // stagger which query each driver cycles through
       while (std::chrono::steady_clock::now() < deadline) {
-        auto future = service->Submit(
-            MakeRequest(model, queries[i % queries.size()], timeout_sec));
+        const auto& tagged = queries[i % queries.size()];
+        auto future = shards->Submit(MakeRequest(
+            model_names[tagged.model_index], tagged.tenant, tagged.query,
+            timeout_sec));
         counts->Count(future.get().outcome);
+        i += concurrency;
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void QueueTagged(spca::net::Client* client, uint64_t request_id,
+                 const std::vector<std::string>& model_names,
+                 const spca::workload::TaggedQuery& tagged) {
+  const std::string& model = model_names[tagged.model_index];
+  if (tagged.query.is_dense()) {
+    client->QueueDense(tagged.tenant, request_id, model, tagged.query.dense);
+  } else {
+    client->QueueSparse(tagged.tenant, request_id, model,
+                        tagged.query.sparse.View());
+  }
+}
+
+/// Open loop over the socket: the main thread ships frames per the
+/// arrival schedule, a receiver thread counts every response. One write
+/// and one read stream on the same connection are safe from two threads —
+/// the client keeps separate send/receive buffers.
+double RunOpenLoopSocket(uint16_t port,
+                         const std::vector<std::string>& model_names,
+                         const std::vector<spca::workload::TaggedQuery>& queries,
+                         const std::vector<double>& schedule,
+                         OutcomeCounts* counts) {
+  spca::net::Client client;
+  const Status status = client.Connect("127.0.0.1", port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  std::atomic<bool> receiver_failed{false};
+  std::thread receiver([&] {
+    spca::net::ClientResponse response;
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      const Status recv = client.Receive(&response);
+      if (!recv.ok()) {
+        std::fprintf(stderr, "error: %s\n", recv.ToString().c_str());
+        receiver_failed = true;
+        return;
+      }
+      counts->Count(response.outcome);
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < schedule.size() && !receiver_failed; ++i) {
+    const auto arrival =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(schedule[i]));
+    std::this_thread::sleep_until(arrival);
+    QueueTagged(&client, i + 1, model_names, queries[i % queries.size()]);
+    const Status flush = client.Flush();
+    if (!flush.ok()) {
+      std::fprintf(stderr, "error: %s\n", flush.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  receiver.join();
+  if (receiver_failed) std::exit(1);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Closed loop over the socket: one pipelined connection per driver
+/// thread, --concurrency/driver requests outstanding.
+double RunClosedLoopSocket(uint16_t port,
+                           const std::vector<std::string>& model_names,
+                           const std::vector<spca::workload::TaggedQuery>&
+                               queries,
+                           double duration_sec, size_t concurrency,
+                           OutcomeCounts* counts) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_sec));
+  std::vector<std::thread> drivers;
+  drivers.reserve(concurrency);
+  for (size_t t = 0; t < concurrency; ++t) {
+    drivers.emplace_back([&, t] {
+      spca::net::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) return;
+      size_t i = t;
+      spca::net::ClientResponse response;
+      while (std::chrono::steady_clock::now() < deadline) {
+        QueueTagged(&client, i + 1, model_names, queries[i % queries.size()]);
+        if (!client.Flush().ok() || !client.Receive(&response).ok()) return;
+        counts->Count(response.outcome);
         i += concurrency;
       }
     });
@@ -284,83 +458,140 @@ int Main(int argc, char** argv) {
     }
   }
 
-  spca::serve::ModelRegistry models(&registry);
-  for (const auto& [name, path] : options.models) {
-    const Status status = models.Load(name, path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-    const auto projector = models.Get(name);
-    std::printf("model %s: %s, %zu x %zu, noise variance %.6g\n",
-                name.c_str(), path.c_str(), projector->input_dim(),
-                projector->num_components(),
-                projector->model().noise_variance);
-  }
-  const std::string target_model = options.models.front().first;
-  const size_t dim = models.Get(target_model)->input_dim();
-
-  spca::workload::QuerySetConfig query_config;
-  query_config.num_queries = options.num_queries;
-  query_config.dim = dim;
-  query_config.dense = options.dense;
-  query_config.nnz_per_query = options.nnz;
-  query_config.seed = options.seed;
-  const std::vector<spca::workload::Query> queries =
-      spca::workload::GenerateQueries(query_config);
-
-  spca::serve::ServiceOptions service_options;
-  service_options.num_threads = options.threads;
-  service_options.batch_max = options.batch_max;
-  service_options.queue_capacity = options.queue_cap;
-  service_options.metrics = &registry;
-  // The dispatcher is the only thread completing "jobs" here, so it may
-  // drive the streaming exporter directly.
-  service_options.notify_job_listener = streamer.is_open();
-  spca::serve::ProjectionService service(&models, service_options);
+  spca::net::ShardSetOptions shard_options;
+  shard_options.num_shards = options.shards;
+  shard_options.service.num_threads = options.threads;
+  shard_options.service.batch_max = options.batch_max;
+  shard_options.service.queue_capacity = options.queue_cap;
+  // The dispatcher is the only thread completing "jobs" here (single
+  // shard enforced at parse time), so it may drive the streaming
+  // exporter directly.
+  shard_options.service.notify_job_listener = streamer.is_open();
+  shard_options.metrics = &registry;
+  spca::net::ShardSet shards(shard_options);
   {
-    const Status status = service.Start();
+    const Status status = shards.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
       return 1;
     }
+  }
+
+  std::vector<std::string> model_names;
+  for (const auto& [name, path] : options.models) {
+    const Status status = shards.LoadModel(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const auto projector = shards.GetModel(name);
+    std::printf("model %s: %s, %zu x %zu, noise variance %.6g, shard %zu\n",
+                name.c_str(), path.c_str(), projector->input_dim(),
+                projector->num_components(), projector->model().noise_variance,
+                shards.ShardOf(name));
+    model_names.push_back(name);
+  }
+  const size_t dim = shards.GetModel(model_names.front())->input_dim();
+  for (const auto& name : model_names) {
+    if (shards.GetModel(name)->input_dim() != dim) {
+      std::fprintf(stderr,
+                   "error: all models must share input_dim to serve one "
+                   "query set (%s differs)\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  spca::workload::TenantMixConfig mix_config;
+  mix_config.num_tenants = options.tenants;
+  mix_config.tenant_zipf_exponent = options.tenant_zipf;
+  mix_config.models = model_names;
+  mix_config.query.num_queries = options.num_queries;
+  mix_config.query.dim = dim;
+  mix_config.query.dense = options.dense;
+  mix_config.query.nnz_per_query = options.nnz;
+  mix_config.query.seed = options.seed;
+  const std::vector<spca::workload::TaggedQuery> queries =
+      spca::workload::GenerateTenantMix(mix_config);
+
+  std::unique_ptr<spca::net::SocketServer> server;
+  if (options.listen_port >= 0) {
+    spca::net::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(options.listen_port);
+    server_options.metrics = &registry;
+    server = std::make_unique<spca::net::SocketServer>(&shards,
+                                                       server_options);
+    const Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on 127.0.0.1:%u (%zu shards)\n",
+                unsigned{server->port()}, shards.num_shards());
+    std::fflush(stdout);
   }
 
   OutcomeCounts counts;
-  double elapsed;
-  if (options.qps > 0.0) {
+  double elapsed = options.duration_sec;
+  const bool self_drive = options.listen_port < 0 || options.loopback;
+  if (!self_drive) {
+    // Front-end mode: serve the socket for the duration, then exit.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.duration_sec));
+  } else if (options.qps > 0.0) {
     spca::workload::ArrivalScheduleConfig schedule_config;
     schedule_config.qps = options.qps;
     schedule_config.num_arrivals = static_cast<size_t>(options.qps *
                                                        options.duration_sec);
     schedule_config.seed = options.seed;
+    schedule_config.burst_factor = options.burst_factor;
+    schedule_config.burst_period_sec = options.burst_period_sec;
+    schedule_config.burst_duration_sec = options.burst_duration_sec;
     const std::vector<double> schedule =
         spca::workload::GenerateArrivalSchedule(schedule_config);
-    std::printf("open loop: %zu arrivals at %.0f qps offered (seed %llu)\n",
-                schedule.size(), options.qps,
-                static_cast<unsigned long long>(options.seed));
-    elapsed = RunOpenLoop(&service, target_model, queries, schedule,
-                          options.timeout_sec, &counts);
+    std::printf("open loop%s: %zu arrivals at %.0f qps offered (seed %llu, "
+                "%zu tenants, zipf %.2f)\n",
+                options.loopback ? " over socket" : "", schedule.size(),
+                options.qps, static_cast<unsigned long long>(options.seed),
+                options.tenants, options.tenant_zipf);
+    elapsed = options.loopback
+                  ? RunOpenLoopSocket(server->port(), model_names, queries,
+                                      schedule, &counts)
+                  : RunOpenLoop(&shards, model_names, queries, schedule,
+                                options.timeout_sec, &counts);
   } else {
-    std::printf("closed loop: %zu outstanding for %.1f s\n",
-                options.concurrency, options.duration_sec);
-    elapsed = RunClosedLoop(&service, target_model, queries,
-                            options.duration_sec, options.concurrency,
-                            options.timeout_sec, &counts);
+    std::printf("closed loop%s: %zu outstanding for %.1f s\n",
+                options.loopback ? " over socket" : "", options.concurrency,
+                options.duration_sec);
+    elapsed = options.loopback
+                  ? RunClosedLoopSocket(server->port(), model_names, queries,
+                                        options.duration_sec,
+                                        options.concurrency, &counts)
+                  : RunClosedLoop(&shards, model_names, queries,
+                                  options.duration_sec, options.concurrency,
+                                  options.timeout_sec, &counts);
   }
-  service.Stop();
+  if (server != nullptr) server->Stop();
+  shards.Stop();
 
   const auto* latency = registry.FindHistogram("serve.latency_sec");
   const auto* batches = registry.FindCounter("serve.batches");
-  std::printf(
-      "served %llu requests in %.2f s: %llu ok (%.0f qps), %llu shed, "
-      "%llu deadline-exceeded, %llu other\n",
-      static_cast<unsigned long long>(counts.Total()), elapsed,
-      static_cast<unsigned long long>(counts.ok.load()),
-      static_cast<double>(counts.ok.load()) / elapsed,
-      static_cast<unsigned long long>(counts.shed.load()),
-      static_cast<unsigned long long>(counts.deadline.load()),
-      static_cast<unsigned long long>(counts.other.load()));
+  if (self_drive) {
+    std::printf(
+        "served %llu requests in %.2f s: %llu ok (%.0f qps), %llu shed, "
+        "%llu deadline-exceeded, %llu other\n",
+        static_cast<unsigned long long>(counts.Total()), elapsed,
+        static_cast<unsigned long long>(counts.ok.load()),
+        static_cast<double>(counts.ok.load()) / elapsed,
+        static_cast<unsigned long long>(counts.shed.load()),
+        static_cast<unsigned long long>(counts.deadline.load()),
+        static_cast<unsigned long long>(counts.other.load()));
+  } else {
+    const auto* frames = registry.FindCounter("net.frames_in");
+    std::printf("served socket for %.2f s: %llu frames\n", elapsed,
+                static_cast<unsigned long long>(
+                    frames != nullptr ? frames->AsUint64() : 0));
+  }
   if (latency != nullptr && latency->count() > 0) {
     std::printf("latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms "
                 "(%llu batches, mean batch %.1f)\n",
@@ -386,7 +617,9 @@ int Main(int argc, char** argv) {
   if (options.print_metrics) {
     // Age gauges are only as fresh as the last swap; re-publish them so the
     // table shows each model's age as of now.
-    models.RefreshAgeMetrics();
+    for (size_t s = 0; s < shards.num_shards(); ++s) {
+      shards.shard_models(s)->RefreshAgeMetrics();
+    }
     std::printf("\n%s", spca::obs::MetricsTable(registry).c_str());
   }
   return 0;
