@@ -42,6 +42,13 @@ struct CommStats {
     return intermediate_bytes + broadcast_bytes + result_bytes;
   }
 
+  /// Bytes the *tasks* ship (mapper/stage outputs plus driver-bound
+  /// partials), excluding driver broadcasts — the per-solver cost axis of
+  /// the Figure 4/5 crossover map, where the platforms differ only in
+  /// whether a partial counts as intermediate (MapReduce) or result
+  /// (Spark) data.
+  uint64_t ShippedBytes() const { return intermediate_bytes + result_bytes; }
+
   void Add(const CommStats& other) {
     intermediate_bytes += other.intermediate_bytes;
     broadcast_bytes += other.broadcast_bytes;

@@ -285,4 +285,58 @@ std::string FlameGraphReport(const ParsedTrace& trace) {
   return out;
 }
 
+std::string CrossoverTable(const std::vector<CrossoverRow>& rows) {
+  std::string out =
+      "Cost crossover map (solver, rows, cols, d, iters, sim_s, acc_%, "
+      "shipped_bytes, jobs):\n";
+  char line[224];
+  for (const CrossoverRow& row : rows) {
+    std::snprintf(
+        line, sizeof(line),
+        "  %-18s %9.0f %7.0f %4.0f %6.0f %12.3f %7.2f %14.0f %6.0f\n",
+        row.solver.c_str(), row.rows, row.cols, row.components, row.iterations,
+        row.sim_seconds, row.accuracy_percent, row.shipped_bytes, row.jobs);
+    out += line;
+  }
+  return out;
+}
+
+std::string CrossoverReport(const ParsedTrace& trace) {
+  std::vector<CrossoverRow> rows;
+  for (const ParsedSpan* span : trace.SpansNamed("solver.fit")) {
+    if (span->category != "crossover") continue;
+    CrossoverRow row;
+    const AttrValue* solver = span->FindAttribute("solver");
+    const auto* name =
+        solver != nullptr ? std::get_if<std::string>(solver) : nullptr;
+    row.solver = name != nullptr ? *name : "(unknown)";
+    row.rows = span->AttributeNumberOr("rows", 0.0);
+    row.cols = span->AttributeNumberOr("cols", 0.0);
+    row.components = span->AttributeNumberOr("components", 0.0);
+    row.iterations = span->AttributeNumberOr("iterations", 0.0);
+    row.sim_seconds = span->AttributeNumberOr("sim_seconds", 0.0);
+    row.accuracy_percent = span->AttributeNumberOr("accuracy_percent", 0.0);
+    row.shipped_bytes = span->AttributeNumberOr("shipped_bytes", 0.0);
+    row.jobs = span->AttributeNumberOr("jobs", 0.0);
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return "no solver.fit crossover spans in this file\n";
+  return CrossoverTable(rows);
+}
+
+uint64_t AppendCrossoverSpan(Registry* registry, const CrossoverRow& row) {
+  return registry->AddCompleteSpan(
+      "solver.fit", "crossover", Track::kWall, /*start_sec=*/0.0,
+      /*duration_sec=*/0.0, /*parent_id=*/0,
+      {{"solver", row.solver},
+       {"rows", row.rows},
+       {"cols", row.cols},
+       {"components", row.components},
+       {"iterations", row.iterations},
+       {"sim_seconds", row.sim_seconds},
+       {"accuracy_percent", row.accuracy_percent},
+       {"shipped_bytes", row.shipped_bytes},
+       {"jobs", row.jobs}});
+}
+
 }  // namespace spca::obs

@@ -1,7 +1,9 @@
 #ifndef SPCA_OBS_TRACE_REPORT_H_
 #define SPCA_OBS_TRACE_REPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/trace_file.h"
 
@@ -55,6 +57,40 @@ PhaseDiffResult PhaseBreakdownDiff(const ParsedTrace& trace_a,
 /// clamped at zero — a wall-track frame on the path contributes no time of
 /// its own).
 std::string FlameGraphReport(const ParsedTrace& trace);
+
+/// One solver's summary row on the Figure 4/5 cost-crossover map: where it
+/// landed on the axes the paper trades off — simulated cluster time and
+/// shipped (intermediate + result) bytes — at the accuracy it reached.
+/// Every numeric field is a double because that is what a trace file
+/// round-trips (JSON has one number type); counts are integral-valued.
+struct CrossoverRow {
+  std::string solver;
+  double rows = 0.0;
+  double cols = 0.0;
+  double components = 0.0;
+  double iterations = 0.0;
+  double sim_seconds = 0.0;
+  double accuracy_percent = 0.0;
+  double shipped_bytes = 0.0;
+  double jobs = 0.0;
+};
+
+/// Renders the crossover table — one line per row, fixed snprintf format.
+/// bench_sketch prints exactly this from its in-memory rows, so the table
+/// regenerated from its trace file (CrossoverReport) matches byte for byte.
+std::string CrossoverTable(const std::vector<CrossoverRow>& rows);
+
+/// Regenerates the crossover table from a trace file alone: every
+/// `solver.fit` span of category "crossover" (written by
+/// AppendCrossoverSpan) becomes one row, in span-id order.
+std::string CrossoverReport(const ParsedTrace& trace);
+
+/// Records one crossover row as a zero-duration summary span so a trace
+/// file carries the full table. Integral-valued fields are stored as
+/// doubles on purpose: JSON numbers come back as doubles, and byte-identity
+/// of the regenerated table only needs the doubles to round-trip (which
+/// %.17g guarantees). Returns the span id.
+uint64_t AppendCrossoverSpan(Registry* registry, const CrossoverRow& row);
 
 }  // namespace spca::obs
 

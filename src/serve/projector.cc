@@ -50,6 +50,13 @@ StatusOr<Projector> Projector::Create(core::PcaModel model) {
     linalg::kernels::AxpyRow(v, model.components.RowPtr(k), d,
                              projector.mean_projection_.data());
   }
+  uint64_t component_nnz = 0;
+  for (size_t k = 0; k < big_d; ++k) {
+    for (size_t j = 0; j < d; ++j) {
+      if (model.components(k, j) != 0.0) ++component_nnz;
+    }
+  }
+  projector.component_nnz_ = component_nnz;
   projector.model_ = std::move(model);
   return projector;
 }

@@ -46,11 +46,21 @@ class Projector {
   linalg::DenseVector Project(const linalg::SparseVector& query) const;
   linalg::DenseVector Project(const linalg::DenseVector& query) const;
 
+  /// Stored (non-zero) loadings of C, counted once at Create. Dense models
+  /// have input_dim * num_components; sparse-loadings models (the
+  /// L1-thresholded sketch::SparsePpca family) proportionally fewer.
+  uint64_t component_nnz() const { return component_nnz_; }
+
   /// Floating-point work of one query with `nnz` stored entries (serving
-  /// throughput accounting; mirrors the engine's task flop counting).
+  /// throughput accounting; mirrors the engine's task flop counting). The
+  /// C'y product only multiplies the stored loadings of the touched rows,
+  /// so sparse-loadings models are charged proportionally less: for a
+  /// fully dense C this is exactly 2*nnz*d + d + 2*d^2.
   uint64_t QueryFlops(size_t nnz) const {
     const uint64_t d = num_components();
-    return 2ull * nnz * d + d + 2ull * d * d;
+    const uint64_t dim = input_dim();
+    return 2ull * nnz * component_nnz_ / (dim == 0 ? 1 : dim) + d +
+           2ull * d * d;
   }
 
  private:
@@ -63,6 +73,7 @@ class Projector {
   core::PcaModel model_;
   linalg::DenseMatrix factor_;           // (C'C + ss*I)^{-1}, d x d
   linalg::DenseVector mean_projection_;  // C' * mean, d
+  uint64_t component_nnz_ = 0;           // non-zero loadings of C
 };
 
 }  // namespace spca::serve

@@ -1,0 +1,308 @@
+#include "sketch/sparse_ppca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/jobs.h"
+#include "core/reconstruction_error.h"
+#include "linalg/ops.h"
+#include "linalg/solve.h"
+
+namespace spca::sketch {
+
+using dist::CommStats;
+using dist::DistMatrix;
+using linalg::DenseMatrix;
+using linalg::DenseVector;
+
+double SparsePpca::Shrink(double value, double threshold) {
+  if (value > threshold) return value - threshold;
+  if (value < -threshold) return value + threshold;
+  return 0.0;
+}
+
+namespace {
+
+/// Soft-thresholds C in place, protecting each column's largest-magnitude
+/// entry (so no component ever collapses to the zero vector, which would
+/// make C'C + ss*I ill-conditioned). Returns the number of non-zero
+/// loadings remaining.
+uint64_t ThresholdLoadings(DenseMatrix* c, double threshold) {
+  const size_t dim = c->rows();
+  const size_t d = c->cols();
+  uint64_t nnz = 0;
+  for (size_t j = 0; j < d; ++j) {
+    size_t keep = 0;
+    double best = -1.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double magnitude = std::fabs((*c)(i, j));
+      if (magnitude > best) {
+        best = magnitude;
+        keep = i;
+      }
+    }
+    for (size_t i = 0; i < dim; ++i) {
+      if (i == keep) {
+        if ((*c)(i, j) != 0.0) ++nnz;
+        continue;
+      }
+      const double shrunk = SparsePpca::Shrink((*c)(i, j), threshold);
+      (*c)(i, j) = shrunk;
+      if (shrunk != 0.0) ++nnz;
+    }
+  }
+  return nnz;
+}
+
+}  // namespace
+
+StatusOr<core::SolveResult> SparsePpca::Solve(
+    const DistMatrix& y, const core::FitOptions& fit) const {
+  const size_t d = options_.num_components;
+  const size_t dim = y.cols();
+  const size_t n = y.rows();
+  if (d == 0) return Status::InvalidArgument("num_components must be positive");
+  if (dim < d) {
+    return Status::InvalidArgument(
+        "num_components exceeds the input dimensionality");
+  }
+  if (n < 2) return Status::InvalidArgument("need at least 2 rows");
+  if (options_.l1_threshold < 0.0) {
+    return Status::InvalidArgument("l1_threshold must be non-negative");
+  }
+
+  obs::Registry* registry =
+      fit.registry != nullptr ? fit.registry : engine_->registry();
+  obs::Span fit_span(registry, "sparse_ppca.fit", "algorithm");
+  fit_span.SetAttribute("rows", static_cast<uint64_t>(n));
+  fit_span.SetAttribute("cols", static_cast<uint64_t>(dim));
+  fit_span.SetAttribute("components", static_cast<uint64_t>(d));
+  fit_span.SetAttribute("l1_threshold", options_.l1_threshold);
+
+  // Warm start (checkpoint resume) or the same cold start as core::Spca.
+  DenseMatrix c;
+  double ss;
+  if (fit.components.has_value()) {
+    c = *fit.components;
+    ss = fit.noise_variance.value_or(1.0);
+    if (c.rows() != dim || c.cols() != d) {
+      return Status::InvalidArgument("initial components have the wrong shape");
+    }
+  } else {
+    Rng rng(options_.seed);
+    c = DenseMatrix::GaussianRandom(dim, d, &rng);
+    ss = std::fabs(rng.NextGaussian(1.0, 1.0)) + 1e-3;
+  }
+  if (!(ss > 0.0)) {
+    return Status::InvalidArgument("initial ss must be positive");
+  }
+
+  constexpr double kDriverObjectOverhead = 10.0;
+  const uint64_t driver_bytes =
+      static_cast<uint64_t>(engine_->spec().driver_baseline_bytes) +
+      static_cast<uint64_t>(kDriverObjectOverhead * 4.0 *
+                            static_cast<double>(dim) * d * sizeof(double));
+  SPCA_RETURN_IF_ERROR(
+      engine_->AllocateDriverMemory("sparse-PPCA driver state", driver_bytes));
+  struct DriverMemoryGuard {
+    dist::Engine* engine;
+    uint64_t bytes;
+    ~DriverMemoryGuard() { engine->ReleaseDriverMemory(bytes); }
+  } driver_memory_guard{engine_, driver_bytes};
+
+  const CommStats stats_before = engine_->stats();
+  const double sim_before = engine_->SimulatedSeconds();
+  Stopwatch wall;
+
+  const core::JobToggles toggles;  // the optimized (paper) job variants
+
+  core::SolveResult result;
+  result.first_job_index = engine_->traces().size();
+  result.model.components = std::move(c);
+  result.model.noise_variance = ss;
+  result.model.mean = core::MeanJob(engine_, y);
+  const DenseVector& ym = result.model.mean;
+  const double ss1 = core::FrobeniusNormJob(engine_, y, ym, true);
+  if (!(ss1 > 0.0)) {
+    return Status::FailedPrecondition(
+        "input matrix is constant (zero variance)");
+  }
+
+  const bool needs_errors = options_.compute_accuracy_trace ||
+                            options_.target_accuracy_fraction <= 1.0;
+  DistMatrix sample;
+  if (needs_errors) {
+    const auto indices = core::SampleRowIndices(n, options_.error_sample_rows,
+                                                core::kErrorSampleSeed);
+    sample = y.SampleRows(indices, 1);
+    result.ideal_error =
+        options_.ideal_error_override > 0.0
+            ? options_.ideal_error_override
+            : core::ConvergedIdealError(engine_->spec(), y, d, sample,
+                                        options_.ideal_fit_iterations,
+                                        options_.seed);
+  }
+
+  DenseMatrix& cc = result.model.components;
+  double& ss_ref = result.model.noise_variance;
+
+  for (int iteration = 1; iteration <= options_.max_iterations; ++iteration) {
+    obs::Span iter_span(registry, "sparse_ppca.em_iteration", "iteration");
+    iter_span.SetAttribute("iteration", static_cast<uint64_t>(iteration));
+    registry->counter("sketch.sparse_ppca.em_iterations")->Increment();
+
+    // One EM sweep, identical to core::Spca's (Algorithm 4 lines 6-13) —
+    // same distributed jobs, same driver algebra, same flop accounting.
+    DenseMatrix m = linalg::TransposeMultiply(cc, cc);  // d x d
+    m.AddScaledIdentity(ss_ref);
+    auto m_inverse = linalg::Inverse(m);
+    if (!m_inverse.ok()) return m_inverse.status();
+    const DenseMatrix cm = linalg::Multiply(cc, m_inverse.value());  // D x d
+    DenseVector xm(d);
+    for (size_t r = 0; r < dim; ++r) {
+      const double mr = ym[r];
+      if (mr == 0.0) continue;
+      for (size_t j = 0; j < d; ++j) xm[j] += mr * cm(r, j);
+    }
+    engine_->CountDriverFlops(2ull * dim * d * d + 2ull * d * d * d +
+                              2ull * dim * d * d + 2ull * dim * d);
+
+    core::YtXResult ytx_result =
+        core::YtXJob(engine_, y, ym, xm, cm, nullptr, toggles);
+    ytx_result.xtx.AddScaled(ss_ref, m_inverse.value());
+    auto c_new = linalg::SolveRight(ytx_result.ytx, ytx_result.xtx);
+    if (!c_new.ok()) return c_new.status();
+    engine_->CountDriverFlops(2ull * d * d * d + 2ull * dim * d * d);
+
+    // The sparse-PCA twist: lasso-style soft-threshold on the fresh C
+    // *before* the variance update, so (C, ss) stay mutually consistent
+    // and the checkpointed model is the complete resume state.
+    const uint64_t nnz_loadings =
+        ThresholdLoadings(&c_new.value(), options_.l1_threshold);
+    engine_->CountDriverFlops(2ull * dim * d);
+
+    const DenseMatrix ctc =
+        linalg::TransposeMultiply(c_new.value(), c_new.value());
+    double ss2 = 0.0;
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) ss2 += ytx_result.xtx(a, b) * ctc(b, a);
+    }
+    engine_->CountDriverFlops(2ull * dim * d * d + 2ull * d * d);
+
+    const double ss3 =
+        core::Ss3Job(engine_, y, ym, xm, cm, c_new.value(), nullptr, toggles);
+    const double ss_new = (ss1 + ss2 - 2.0 * ss3) / static_cast<double>(n) /
+                          static_cast<double>(dim);
+
+    cc = std::move(c_new.value());
+    ss_ref = std::max(ss_new, 1e-12);
+    result.iterations_run = iteration;
+    iter_span.SetAttribute("ss", ss_ref);
+    iter_span.SetAttribute("nnz_loadings", nnz_loadings);
+    registry->counter("sketch.sparse_ppca.zeroed_loadings")
+        ->Add(static_cast<double>(static_cast<uint64_t>(dim) * d -
+                                  nnz_loadings));
+    registry->gauge("sketch.sparse_ppca.nnz_loadings")
+        ->Set(static_cast<double>(nnz_loadings));
+
+    if (fit.on_checkpoint) {
+      core::SolverCheckpoint checkpoint;
+      checkpoint.solver = "spca_sparse";
+      checkpoint.step = static_cast<uint64_t>(iteration);
+      checkpoint.rows_seen = n;
+      SPCA_RETURN_IF_ERROR(fit.on_checkpoint(result.model, checkpoint));
+    }
+
+    if (needs_errors) {
+      core::IterationTrace trace;
+      trace.iteration = iteration;
+      trace.error = core::SampledReconstructionError(sample, cc, ym);
+      trace.accuracy_percent =
+          core::AccuracyPercent(trace.error, result.ideal_error);
+      trace.simulated_seconds = engine_->SimulatedSeconds() - sim_before;
+      trace.wall_seconds = wall.ElapsedSeconds();
+      trace.ss = ss_ref;
+      trace.jobs_completed = engine_->traces().size();
+      result.trace.push_back(trace);
+      iter_span.SetAttribute("error", trace.error);
+      iter_span.SetAttribute("accuracy_percent", trace.accuracy_percent);
+      registry->SetSpanAttribute(iter_span.id(), "sim_seconds",
+                                 trace.simulated_seconds);
+      registry->SetSpanAttribute(iter_span.id(), "wall_seconds",
+                                 trace.wall_seconds);
+      if (options_.target_accuracy_fraction <= 1.0 &&
+          trace.accuracy_percent >=
+              options_.target_accuracy_fraction * 100.0) {
+        result.reached_target = true;
+        break;
+      }
+    }
+  }
+
+  CommStats stats_after = engine_->stats();
+  stats_after.wall_seconds = wall.ElapsedSeconds() + stats_before.wall_seconds;
+  result.stats = dist::StatsDiff(stats_after, stats_before);
+  fit_span.SetAttribute("iterations",
+                        static_cast<uint64_t>(result.iterations_run));
+  return result;
+}
+
+Status SparsePpca::Init(const core::FitOptions& options) {
+  solve_options_ = options;
+  batches_.clear();
+  return Status::Ok();
+}
+
+Status SparsePpca::Step(const DistMatrix& batch) {
+  if (batch.rows() == 0) {
+    return Status::InvalidArgument("empty batch");
+  }
+  if (!batches_.empty() && batch.cols() != batches_.front().cols()) {
+    return Status::InvalidArgument("batch dimensionality changed mid-solve");
+  }
+  batches_.push_back(batch);
+  return Status::Ok();
+}
+
+StatusOr<core::SolveResult> SparsePpca::SolveBuffered() const {
+  if (batches_.empty()) {
+    return Status::FailedPrecondition("no rows ingested; call Step first");
+  }
+  auto y = core::ConcatBatches(batches_);
+  if (!y.ok()) return y.status();
+  return Solve(y.value(), solve_options_);
+}
+
+StatusOr<core::PcaModel> SparsePpca::Snapshot() const {
+  auto result = SolveBuffered();
+  if (!result.ok()) return result.status();
+  return std::move(result.value().model);
+}
+
+StatusOr<core::SolveResult> SparsePpca::Result() {
+  auto result = SolveBuffered();
+  batches_.clear();
+  return result;
+}
+
+Status SparsePpca::Restore(const core::PcaModel& model,
+                           const core::SolverCheckpoint& checkpoint) {
+  if (checkpoint.solver != name()) {
+    return Status::InvalidArgument("checkpoint was written by solver '" +
+                                   checkpoint.solver + "', not 'spca_sparse'");
+  }
+  if (model.components.rows() == 0 || model.components.cols() == 0) {
+    return Status::InvalidArgument("checkpoint model has no components");
+  }
+  if (!(model.noise_variance > 0.0)) {
+    return Status::InvalidArgument("checkpoint noise variance must be > 0");
+  }
+  solve_options_.components = model.components;
+  solve_options_.noise_variance = model.noise_variance;
+  return Status::Ok();
+}
+
+}  // namespace spca::sketch

@@ -1,0 +1,93 @@
+#ifndef SPCA_SKETCH_SPARSE_PPCA_H_
+#define SPCA_SKETCH_SPARSE_PPCA_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/solver.h"
+#include "dist/dist_matrix.h"
+#include "dist/engine.h"
+
+namespace spca::sketch {
+
+/// Options for the sparse-loadings PPCA variant.
+struct SparsePpcaOptions {
+  /// Number of principal components d.
+  size_t num_components = 50;
+  /// Maximum EM sweeps.
+  int max_iterations = 10;
+  /// L1 soft-threshold applied entrywise to C after every EM update:
+  /// c <- sign(c) * max(|c| - l1_threshold, 0). Each column's
+  /// largest-magnitude entry is exempt so no component collapses to zero.
+  double l1_threshold = 0.1;
+  /// Seed for the random initial C.
+  uint64_t seed = 1;
+  /// Stop once this fraction of the ideal accuracy is reached (> 1
+  /// disables the target).
+  double target_accuracy_fraction = 2.0;
+  /// Rows in the reconstruction-error sample.
+  size_t error_sample_rows = 1000;
+  /// Record an accuracy trace point per sweep.
+  bool compute_accuracy_trace = true;
+  /// When > 0, use this ideal-error anchor instead of fitting one.
+  double ideal_error_override = 0.0;
+  /// EM iterations for the ideal-error anchor fit.
+  int ideal_fit_iterations = 15;
+};
+
+/// Sparse-loadings PPCA (Zou-Hastie-Tibshirani's lasso idea grafted onto
+/// the paper's distributed EM): runs the same MeanJob / FrobeniusNormJob /
+/// YtXJob / ss3Job decomposition as core::Spca, but soft-thresholds C
+/// after every sweep, driving most loadings to exactly zero. Sparse C
+/// means interpretable components AND proportionally fewer serve-time
+/// Projector QueryFlops (the projection C'y only touches stored
+/// loadings). Zeroed/total loading counts land in the
+/// sketch.sparse_ppca.* metrics.
+///
+/// Checkpoint/restore follows core::Spca: the thresholded model is the
+/// complete resume state (each sweep, thresholding included, is pure in
+/// (C, ss, Y)), so a warm start from a checkpoint re-runs the remaining
+/// sweeps bit-identically.
+class SparsePpca : public core::Solver {
+ public:
+  /// `engine` must outlive this object.
+  SparsePpca(dist::Engine* engine, const SparsePpcaOptions& options)
+      : engine_(engine), options_(options) {}
+
+  /// Single-shot fit.
+  StatusOr<core::SolveResult> Solve(const dist::DistMatrix& y,
+                                    const core::FitOptions& fit = {}) const;
+
+  // Solver surface.
+  std::string_view name() const override { return "spca_sparse"; }
+  Status Init(const core::FitOptions& options) override;
+  Status Step(const dist::DistMatrix& batch) override;
+  StatusOr<core::PcaModel> Snapshot() const override;
+  StatusOr<core::SolveResult> Result() override;
+
+  /// Restores a checkpoint written by FitOptions::on_checkpoint: the
+  /// checkpointed model becomes the warm start of the next Solve/Result.
+  Status Restore(const core::PcaModel& model,
+                 const core::SolverCheckpoint& checkpoint) override;
+
+  const SparsePpcaOptions& options() const { return options_; }
+
+  /// The soft-threshold operator: sign(x) * max(|x| - threshold, 0).
+  static double Shrink(double value, double threshold);
+
+ private:
+  StatusOr<core::SolveResult> SolveBuffered() const;
+
+  dist::Engine* engine_;
+  SparsePpcaOptions options_;
+
+  // Solver-surface state.
+  core::FitOptions solve_options_;
+  std::vector<dist::DistMatrix> batches_;
+};
+
+}  // namespace spca::sketch
+
+#endif  // SPCA_SKETCH_SPARSE_PPCA_H_

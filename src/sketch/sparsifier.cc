@@ -1,0 +1,73 @@
+#include "sketch/sparsifier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace spca::sketch {
+
+using dist::DistMatrix;
+using linalg::SparseEntry;
+using linalg::SparseMatrix;
+
+namespace {
+
+/// Per-row generator: one independent stream per (seed, row), so the mask
+/// depends only on the row's global index. The mix constant is
+/// splitmix64's golden-ratio increment; Rng's own seeding scrambles the
+/// result further.
+Rng RowRng(uint64_t seed, uint64_t row) {
+  return Rng(seed ^ ((row + 1) * 0x9e3779b97f4a7c15ull));
+}
+
+}  // namespace
+
+DistMatrix Sparsifier::Apply(const DistMatrix& y,
+                             obs::Registry* registry) const {
+  const double p = options_.keep_probability;
+  SPCA_CHECK(p > 0.0 && p <= 1.0);
+  const double scale = 1.0 / p;
+
+  SparseMatrix out(y.rows(), y.cols());
+  std::vector<SparseEntry> kept_row;
+  uint64_t kept = 0;
+  for (size_t i = 0; i < y.rows(); ++i) {
+    kept_row.clear();
+    Rng rng = RowRng(options_.seed, i);
+    y.ForEachEntry(i, [&](size_t col, double value) {
+      if (rng.NextDouble() < p) {
+        kept_row.push_back({static_cast<uint32_t>(col), value * scale});
+      }
+    });
+    kept += kept_row.size();
+    out.AppendRow(i, kept_row);
+  }
+
+  const size_t num_partitions = std::max<size_t>(1, y.num_partitions());
+  DistMatrix result = DistMatrix::FromSparse(std::move(out), num_partitions);
+  if (registry != nullptr) {
+    registry->counter("sketch.sparsify.input_entries")
+        ->Add(static_cast<double>(y.StoredEntries()));
+    registry->counter("sketch.sparsify.kept_entries")
+        ->Add(static_cast<double>(kept));
+    registry->counter("sketch.sparsify.input_bytes")
+        ->Add(static_cast<double>(y.ByteSize()));
+    registry->counter("sketch.sparsify.output_bytes")
+        ->Add(static_cast<double>(result.ByteSize()));
+  }
+  return result;
+}
+
+std::vector<bool> Sparsifier::RowKeepMask(uint64_t row, size_t entries) const {
+  std::vector<bool> mask(entries);
+  Rng rng = RowRng(options_.seed, row);
+  for (size_t k = 0; k < entries; ++k) {
+    mask[k] = rng.NextDouble() < options_.keep_probability;
+  }
+  return mask;
+}
+
+}  // namespace spca::sketch

@@ -1,0 +1,59 @@
+#ifndef SPCA_SKETCH_SPARSIFIER_H_
+#define SPCA_SKETCH_SPARSIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/dist_matrix.h"
+#include "obs/registry.h"
+
+namespace spca::sketch {
+
+/// Options for the entry-sampling preprocessor.
+struct SparsifierOptions {
+  /// Probability of keeping each stored entry, in (0, 1]. Kept entries are
+  /// rescaled by 1/keep_probability so E[sparsified Y] = Y (the unbiased
+  /// element-wise sampling estimator of Pourkamali-Anaraki & Becker).
+  double keep_probability = 0.25;
+  /// Seed for the keep-mask draws. The mask for row i depends only on
+  /// (seed, i), never on partitioning or visit order.
+  uint64_t seed = 0x5eed;
+};
+
+/// Seeded, deterministic entry sampler: keeps each stored entry of a dense
+/// or sparse input with probability p and reweights survivors by 1/p. The
+/// result is always sparse, so every downstream solver's per-row work and
+/// shipped partial bytes shrink roughly by p — the preprocessor composes
+/// with any core::Solver because it acts on the DistMatrix itself.
+///
+/// Determinism contract: the keep decisions for row i are the first
+/// RowNnz(i) draws of an Rng seeded from (seed, i). Two Apply calls over
+/// the same logical matrix — regardless of its partition count or storage
+/// kind's iteration order — keep exactly the same entries, and the draws
+/// are pinned by determinism_golden_test.
+class Sparsifier {
+ public:
+  explicit Sparsifier(const SparsifierOptions& options) : options_(options) {}
+
+  /// Returns the sparsified copy of `y` (same shape, same partition
+  /// count, always sparse storage). When `registry` is non-null, records
+  /// the sketch.sparsify.* counters: input/kept entry counts and
+  /// input/output byte sizes (the shipped-byte savings every later job
+  /// inherits). CHECK-fails on keep_probability outside (0, 1].
+  dist::DistMatrix Apply(const dist::DistMatrix& y,
+                         obs::Registry* registry = nullptr) const;
+
+  /// The first `entries` keep decisions Apply draws for row `row` — the
+  /// exact mask consumed when the row has `entries` stored values. Exposed
+  /// for the determinism golden and tests.
+  std::vector<bool> RowKeepMask(uint64_t row, size_t entries) const;
+
+  const SparsifierOptions& options() const { return options_; }
+
+ private:
+  SparsifierOptions options_;
+};
+
+}  // namespace spca::sketch
+
+#endif  // SPCA_SKETCH_SPARSIFIER_H_

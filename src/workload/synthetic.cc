@@ -139,4 +139,64 @@ DenseMatrix GenerateImageFeatures(const ImageFeaturesConfig& config) {
   return y;
 }
 
+DenseMatrix GenerateSparseSignal(const SparseSignalConfig& config) {
+  SPCA_CHECK_GT(config.rank, 0u);
+  SPCA_CHECK_LE(config.rank, config.cols);
+  SPCA_CHECK_GT(config.active_per_component, 0u);
+  Rng rng(config.seed);
+
+  // Ground-truth loadings: disjoint-ish supports of active_per_component
+  // rows per component, cycling over the dimensions so supports never
+  // overlap while active_per_component * rank <= cols.
+  DenseMatrix w(config.cols, config.rank);
+  size_t next_row = 0;
+  for (size_t k = 0; k < config.rank; ++k) {
+    for (size_t a = 0; a < config.active_per_component; ++a) {
+      const size_t r = next_row % config.cols;
+      const double sign = rng.NextDouble() < 0.5 ? -1.0 : 1.0;
+      w(r, k) = sign * config.loading_scale * (0.5 + rng.NextDouble());
+      ++next_row;
+    }
+  }
+
+  std::vector<double> mean(config.cols);
+  for (auto& m : mean) m = rng.NextGaussian(0.0, config.mean_scale);
+
+  DenseMatrix y(config.rows, config.cols);
+  std::vector<double> z(config.rank);
+  for (size_t i = 0; i < config.rows; ++i) {
+    for (auto& v : z) v = rng.NextGaussian(0.0, config.signal_stddev);
+    for (size_t j = 0; j < config.cols; ++j) {
+      double value = mean[j] + rng.NextGaussian(0.0, config.noise_stddev);
+      for (size_t k = 0; k < config.rank; ++k) value += w(j, k) * z[k];
+      y(i, j) = value;
+    }
+  }
+  return y;
+}
+
+SparseMatrix GenerateSparseLowRank(const SparseLowRankConfig& config) {
+  SPCA_CHECK_GT(config.rank, 0u);
+  SPCA_CHECK_LE(config.rank, config.cols);
+  SPCA_CHECK(config.density > 0.0 && config.density <= 1.0);
+  Rng rng(config.seed);
+  DenseMatrix w = DenseMatrix::GaussianRandom(config.cols, config.rank, &rng);
+
+  SparseMatrix matrix(config.rows, config.cols);
+  std::vector<double> z(config.rank);
+  std::vector<SparseEntry> row;
+  for (size_t i = 0; i < config.rows; ++i) {
+    for (auto& v : z) v = rng.NextGaussian(0.0, config.signal_stddev);
+    row.clear();
+    for (size_t j = 0; j < config.cols; ++j) {
+      if (rng.NextDouble() >= config.density) continue;
+      double value = rng.NextGaussian(0.0, config.noise_stddev);
+      for (size_t k = 0; k < config.rank; ++k) value += w(j, k) * z[k];
+      row.push_back({static_cast<uint32_t>(j), value});
+    }
+    matrix.AppendRow(i, row);
+  }
+  return matrix;
+}
+
 }  // namespace spca::workload

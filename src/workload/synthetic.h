@@ -69,6 +69,44 @@ struct ImageFeaturesConfig {
 
 linalg::DenseMatrix GenerateImageFeatures(const ImageFeaturesConfig& config);
 
+/// Dense sparse-signal generator: Y = Z * W' + mean + noise where each
+/// ground-truth loading column of W has only `active_per_component`
+/// non-zero rows (disjoint supports, cycled over the dimensions). The
+/// regime the L1-thresholded sparse-loadings PPCA wins in: a dense fit
+/// smears signal over all D loadings, the thresholded fit recovers the
+/// supports and ships/serves proportionally less.
+struct SparseSignalConfig {
+  size_t rows = 1000;
+  size_t cols = 64;
+  size_t rank = 4;
+  size_t active_per_component = 8;  // non-zero loadings per component
+  double signal_stddev = 1.0;       // stddev of latent coordinates
+  double loading_scale = 1.0;       // magnitude of the active loadings
+  double noise_stddev = 0.05;       // isotropic noise
+  double mean_scale = 0.5;          // magnitude of the column means
+  uint64_t seed = 17;
+};
+
+linalg::DenseMatrix GenerateSparseSignal(const SparseSignalConfig& config);
+
+/// Sparse low-rank-plus-noise generator: the canonical PPCA generative
+/// model observed through random entry masking — each entry of the dense
+/// Y = Z * W' + noise survives with probability `density`, producing a
+/// genuinely sparse matrix with low-rank structure. The regime where
+/// single-pass sketches (rand_svd) and entry sampling (Sparsifier) shine:
+/// per-row work and shipped partials scale with nnz, not D.
+struct SparseLowRankConfig {
+  size_t rows = 2000;
+  size_t cols = 200;
+  size_t rank = 5;
+  double density = 0.05;       // fraction of entries observed
+  double signal_stddev = 1.0;  // stddev of latent coordinates
+  double noise_stddev = 0.05;  // per-observed-entry noise
+  uint64_t seed = 23;
+};
+
+linalg::SparseMatrix GenerateSparseLowRank(const SparseLowRankConfig& config);
+
 }  // namespace spca::workload
 
 #endif  // SPCA_WORKLOAD_SYNTHETIC_H_

@@ -27,6 +27,8 @@
 #include "dist/fault.h"
 #include "linalg/dense_matrix.h"
 #include "serve/model_io.h"
+#include "sketch/rand_svd.h"
+#include "sketch/sparsifier.h"
 #include "workload/load_gen.h"
 #include "workload/row_stream.h"
 
@@ -154,10 +156,54 @@ std::string RenderLoadGenSection() {
   return out;
 }
 
+// The seeded Gaussian test matrix the rand_svd sketch consumes: the exact
+// Omega draws decide every later round, so a drift here silently changes
+// every rand_svd model, checkpoint, and crossover number at once.
+std::string RenderSketchOmegaSection() {
+  std::string out = "[sketch_omega]\n";
+  for (const uint64_t seed : {1ull, 99ull}) {
+    const linalg::DenseMatrix omega =
+        sketch::RandSvdPca::DrawOmega(/*dim=*/24, /*sketch_dim=*/6, seed);
+    std::vector<double> flat;
+    flat.reserve(omega.rows() * omega.cols());
+    for (size_t i = 0; i < omega.rows(); ++i) {
+      for (size_t j = 0; j < omega.cols(); ++j) flat.push_back(omega(i, j));
+    }
+    Line(&out, "seed=%llu hash=%016llx first=%.17g last=%.17g",
+         static_cast<unsigned long long>(seed),
+         static_cast<unsigned long long>(HashDoubles(flat)), flat.front(),
+         flat.back());
+  }
+  return out;
+}
+
+// The Sparsifier's per-row keep decisions: pure in (seed, row) by
+// contract, pinned as raw mask bits so a reordering of the draws cannot
+// hide behind an unchanged keep count.
+std::string RenderSparsifierKeepMaskSection() {
+  std::string out = "[sparsifier_keep_mask]\n";
+  sketch::SparsifierOptions options;
+  options.keep_probability = 0.25;
+  for (const uint64_t seed : {0x5eedull, 7ull}) {
+    options.seed = seed;
+    const sketch::Sparsifier sparsifier(options);
+    for (const uint64_t row : {0ull, 1ull, 1000000ull}) {
+      const std::vector<bool> mask = sparsifier.RowKeepMask(row, 32);
+      std::string bits;
+      for (const bool keep : mask) bits.push_back(keep ? '1' : '0');
+      Line(&out, "seed=%llu row=%llu mask=%s",
+           static_cast<unsigned long long>(seed),
+           static_cast<unsigned long long>(row), bits.c_str());
+    }
+  }
+  return out;
+}
+
 TEST(DeterminismGolden, SeededGeneratorsMatchGolden) {
-  const std::string rendered = RenderFaultPlanSection() +
-                               RenderRowStreamSection() +
-                               RenderLoadGenSection();
+  const std::string rendered =
+      RenderFaultPlanSection() + RenderRowStreamSection() +
+      RenderLoadGenSection() + RenderSketchOmegaSection() +
+      RenderSparsifierKeepMaskSection();
   ASSERT_FALSE(rendered.empty());
 
   const std::string golden_path =
@@ -187,6 +233,9 @@ TEST(DeterminismGolden, RenderingIsPure) {
   EXPECT_EQ(RenderFaultPlanSection(), RenderFaultPlanSection());
   EXPECT_EQ(RenderRowStreamSection(), RenderRowStreamSection());
   EXPECT_EQ(RenderLoadGenSection(), RenderLoadGenSection());
+  EXPECT_EQ(RenderSketchOmegaSection(), RenderSketchOmegaSection());
+  EXPECT_EQ(RenderSparsifierKeepMaskSection(),
+            RenderSparsifierKeepMaskSection());
 }
 
 }  // namespace

@@ -20,6 +20,9 @@
 #include "dist/fault.h"
 #include "dist/replay.h"
 #include "linalg/sparse_matrix.h"
+#include "sketch/rand_svd.h"
+#include "sketch/sparse_ppca.h"
+#include "sketch/sparsifier.h"
 #include "workload/synthetic.h"
 
 namespace spca {
@@ -338,6 +341,159 @@ TEST(FaultReplayPerTaskBytes, CleanTraceReplayMatchesLiveFaultedRun) {
           << dist::EngineModeToString(mode);
     }
     EXPECT_GT(retries, 0u);  // the live run actually experienced faults
+  }
+}
+
+// ---- Sketching-family replay identity (ISSUE 10 satellite 3) ------------
+
+// The sketch solvers route all cluster work through the same engine the
+// EM solver uses, so they inherit the replay contracts — but their jobs
+// emit different shapes (consolidated D x k sketch partials; sparsified
+// inputs with content-dependent nnz), so the identities are re-pinned
+// here for rand_svd and for EM over a Sparsifier-thinned matrix.
+
+/// A sparsified bag-of-words input: the Sparsifier output every
+/// downstream job sees, with content-dependent per-row nnz.
+DistMatrix SparsifiedInput(size_t partitions) {
+  workload::BagOfWordsConfig config;
+  config.rows = 150;
+  config.vocab = 80;
+  config.words_per_row = 6;
+  config.seed = 5;
+  sketch::SparsifierOptions sparsify;
+  sparsify.keep_probability = 0.5;
+  sparsify.seed = 21;
+  return sketch::Sparsifier(sparsify).Apply(DistMatrix::FromSparse(
+      workload::GenerateBagOfWords(config), partitions));
+}
+
+sketch::RandSvdOptions ReplayRandSvdOptions() {
+  sketch::RandSvdOptions options;
+  options.num_components = 3;
+  options.power_iterations = 1;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  options.ideal_error_override = 1.0;
+  return options;
+}
+
+sketch::SparsePpcaOptions ReplaySparsePpcaOptions() {
+  sketch::SparsePpcaOptions options;
+  options.num_components = 3;
+  options.max_iterations = 2;
+  options.l1_threshold = 0.05;
+  options.target_accuracy_fraction = 2.0;
+  options.compute_accuracy_trace = false;
+  options.ideal_error_override = 1.0;
+  return options;
+}
+
+// Unit-scale replay of every job a sketch-family run records is the
+// identity on its accounted launch/compute/data split, and the per-task
+// byte vectors sum to the job totals — for rand_svd, for sparse-PPCA,
+// and for plain EM over a sparsified input, on both platforms.
+TEST(SketchReplayIdentity, UnitScaleReplayMatchesAccountedCost) {
+  const DistMatrix matrix = SparsifiedInput(7);
+  const dist::ClusterSpec spec;
+  const dist::ReplayScales unit;
+
+  for (const EngineMode mode : {EngineMode::kSpark, EngineMode::kMapReduce}) {
+    Engine rand_svd_engine(spec, mode);
+    Engine sparse_engine(spec, mode);
+    Engine em_engine(spec, mode);
+    ASSERT_TRUE(sketch::RandSvdPca(&rand_svd_engine, ReplayRandSvdOptions())
+                    .Solve(matrix)
+                    .ok());
+    ASSERT_TRUE(sketch::SparsePpca(&sparse_engine, ReplaySparsePpcaOptions())
+                    .Solve(matrix)
+                    .ok());
+    ASSERT_TRUE(
+        core::Spca(&em_engine, FixedWorkOptions()).Solve(matrix).ok());
+
+    for (const Engine* engine :
+         {&rand_svd_engine, &sparse_engine, &em_engine}) {
+      ASSERT_FALSE(engine->traces().empty());
+      for (const dist::JobTrace& trace : engine->traces()) {
+        const dist::JobCost cost =
+            dist::ReplayJobCost(trace, spec, mode, unit);
+        EXPECT_NEAR(cost.launch_sec, trace.launch_sec, 1e-9);
+        EXPECT_NEAR(cost.compute_sec, trace.compute_sec, 1e-9);
+        EXPECT_NEAR(cost.data_sec, trace.data_sec, 1e-9);
+        EXPECT_NEAR(dist::ReplayJobSeconds(trace, spec, mode, unit),
+                    trace.stats.simulated_seconds, 1e-9)
+            << "job " << trace.name << " mode "
+            << dist::EngineModeToString(mode);
+
+        // Per-task recording invariant: the faithful byte accounting the
+        // crossover map depends on.
+        ASSERT_EQ(trace.task_intermediate_bytes.size(),
+                  trace.task_flops.size());
+        ASSERT_EQ(trace.task_result_bytes.size(), trace.task_flops.size());
+        uint64_t sum_intermediate = 0;
+        uint64_t sum_result = 0;
+        for (size_t t = 0; t < trace.task_flops.size(); ++t) {
+          sum_intermediate += trace.task_intermediate_bytes[t];
+          sum_result += trace.task_result_bytes[t];
+        }
+        EXPECT_EQ(sum_intermediate, trace.stats.intermediate_bytes)
+            << "job " << trace.name;
+        EXPECT_EQ(sum_result, trace.stats.result_bytes)
+            << "job " << trace.name;
+      }
+    }
+  }
+}
+
+// End-to-end fault exactness for the sketch family: replaying a *clean*
+// rand_svd / sparse-PPCA recording under a FaultPlan reproduces, job for
+// job, the simulated cost of a live run recorded under that same plan.
+TEST(SketchReplayIdentity, CleanTraceReplayMatchesLiveFaultedRun) {
+  const DistMatrix matrix = SparsifiedInput(7);
+
+  dist::FaultSpec fault_spec;
+  fault_spec.seed = 4321;
+  fault_spec.task_failure_probability = 0.3;
+  fault_spec.retry_backoff_sec = 0.1;
+  fault_spec.straggler_probability = 0.2;
+  fault_spec.straggler_slowdown = 3.0;
+  const dist::FaultPlan plan(fault_spec);
+
+  const dist::ClusterSpec spec;
+  const dist::ReplayScales unit;
+  for (const EngineMode mode : {EngineMode::kSpark, EngineMode::kMapReduce}) {
+    size_t retries = 0;
+    for (const bool use_rand_svd : {true, false}) {
+      Engine clean_engine(spec, mode);
+      Engine faulted_engine(spec, mode);
+      faulted_engine.SetFaultPlan(plan);
+      for (Engine* engine : {&clean_engine, &faulted_engine}) {
+        if (use_rand_svd) {
+          ASSERT_TRUE(sketch::RandSvdPca(engine, ReplayRandSvdOptions())
+                          .Solve(matrix)
+                          .ok());
+        } else {
+          ASSERT_TRUE(sketch::SparsePpca(engine, ReplaySparsePpcaOptions())
+                          .Solve(matrix)
+                          .ok());
+        }
+      }
+
+      ASSERT_EQ(clean_engine.traces().size(),
+                faulted_engine.traces().size());
+      for (size_t j = 0; j < clean_engine.traces().size(); ++j) {
+        const dist::JobTrace& clean = clean_engine.traces()[j];
+        const dist::JobTrace& live = faulted_engine.traces()[j];
+        retries += live.task_retries;
+        const double replayed =
+            dist::ReplayJobCostWithFaults(clean, spec, mode, unit, plan, j)
+                .Total();
+        const double real = live.stats.simulated_seconds;
+        EXPECT_NEAR(replayed, real, 1e-9 * std::max(1.0, real))
+            << "job " << clean.name << " mode "
+            << dist::EngineModeToString(mode);
+      }
+    }
+    EXPECT_GT(retries, 0u);  // the live runs actually experienced faults
   }
 }
 

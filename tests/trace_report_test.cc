@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/spca.h"
 #include "dist/engine.h"
@@ -202,6 +203,65 @@ TEST(TraceReport, FlameGraphRendersHandBuiltTraceExactly) {
 
   // Rendering is pure: a second pass over the same trace is identical.
   EXPECT_EQ(obs::FlameGraphReport(trace), obs::FlameGraphReport(trace));
+}
+
+// The crossover table a benchmark prints from in-memory rows must be
+// regenerated byte-identically from the trace file those rows were appended
+// to — through both on-disk formats, including awkward doubles (huge byte
+// counts, non-round accuracies) that must round-trip through JSON exactly.
+TEST(TraceReport, CrossoverTableRoundTripsThroughBothTraceFormats) {
+  std::vector<obs::CrossoverRow> rows;
+  obs::CrossoverRow ppca;
+  ppca.solver = "ppca";
+  ppca.rows = 70000;
+  ppca.cols = 300000;
+  ppca.components = 10;
+  ppca.iterations = 15;
+  ppca.sim_seconds = 1234.56789012345;
+  ppca.accuracy_percent = 97.4310987654321;
+  ppca.shipped_bytes = 137438953472.0;  // 128 GiB, > 2^32
+  ppca.jobs = 61;
+  rows.push_back(ppca);
+  obs::CrossoverRow rand_svd;
+  rand_svd.solver = "rand_svd";
+  rand_svd.rows = 70000;
+  rand_svd.cols = 300000;
+  rand_svd.components = 10;
+  rand_svd.iterations = 2;
+  rand_svd.sim_seconds = 0.1 + 0.2;  // deliberately non-representable
+  rand_svd.accuracy_percent = 96.05;
+  rand_svd.shipped_bytes = 1.5e9;
+  rand_svd.jobs = 5;
+  rows.push_back(rand_svd);
+
+  const std::string path = ::testing::TempDir() + "/crossover_stream.jsonl";
+  obs::Registry registry;
+  obs::TraceStreamer streamer(&registry, /*flush_every=*/1);
+  ASSERT_TRUE(streamer.Open(path).ok());
+  for (const obs::CrossoverRow& row : rows) {
+    obs::AppendCrossoverSpan(&registry, row);
+  }
+  const std::string chrome_json = obs::ChromeTraceJson(registry);
+  ASSERT_TRUE(streamer.Close().ok());
+
+  const std::string expected = obs::CrossoverTable(rows);
+  EXPECT_NE(expected.find("ppca"), std::string::npos);
+  EXPECT_NE(expected.find("rand_svd"), std::string::npos);
+
+  auto chrome = obs::ParseTrace(chrome_json);
+  ASSERT_TRUE(chrome.ok()) << chrome.status().ToString();
+  EXPECT_EQ(obs::CrossoverReport(chrome.value()), expected);
+
+  auto streamed = obs::LoadTraceFile(path);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(obs::CrossoverReport(streamed.value()), expected);
+  std::remove(path.c_str());
+}
+
+TEST(TraceReport, CrossoverReportEmptyTrace) {
+  obs::ParsedTrace trace;
+  EXPECT_EQ(obs::CrossoverReport(trace),
+            "no solver.fit crossover spans in this file\n");
 }
 
 TEST(TraceReport, FlameGraphReportsEmptySimTrack) {

@@ -31,6 +31,9 @@
 #include "obs/registry.h"
 #include "obs/stream.h"
 #include "serve/model_io.h"
+#include "sketch/rand_svd.h"
+#include "sketch/sparse_ppca.h"
+#include "sketch/sparsifier.h"
 #include "workload/datasets.h"
 #include "workload/io.h"
 
@@ -48,13 +51,23 @@ Input (exactly one of):
   --rows N --cols N     shape for --generate (defaults 20000 x 2000)
 
 Algorithm:
-  --algorithm ALG       spca (default) | mllib | mahout | lanczos | bidiag
+  --algorithm ALG       spca (default) | mllib | mahout | lanczos | bidiag |
+                        rand_svd | spca_sparse   (--solver is an alias)
   --platform P          spark (default) | mapreduce
   --components D        number of principal components (default 50)
   --iterations N        max EM / power iterations (default 10)
   --target FRACTION     stop at this fraction of ideal accuracy (default 0.95;
                         >1 disables the stop condition)
   --smart-guess         sPCA only: warm-start from a sample fit (sPCA-SG)
+
+Sketching (src/sketch/, see DESIGN.md "Sketching solver family"):
+  --sketch-dim K        rand_svd: sketch columns (default 0 = components + 10)
+  --power-iters N       rand_svd: extra power iterations (default 1)
+  --l1-threshold T      spca_sparse: per-sweep soft threshold on the loadings
+                        (default 0.1)
+  --sparsify-keep P     keep each input entry with probability P (reweighted
+                        by 1/P) before fitting — composes with any algorithm;
+                        the keep mask is seeded by --seed per input row
 
 Cluster model:
   --partitions N        row partitions (default 16)
@@ -85,9 +98,10 @@ only recovery cost is charged — see DESIGN.md "Fault injection & recovery"):
                         during --replay-rows instead ("what would a 2%%
                         failure rate cost at a billion rows")
 
-Checkpoint/restart (sPCA only; see DESIGN.md "Checkpoint/restart"):
+Checkpoint/restart (spca, rand_svd and spca_sparse; see DESIGN.md
+"Checkpoint/restart"):
   --checkpoint-dir DIR  write DIR/checkpoint.spcm (+ .sstat resume sidecar)
-                        after every EM iteration
+                        after every EM iteration / sketch round
   --resume              load DIR/checkpoint.spcm and run only the remaining
                         iterations; bit-identical to the uninterrupted run
 
@@ -98,7 +112,11 @@ Output:
                         variance) as a versioned, checksummed binary that
                         spca_serve / --load-model read back; a fit run under
                         fault injection also writes PATH.meta recording the
-                        fault plan (seed/rates) and the recovery cost
+                        fault plan (seed/rates) and the recovery cost, and a
+                        sketch-family fit (rand_svd / spca_sparse /
+                        --sparsify-keep) records its sketch provenance
+                        (solver, sketch_dim, power_iters, sparsify_keep,
+                        seed) there too
   --load-model PATH     skip fitting: load a saved model and go straight to
                         the output/export flags (no --input needed)
   --seed N              RNG seed (default 1)
@@ -152,7 +170,9 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       "--replay-rows", "--fault-rate", "--fault-seed", "--straggler-rate",
       "--straggler-slowdown", "--max-retries", "--retry-backoff",
       "--correlated-faults", "--fault-workers", "--speculation-delay",
-      "--speculation-min-slowdown", "--checkpoint-dir"};
+      "--speculation-min-slowdown", "--checkpoint-dir",
+      "--solver", "--sketch-dim", "--power-iters", "--l1-threshold",
+      "--sparsify-keep"};
   static const char* kFlagsBare[] = {"--smart-guess", "--metrics",
                                      "--replay-faults", "--speculation",
                                      "--resume", "--help"};
@@ -194,6 +214,16 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       }
     }
     if (!matched) return Status::InvalidArgument("unknown flag " + flag);
+  }
+  // --solver is an exact alias for --algorithm (the Solver API's own
+  // vocabulary); normalize here so the rest of the program sees one flag.
+  if (args.Has("--solver")) {
+    if (args.Has("--algorithm") &&
+        args.Get("--algorithm", "") != args.Get("--solver", "")) {
+      return Status::InvalidArgument(
+          "--solver and --algorithm are aliases; pass one");
+    }
+    args.values["--algorithm"] = args.Get("--solver", "");
   }
   return args;
 }
@@ -321,6 +351,28 @@ StatusOr<std::unique_ptr<spca::core::Solver>> MakeSolver(
     options.num_components = d;
     return spca::baselines::MakeSvdBidiagSolver(engine, options);
   }
+  if (algorithm == "rand_svd") {
+    spca::sketch::RandSvdOptions options;
+    options.num_components = d;
+    options.sketch_dim = static_cast<size_t>(args.GetInt("--sketch-dim", 0));
+    options.power_iterations =
+        static_cast<int>(args.GetInt("--power-iters", 1));
+    options.target_accuracy_fraction = target;
+    options.seed = seed;
+    return std::unique_ptr<spca::core::Solver>(
+        std::make_unique<spca::sketch::RandSvdPca>(engine, options));
+  }
+  if (algorithm == "spca_sparse") {
+    spca::sketch::SparsePpcaOptions options;
+    options.num_components = d;
+    options.max_iterations = iterations;
+    options.l1_threshold =
+        args.GetDouble("--l1-threshold", options.l1_threshold);
+    options.target_accuracy_fraction = target;
+    options.seed = seed;
+    return std::unique_ptr<spca::core::Solver>(
+        std::make_unique<spca::sketch::SparsePpca>(engine, options));
+  }
   return Status::InvalidArgument("unknown --algorithm " + algorithm);
 }
 
@@ -333,11 +385,14 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(Args args,
   // iterations; sidecar step numbering stays global across restarts.
   const bool resume = args.Has("--resume");
   const bool checkpointing = args.Has("--checkpoint-dir");
+  const std::string algorithm = args.Get("--algorithm", "spca");
   std::string checkpoint_file;
   if (checkpointing || resume) {
-    if (args.Get("--algorithm", "spca") != "spca") {
+    if (algorithm != "spca" && algorithm != "rand_svd" &&
+        algorithm != "spca_sparse") {
       return Status::InvalidArgument(
-          "--checkpoint-dir/--resume support only --algorithm spca");
+          "--checkpoint-dir/--resume support only --algorithm spca, "
+          "rand_svd or spca_sparse");
     }
     if (!checkpointing) {
       return Status::InvalidArgument("--resume needs --checkpoint-dir");
@@ -351,16 +406,26 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(Args args,
     if (!checkpoint.ok()) return checkpoint.status();
     loaded = std::move(checkpoint).value();
     base_step = loaded->state.step;
-    const long total_iterations = args.GetInt("--iterations", 10);
-    std::printf("resuming %s from iteration %llu of %ld\n",
-                checkpoint_file.c_str(),
-                static_cast<unsigned long long>(base_step), total_iterations);
-    if (static_cast<long>(base_step) >= total_iterations) {
+    // Remaining-work math: spca/spca_sparse checkpoint after each EM
+    // iteration out of --iterations; rand_svd after each sketch round out
+    // of --power-iters + 1 (the first round is the single data pass).
+    const bool rounds = algorithm == "rand_svd";
+    const long total = rounds ? args.GetInt("--power-iters", 1) + 1
+                              : args.GetInt("--iterations", 10);
+    std::printf("resuming %s from %s %llu of %ld\n", checkpoint_file.c_str(),
+                rounds ? "round" : "iteration",
+                static_cast<unsigned long long>(base_step), total);
+    if (static_cast<long>(base_step) >= total) {
       std::printf("checkpoint already complete; nothing to run\n");
       return std::move(loaded->model);
     }
-    args.values["--iterations"] =
-        std::to_string(total_iterations - static_cast<long>(base_step));
+    if (rounds) {
+      args.values["--power-iters"] =
+          std::to_string(total - static_cast<long>(base_step) - 1);
+    } else {
+      args.values["--iterations"] =
+          std::to_string(total - static_cast<long>(base_step));
+    }
   }
 
   auto solver = MakeSolver(args, engine);
@@ -407,6 +472,20 @@ StatusOr<spca::core::PcaModel> RunAlgorithm(Args args,
   } else if (name == "mahout") {
     std::printf("Mahout-PCA (SSVD): %d rounds\n",
                 result.value().iterations_run);
+  } else if (name == "rand_svd") {
+    std::printf("RandSVD-PCA: %d sketch rounds", result.value().iterations_run);
+    if (!result.value().trace.empty()) {
+      std::printf(", final accuracy %.1f%% of ideal",
+                  result.value().trace.back().accuracy_percent);
+    }
+    std::printf("\n");
+  } else if (name == "spca_sparse") {
+    std::printf("sparse-PPCA: %d iterations", result.value().iterations_run);
+    if (!result.value().trace.empty()) {
+      std::printf(", final accuracy %.1f%% of ideal",
+                  result.value().trace.back().accuracy_percent);
+    }
+    std::printf("\n");
   }
   return std::move(result.value().model);
 }
@@ -458,8 +537,8 @@ int WriteModelOutputs(const Args& args, const spca::core::PcaModel& model,
         std::remove(path.c_str());
         std::fprintf(stderr,
                      "error: %s\nerror: removed %s — a model fitted under "
-                     "fault injection must not be saved without its .meta "
-                     "provenance\n",
+                     "fault injection or a sketching solver must not be "
+                     "saved without its .meta provenance\n",
                      meta_status.ToString().c_str(), path.c_str());
         return 1;
       }
@@ -588,6 +667,25 @@ int Main(int argc, char** argv) {
     engine.SetFaultPlan(fault_plan);
   }
 
+  // Input sparsification composes with any algorithm: replace the matrix
+  // with its seeded keep/reweight sample before the fit sees it.
+  const double sparsify_keep = args->GetDouble("--sparsify-keep", 0.0);
+  if (args->Has("--sparsify-keep")) {
+    if (!(sparsify_keep > 0.0 && sparsify_keep <= 1.0)) {
+      std::fprintf(stderr, "error: --sparsify-keep must be in (0, 1]\n");
+      return 2;
+    }
+    spca::sketch::SparsifierOptions sparsify;
+    sparsify.keep_probability = sparsify_keep;
+    sparsify.seed = static_cast<uint64_t>(args->GetInt("--seed", 1));
+    matrix.value() =
+        spca::sketch::Sparsifier(sparsify).Apply(matrix.value(), &registry);
+    std::printf("sparsified input: keep %.3g -> %zu stored entries (%s)\n",
+                sparsify_keep, matrix->StoredEntries(),
+                spca::HumanBytes(static_cast<double>(matrix->ByteSize()))
+                    .c_str());
+  }
+
   auto model = RunAlgorithm(*args, &engine, matrix.value());
   if (!model.ok()) {
     std::fprintf(stderr, "error: %s\n", model.status().ToString().c_str());
@@ -679,6 +777,34 @@ int Main(int argc, char** argv) {
       return 1;
     }
     fault_meta = meta;
+  }
+  // Sketch provenance rides in the same .meta sidecar: which sketch solver
+  // (or input sparsification) produced the saved model, and with what
+  // dials, so a served model's accuracy/cost trade-off is auditable.
+  const std::string algorithm = args->Get("--algorithm", "spca");
+  if (algorithm == "rand_svd" || algorithm == "spca_sparse" ||
+      args->Has("--sparsify-keep")) {
+    char sketch_meta[512];
+    const int sketch_len = std::snprintf(
+        sketch_meta, sizeof(sketch_meta),
+        "solver=%s\n"
+        "sketch_dim=%ld\n"
+        "power_iters=%ld\n"
+        "l1_threshold=%.17g\n"
+        "sparsify_keep=%.17g\n"
+        "seed=%ld\n",
+        algorithm.c_str(), args->GetInt("--sketch-dim", 0),
+        args->GetInt("--power-iters", 1),
+        args->GetDouble("--l1-threshold", 0.1), sparsify_keep,
+        args->GetInt("--seed", 1));
+    if (sketch_len < 0 ||
+        static_cast<size_t>(sketch_len) >= sizeof(sketch_meta)) {
+      std::fprintf(stderr,
+                   "error: sketch metadata truncated (%d bytes needed)\n",
+                   sketch_len);
+      return 1;
+    }
+    fault_meta += sketch_meta;
   }
 
   if (args->Has("--replay-rows")) {

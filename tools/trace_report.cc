@@ -25,6 +25,7 @@ namespace {
 constexpr const char* kUsage =
     R"(usage: trace_report TRACE_FILE...
        trace_report --flame TRACE_FILE...
+       trace_report --crossover TRACE_FILE...
        trace_report --diff TRACE_A TRACE_B [--tolerance FRACTION]
 
 Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
@@ -37,6 +38,10 @@ Reads Chrome trace-event JSON (--trace-out) or streamed JSON-lines
 --flame prints a text flame graph of the simulated-time track instead:
 sim spans merged by their full name path, siblings with the same name
 collapsed with an " xN" count, children sorted by total sim-seconds.
+
+--crossover regenerates the Figure 4/5 cost-crossover table instead: one
+row per solver.fit summary span (written by bench_sketch), byte-identical
+to the table the benchmark printed when it ran.
 
 --diff compares two traces' per-phase simulated seconds and prints a
 delta table. Exit status is 3 when any phase's |B-A|/A exceeds
@@ -68,7 +73,9 @@ int DiffTraces(const char* path_a, const char* path_b, double tolerance) {
   return 0;
 }
 
-int ReportOne(const char* path, bool print_heading, bool flame) {
+enum class ReportMode { kDefault, kFlame, kCrossover };
+
+int ReportOne(const char* path, bool print_heading, ReportMode mode) {
   auto trace = spca::obs::LoadTraceFile(path);
   if (!trace.ok()) {
     std::fprintf(stderr, "error: %s: %s\n", path,
@@ -76,8 +83,12 @@ int ReportOne(const char* path, bool print_heading, bool flame) {
     return 1;
   }
   if (print_heading) std::printf("==> %s <==\n", path);
-  if (flame) {
+  if (mode == ReportMode::kFlame) {
     std::fputs(spca::obs::FlameGraphReport(trace.value()).c_str(), stdout);
+    return 0;
+  }
+  if (mode == ReportMode::kCrossover) {
+    std::fputs(spca::obs::CrossoverReport(trace.value()).c_str(), stdout);
     return 0;
   }
   std::printf("%zu spans\n\n", trace->spans.size());
@@ -113,8 +124,10 @@ int main(int argc, char** argv) {
     }
     return DiffTraces(argv[2], argv[3], tolerance);
   }
-  const bool flame = std::strcmp(argv[1], "--flame") == 0;
-  const int first = flame ? 2 : 1;
+  ReportMode mode = ReportMode::kDefault;
+  if (std::strcmp(argv[1], "--flame") == 0) mode = ReportMode::kFlame;
+  if (std::strcmp(argv[1], "--crossover") == 0) mode = ReportMode::kCrossover;
+  const int first = mode == ReportMode::kDefault ? 1 : 2;
   if (first >= argc) {
     std::fputs(kUsage, stderr);
     return 2;
@@ -122,7 +135,7 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   for (int i = first; i < argc; ++i) {
     if (i > first) std::printf("\n");
-    if (ReportOne(argv[i], argc - first > 1, flame) != 0) exit_code = 1;
+    if (ReportOne(argv[i], argc - first > 1, mode) != 0) exit_code = 1;
   }
   return exit_code;
 }
